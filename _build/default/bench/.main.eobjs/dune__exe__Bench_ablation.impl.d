@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Backend Bytes Cost_model Cycles Edge Hyperenclave Hyperenclave_workloads List Page_table Platform Printf Rng Sgx_types Tenv Urts Util

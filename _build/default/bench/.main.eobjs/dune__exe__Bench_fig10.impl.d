@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Hyperenclave Hyperenclave_workloads List Platform Printf Util

@@ -1,0 +1,1 @@
+bench/bench_fig11.ml: Cost_model Hw Hyperenclave Hyperenclave_workloads List Platform Printf Util

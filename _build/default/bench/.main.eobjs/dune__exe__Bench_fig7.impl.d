@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Bytes Cycles Edge Hyperenclave List Platform Printf Sgx_types Tenv Urts Util

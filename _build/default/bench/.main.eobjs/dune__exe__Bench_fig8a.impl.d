@@ -1,0 +1,1 @@
+bench/bench_fig8a.ml: Backend Cost_model Cycles Hyperenclave Hyperenclave_workloads List Platform Printf Rng Sgx_types Util

@@ -1,0 +1,1 @@
+bench/bench_isa.ml: Backend Bytes Cost_model Cycles Edge Hyperenclave Hyperenclave_monitor List Platform Sgx_types Util

@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Backend Bytes Cost_model Cycles Edge Enclave Hyperenclave List Monitor Platform Rng Sgx_types Urts Util

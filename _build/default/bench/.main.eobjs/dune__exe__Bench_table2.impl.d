@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Bytes Cost_model Cycles Edge Hyperenclave Hyperenclave_crypto Hyperenclave_sgx Page_table Platform Rng Sgx_types Tenv Urts Util

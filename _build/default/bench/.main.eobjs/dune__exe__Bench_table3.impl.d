@@ -1,0 +1,1 @@
+bench/bench_table3.ml: Hyperenclave Hyperenclave_workloads List Platform Printf Util

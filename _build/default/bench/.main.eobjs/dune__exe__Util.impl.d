@@ -1,0 +1,1 @@
+bench/util.ml: Filename List Printf String Unix

@@ -1,0 +1,141 @@
+(* Table 2: average cycles to handle a #UD and a #PF exception inside the
+   enclaves (Sec. 7.2).
+
+   #UD: the enclave executes an undefined instruction repeatedly; the
+   handler advances the instruction pointer.  P-Enclaves take the fault on
+   their own IDT; GU (and SGX) go through AEX + two-phase handling.
+
+   #PF: the garbage-collector scenario — revoke write permission on a
+   buffer, touch it, restore the permission in the fault handler.
+   P-Enclaves update their own level-1 table; GU-Enclaves hypercall into
+   RustMonitor; SGX1 cannot change permissions after EINIT at all (the
+   paper's footnote), so its cell is empty. *)
+
+open Hyperenclave
+module Sgx_model = Hyperenclave_sgx.Sgx_model
+
+let ud_iterations = 1500
+let pf_iterations = 400
+
+let ud_ecall = 1
+let gc_ecall = 2
+
+(* --- HyperEnclave modes ------------------------------------------------------ *)
+
+let measure_hyperenclave mode =
+  let platform = Platform.create ~seed:202L () in
+  let results = ref (0, 0) in
+  let handlers =
+    [
+      ( ud_ecall,
+        fun (tenv : Tenv.t) _input ->
+          (* In-enclave #UD handler: advance RIP and return. *)
+          tenv.Tenv.register_exception_handler ~vector:"#UD" (fun _ ->
+              tenv.Tenv.compute tenv.Tenv.cost.Cost_model.ud_handler_work;
+              true);
+          let samples = ref [] in
+          for _ = 1 to ud_iterations do
+            let _, c =
+              Cycles.time tenv.Tenv.clock (fun () ->
+                  tenv.Tenv.raise_exception Sgx_types.Ud)
+            in
+            samples := c :: !samples
+          done;
+          results := (Util.median !samples, snd !results);
+          Bytes.empty );
+      ( gc_ecall,
+        fun (tenv : Tenv.t) _input ->
+          (* GC scenario: buffer pages whose W permission gets revoked;
+             the #PF handler restores W (Sec. 7.2). *)
+          let pages = 16 in
+          let buf = tenv.Tenv.malloc (pages * 4096) in
+          for i = 0 to pages - 1 do
+            tenv.Tenv.write ~va:(buf + (i * 4096)) (Bytes.make 8 'a')
+          done;
+          tenv.Tenv.register_exception_handler ~vector:"#PF" (fun vector ->
+              match vector with
+              | Sgx_types.Pf { va; _ } ->
+                  tenv.Tenv.compute tenv.Tenv.cost.Cost_model.pf_handler_work;
+                  tenv.Tenv.set_page_perms ~vpn:(va / 4096)
+                    ~perms:Page_table.rw ~grant:true;
+                  true
+              | Sgx_types.Ud | Sgx_types.Gp | Sgx_types.De -> false);
+          let samples = ref [] in
+          for i = 1 to pf_iterations do
+            let page = i mod pages in
+            let va = buf + (page * 4096) in
+            tenv.Tenv.set_page_perms ~vpn:(va / 4096) ~perms:Page_table.ro
+              ~grant:false;
+            let _, c =
+              Cycles.time tenv.Tenv.clock (fun () ->
+                  tenv.Tenv.write ~va (Bytes.make 8 'b'))
+            in
+            (* subtract the copy cost of the 8-byte write itself *)
+            samples := c :: !samples
+          done;
+          results := (fst !results, Util.median !samples);
+          Bytes.empty );
+    ]
+  in
+  let enclave =
+    Urts.create ~kmod:platform.Platform.kmod ~proc:platform.Platform.proc
+      ~rng:platform.Platform.rng ~signer:platform.Platform.signer
+      ~config:(Urts.default_config mode)
+      ~ecalls:handlers ~ocalls:[]
+  in
+  ignore
+    (Urts.ecall enclave ~id:ud_ecall ~data:Bytes.empty ~direction:Edge.In ());
+  ignore
+    (Urts.ecall enclave ~id:gc_ecall ~data:Bytes.empty ~direction:Edge.In ());
+  Urts.destroy enclave;
+  !results
+
+(* --- SGX baseline ------------------------------------------------------------- *)
+
+let measure_sgx_ud () =
+  let clock = Cycles.create () in
+  let rng = Rng.create ~seed:88L in
+  let platform =
+    Sgx_model.create_platform ~clock ~cost:Cost_model.default ~rng
+      ~epc_bytes:Platform.sgx_epc_bytes
+  in
+  let signer, _ = Hyperenclave_crypto.Signature.generate rng in
+  let enclave =
+    Sgx_model.create_enclave platform ~code_seed:"t2" ~signer
+      ~ecalls:
+        [
+          ( 1,
+            fun enclave _ ->
+              Sgx_model.register_exception_handler enclave ~vector:"#UD"
+                (fun _ ->
+                  Sgx_model.compute enclave
+                    Cost_model.default.Cost_model.ud_handler_work;
+                  true);
+              let samples = ref [] in
+              for _ = 1 to ud_iterations do
+                let _, c =
+                  Cycles.time clock (fun () ->
+                      Sgx_model.raise_exception enclave Sgx_types.Ud)
+                in
+                samples := c :: !samples
+              done;
+              Bytes.of_string (string_of_int (Util.median !samples)) );
+        ]
+      ~ocalls:[]
+  in
+  int_of_string (Bytes.to_string (Sgx_model.ecall enclave ~id:1 ()))
+
+let run () =
+  Util.banner "Table 2"
+    "Average cycles handling #UD and #PF inside enclaves; paper: #UD — SGX \
+     28,561 / GU 17,490 / P 258; #PF (GC scenario) — GU 2,660 / P 1,132 (SGX1 \
+     cannot modify page permissions after EINIT).";
+  let sgx_ud = measure_sgx_ud () in
+  let gu_ud, gu_pf = measure_hyperenclave Sgx_types.GU in
+  let p_ud, p_pf = measure_hyperenclave Sgx_types.P in
+  Util.print_table
+    ~columns:[ ""; "Intel SGX"; "GU-Enclave"; "P-Enclave" ]
+    [
+      [ "#UD"; Util.cyc sgx_ud; Util.cyc gu_ud; Util.cyc p_ud ];
+      [ "#PF"; "-"; Util.cyc gu_pf; Util.cyc p_pf ];
+    ]

@@ -1,0 +1,86 @@
+(* Shared helpers for the benchmark harness: table rendering, CSV
+   emission, and small statistics over simulated-cycle samples. *)
+
+(* CSV mirroring (the artifact ships plotting scripts; `--csv DIR` makes
+   every printed table also land as a data file). *)
+let csv_dir : string option ref = ref None
+let csv_experiment = ref "experiment"
+let csv_counter = ref 0
+
+let set_csv_dir dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  csv_dir := Some dir
+
+let set_experiment name =
+  csv_experiment := name;
+  csv_counter := 0
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~columns rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      incr csv_counter;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s_%d.csv" !csv_experiment !csv_counter)
+      in
+      let oc = open_out path in
+      let emit cells =
+        output_string oc (String.concat "," (List.map csv_escape cells));
+        output_char oc '\n'
+      in
+      emit columns;
+      List.iter emit rows;
+      close_out oc
+
+let banner title description =
+  Printf.printf "\n=== %s ===\n%s\n\n" title description
+
+let print_table ~columns rows =
+  write_csv ~columns rows;
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length col) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let width = List.nth widths i in
+        if i = 0 then Printf.printf "  %-*s" width cell
+        else Printf.printf "  %*s" width cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let median samples =
+  let sorted = List.sort compare samples in
+  List.nth sorted (List.length sorted / 2)
+
+let mean samples =
+  float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int (List.length samples)
+
+let pct x = Printf.sprintf "%.1f%%" x
+let cyc n = Printf.sprintf "%d" n
+let fcyc f = Printf.sprintf "%.0f" f
+
+let human_bytes n =
+  if n >= 1024 * 1024 then Printf.sprintf "%d MB" (n / 1024 / 1024)
+  else if n >= 1024 then Printf.sprintf "%d KB" (n / 1024)
+  else Printf.sprintf "%d B" n
+
+let note fmt = Printf.printf fmt

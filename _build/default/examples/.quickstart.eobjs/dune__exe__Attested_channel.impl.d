@@ -1,0 +1,1 @@
+examples/attested_channel.ml: Bytes Edge Format Hyperenclave List Monitor Platform Printf Sgx_types Sha256 String Tenv Tpm Urts Verifier

@@ -1,0 +1,1 @@
+examples/edl_workflow.ml: Bytes Edl Edl_app Hashtbl Hyperenclave List Option Platform Printf Result String Tenv

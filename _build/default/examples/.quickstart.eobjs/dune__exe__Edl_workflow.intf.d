@@ -1,0 +1,1 @@
+examples/edl_workflow.mli:

@@ -1,0 +1,1 @@
+examples/epc_pressure.ml: Bytes Cycles Edge Enclave Epc Hyperenclave Kernel Monitor Platform Printf Sgx_types String Tenv Urts

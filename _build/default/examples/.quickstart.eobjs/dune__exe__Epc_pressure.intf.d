@@ -1,0 +1,1 @@
+examples/epc_pressure.mli:

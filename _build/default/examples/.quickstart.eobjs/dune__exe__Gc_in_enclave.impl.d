@@ -1,0 +1,1 @@
+examples/gc_in_enclave.ml: Bytes Cycles Edge Enclave Hyperenclave List Page_table Platform Printf Sgx_types Tenv Urts

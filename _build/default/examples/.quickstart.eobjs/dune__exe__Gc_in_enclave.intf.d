@@ -1,0 +1,1 @@
+examples/gc_in_enclave.mli:

@@ -1,0 +1,1 @@
+examples/libos_app.ml: Bytes Cycles Edge Hyperenclave Libos List Option Platform Printf Sgx_types String Tenv Urts

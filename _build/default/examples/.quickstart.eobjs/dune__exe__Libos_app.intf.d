@@ -1,0 +1,1 @@
+examples/libos_app.mli:

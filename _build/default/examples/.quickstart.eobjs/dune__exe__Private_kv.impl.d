@@ -1,0 +1,1 @@
+examples/private_kv.ml: Bytes Edge Hashtbl Hyperenclave Kernel List Option Platform Printf Sgx_types Sha256 String Tenv Urts

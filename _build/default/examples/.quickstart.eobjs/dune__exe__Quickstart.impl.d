@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cycles Edge Enclave Hyperenclave List Monitor Platform Printf Sgx_types Sha256 Tenv Urts

@@ -1,0 +1,80 @@
+(* P-Enclave in action: a write-barrier garbage collector that manages
+   page permissions and handles its own page faults entirely inside the
+   enclave (Sec. 4.3), compared against a GU-Enclave doing the same work
+   through RustMonitor hypercalls.
+
+   This is the paper's Table 2 #PF scenario, packaged as the use case that
+   motivates it: a card-marking GC revokes write access to old-generation
+   pages and lets the fault handler record which pages got dirtied.
+
+   Run with: dune exec examples/gc_in_enclave.exe *)
+
+open Hyperenclave
+
+let pages = 16
+
+let gc_workload mode =
+  let dirtied = ref [] in
+  let cycles = ref 0 in
+  let handler (tenv : Tenv.t) _input =
+    let heap = tenv.Tenv.malloc (pages * 4096) in
+    (* Commit the old generation. *)
+    for i = 0 to pages - 1 do
+      tenv.Tenv.write ~va:(heap + (i * 4096)) (Bytes.of_string "obj")
+    done;
+    (* The write barrier: on #PF, log the page and re-open it. *)
+    tenv.Tenv.register_exception_handler ~vector:"#PF" (fun vector ->
+        match vector with
+        | Sgx_types.Pf { va; write = true } ->
+            dirtied := (va / 4096) :: !dirtied;
+            tenv.Tenv.set_page_perms ~vpn:(va / 4096) ~perms:Page_table.rw
+              ~grant:true;
+            true
+        | _ -> false);
+    (* GC cycle: protect the old generation... *)
+    for i = 0 to pages - 1 do
+      tenv.Tenv.set_page_perms ~vpn:((heap / 4096) + i) ~perms:Page_table.ro
+        ~grant:false
+    done;
+    (* ...then the mutator writes into a few pages; each first write
+       faults, is logged, and proceeds. *)
+    let _, c =
+      Cycles.time tenv.Tenv.clock (fun () ->
+          List.iter
+            (fun i ->
+              tenv.Tenv.write ~va:(heap + (i * 4096) + 128)
+                (Bytes.of_string "mutated"))
+            [ 2; 5; 5; 11 ] (* page 5 written twice: one fault only *))
+    in
+    cycles := c;
+    Bytes.empty
+  in
+  let p = Platform.create ~seed:31L () in
+  let enclave =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config mode)
+      ~ecalls:[ (1, handler) ]
+      ~ocalls:[]
+  in
+  ignore (Urts.ecall enclave ~id:1 ~direction:Edge.In ());
+  let stats = Urts.stats enclave in
+  Urts.destroy enclave;
+  (List.sort_uniq compare !dirtied, !cycles, stats)
+
+let () =
+  List.iter
+    (fun mode ->
+      let dirtied, cycles, stats = gc_workload mode in
+      Printf.printf
+        "%-11s: %d dirty pages found, mutator phase %6d cycles, %d faults, \
+         %d handled in-enclave\n"
+        (Sgx_types.mode_name mode)
+        (List.length dirtied) cycles stats.Enclave.page_faults
+        stats.Enclave.in_enclave_exceptions)
+    [ Sgx_types.GU; Sgx_types.P ];
+  print_endline
+    "P-Enclave handles the faults on its own IDT and rewrites its own\n\
+     level-1 page table: no world switch, which is why its mutator phase\n\
+     is ~2x faster (Table 2's #PF row).";
+  print_endline "gc_in_enclave done."

@@ -1,0 +1,1 @@
+lib/attestation/verifier.ml: Bytes Format Hyperenclave_crypto Hyperenclave_monitor Hyperenclave_tpm List Monitor Sgx_types Sha256 Signature

@@ -1,0 +1,1 @@
+lib/attestation/verifier.mli: Format Hyperenclave_crypto Hyperenclave_monitor Monitor Sgx_types

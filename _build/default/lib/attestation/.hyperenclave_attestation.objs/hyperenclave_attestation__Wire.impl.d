@@ -1,0 +1,1 @@
+lib/attestation/wire.ml: Buffer Bytes Hyperenclave_monitor Hyperenclave_tpm Int32 List Monitor Result Sgx_types String

@@ -1,0 +1,1 @@
+lib/attestation/wire.mli: Hyperenclave_monitor Monitor

@@ -1,0 +1,106 @@
+open Hyperenclave_crypto
+open Hyperenclave_monitor
+module Tpm = Hyperenclave_tpm.Tpm
+module Pcr = Hyperenclave_tpm.Pcr
+
+type golden = {
+  ek_public : Signature.public_key;
+  boot_measurements : (string * bytes) list;
+}
+
+type policy = {
+  expected_mrenclave : bytes option;
+  expected_mrsigner : bytes option;
+  allow_debug : bool;
+}
+
+type failure =
+  | Bad_tpm_signature
+  | Event_log_mismatch
+  | Boot_component_mismatch of string
+  | Hapk_not_measured
+  | Bad_ems
+  | Policy_violation of string
+  | Stale_nonce
+
+type result = Ok of Sgx_types.report | Error of failure
+
+let pp_failure fmt = function
+  | Bad_tpm_signature -> Format.pp_print_string fmt "bad TPM signature chain"
+  | Event_log_mismatch -> Format.pp_print_string fmt "event log does not replay to quoted PCRs"
+  | Boot_component_mismatch c -> Format.fprintf fmt "boot component %s does not match golden measurement" c
+  | Hapk_not_measured -> Format.pp_print_string fmt "hapk not bound to the measured log"
+  | Bad_ems -> Format.pp_print_string fmt "enclave measurement signature invalid"
+  | Policy_violation m -> Format.fprintf fmt "enclave policy violation: %s" m
+  | Stale_nonce -> Format.pp_print_string fmt "nonce mismatch"
+
+let golden_of_boot_log ~ek_public events =
+  {
+    ek_public;
+    boot_measurements =
+      List.filter_map
+        (fun (e : Monitor.boot_event) ->
+          if e.label = "hapk" then None else Some (e.label, e.measurement))
+        events;
+  }
+
+(* Replay the event log into a scratch PCR bank and compute the digest the
+   TPM would have quoted over the standard selection. *)
+let replay_digest (events : Monitor.boot_event list) =
+  let bank = Pcr.create () in
+  List.iter (fun (e : Monitor.boot_event) -> Pcr.extend bank ~index:e.pcr_index e.measurement) events;
+  Pcr.selection_digest bank ~indices:Monitor.quote_pcr_selection
+
+let check_boot_components ~golden (events : Monitor.boot_event list) =
+  let rec go = function
+    | [] -> None
+    | (e : Monitor.boot_event) :: rest ->
+        if e.label = "hapk" then go rest
+        else (
+          match List.assoc_opt e.label golden.boot_measurements with
+          | Some expected when Sha256.equal expected e.measurement -> go rest
+          | Some _ | None -> Some e.label)
+  in
+  go events
+
+let hapk_bound (q : Monitor.quote) =
+  List.exists
+    (fun (e : Monitor.boot_event) ->
+      e.label = "hapk" && Sha256.equal e.measurement (Sha256.digest_bytes q.hapk))
+    q.events
+
+let check_policy ~policy (report : Sgx_types.report) =
+  if report.attributes.Sgx_types.debug && not policy.allow_debug then
+    Some "debug enclave not allowed"
+  else
+    match policy.expected_mrenclave with
+    | Some expected when not (Sha256.equal expected report.mrenclave) ->
+        Some "MRENCLAVE mismatch"
+    | Some _ | None -> (
+        match policy.expected_mrsigner with
+        | Some expected when not (Sha256.equal expected report.mrsigner) ->
+            Some "MRSIGNER mismatch"
+        | Some _ | None -> None)
+
+let verify ~golden ~policy ~nonce (q : Monitor.quote) =
+  if not (Tpm.verify_quote q.tpm_quote ~expected_ek:golden.ek_public) then
+    Error Bad_tpm_signature
+  else if not (Sha256.equal q.tpm_quote.Tpm.nonce nonce) then Error Stale_nonce
+  else if not (Sha256.equal (replay_digest q.events) q.tpm_quote.Tpm.pcr_digest)
+  then Error Event_log_mismatch
+  else
+    match check_boot_components ~golden q.events with
+    | Some component -> Error (Boot_component_mismatch component)
+    | None ->
+        if not (hapk_bound q) then Error Hapk_not_measured
+        else begin
+          let body =
+            Bytes.cat (Bytes.of_string "ems:")
+              (Sgx_types.report_body { q.report with Sgx_types.mac = Bytes.empty })
+          in
+          if not (Signature.verify q.hapk body ~signature:q.ems) then Error Bad_ems
+          else
+            match check_policy ~policy q.report with
+            | Some reason -> Error (Policy_violation reason)
+            | None -> Ok q.report
+        end

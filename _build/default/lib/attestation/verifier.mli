@@ -1,0 +1,54 @@
+(** Remote-attestation verifier (Sec. 3.3, Fig. 4).
+
+    The relying party holds: the manufacturer-published TPM EK public key,
+    a golden list of boot-component measurements (CRTM, BIOS, grub,
+    kernel, initramfs, hypervisor), and an enclave policy (expected
+    MRENCLAVE and/or MRSIGNER).  Given a HyperEnclave quote it checks, in
+    order:
+
+    + the TPM quote's signature chain (AIK certified by the pinned EK);
+    + that replaying the quote's event log reproduces the quoted PCR
+      digest (so the log is the one the TPM vouches for);
+    + that every boot event matches the golden measurement — any tampered
+      boot component fails here;
+    + that the hapk in the quote is the one measured into its PCR — the
+      link that lets the monitor's key speak for this platform;
+    + the enclave measurement signature (ems) under hapk;
+    + the enclave policy and the freshness nonce.  *)
+
+open Hyperenclave_monitor
+
+type golden = {
+  ek_public : Hyperenclave_crypto.Signature.public_key;
+  boot_measurements : (string * bytes) list;
+      (** component label -> expected SHA-256 (hapk excluded; it is checked
+          structurally) *)
+}
+
+type policy = {
+  expected_mrenclave : bytes option;
+  expected_mrsigner : bytes option;
+  allow_debug : bool;
+}
+
+type failure =
+  | Bad_tpm_signature
+  | Event_log_mismatch  (** replayed PCRs don't match the quoted digest *)
+  | Boot_component_mismatch of string
+  | Hapk_not_measured
+  | Bad_ems
+  | Policy_violation of string
+  | Stale_nonce
+
+type result = Ok of Sgx_types.report | Error of failure
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val golden_of_boot_log :
+  ek_public:Hyperenclave_crypto.Signature.public_key ->
+  Monitor.boot_event list ->
+  golden
+(** Build the golden reference from a trusted build's event log — what a
+    deployer records at provisioning time. *)
+
+val verify : golden:golden -> policy:policy -> nonce:bytes -> Monitor.quote -> result

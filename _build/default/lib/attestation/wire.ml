@@ -1,0 +1,183 @@
+open Hyperenclave_monitor
+module Tpm = Hyperenclave_tpm.Tpm
+
+(* Length-framed fields: u32 big-endian length + payload.  Composite
+   fields nest the same scheme. *)
+
+let add_framed buf data =
+  let len = Bytes.create 4 in
+  Bytes.set_int32_be len 0 (Int32.of_int (Bytes.length data));
+  Buffer.add_bytes buf len;
+  Buffer.add_bytes buf data
+
+let add_string buf s = add_framed buf (Bytes.of_string s)
+let add_int buf n = add_string buf (string_of_int n)
+let add_bool buf b = add_string buf (if b then "1" else "0")
+
+let encode_report (r : Sgx_types.report) =
+  let buf = Buffer.create 256 in
+  add_framed buf r.mrenclave;
+  add_framed buf r.mrsigner;
+  add_bool buf r.attributes.Sgx_types.debug;
+  add_string buf (Sgx_types.mode_name r.attributes.Sgx_types.mode);
+  add_int buf r.attributes.Sgx_types.xfrm;
+  add_int buf r.isv_prod_id;
+  add_int buf r.isv_svn;
+  add_framed buf r.report_data;
+  add_framed buf r.key_id;
+  add_framed buf r.mac;
+  Buffer.to_bytes buf
+
+let encode_tpm_quote (q : Tpm.quote) =
+  let buf = Buffer.create 256 in
+  add_framed buf q.Tpm.pcr_digest;
+  add_string buf (String.concat "," (List.map string_of_int q.Tpm.pcr_selection));
+  add_framed buf q.Tpm.nonce;
+  add_framed buf q.Tpm.signature;
+  add_framed buf q.Tpm.aik_public;
+  add_framed buf q.Tpm.aik_certificate;
+  add_framed buf q.Tpm.ek_public;
+  Buffer.to_bytes buf
+
+let encode_event (e : Monitor.boot_event) =
+  let buf = Buffer.create 64 in
+  add_int buf e.Monitor.pcr_index;
+  add_string buf e.Monitor.label;
+  add_framed buf e.Monitor.measurement;
+  Buffer.to_bytes buf
+
+let encode (q : Monitor.quote) =
+  let buf = Buffer.create 1024 in
+  add_string buf "HEQ1" (* magic + version *);
+  add_framed buf (encode_report q.Monitor.report);
+  add_framed buf q.Monitor.ems;
+  add_framed buf q.Monitor.hapk;
+  add_framed buf (encode_tpm_quote q.Monitor.tpm_quote);
+  add_int buf (List.length q.Monitor.events);
+  List.iter (fun e -> add_framed buf (encode_event e)) q.Monitor.events;
+  Buffer.to_bytes buf
+
+(* --- decoding ------------------------------------------------------------------ *)
+
+type cursor = { raw : bytes; mutable pos : int }
+
+exception Malformed of string
+
+let take cursor =
+  if cursor.pos + 4 > Bytes.length cursor.raw then raise (Malformed "truncated length");
+  let len = Int32.to_int (Bytes.get_int32_be cursor.raw cursor.pos) in
+  cursor.pos <- cursor.pos + 4;
+  if len < 0 || cursor.pos + len > Bytes.length cursor.raw then
+    raise (Malformed "truncated payload");
+  let payload = Bytes.sub cursor.raw cursor.pos len in
+  cursor.pos <- cursor.pos + len;
+  payload
+
+let take_string cursor = Bytes.to_string (take cursor)
+
+let take_int cursor =
+  match int_of_string_opt (take_string cursor) with
+  | Some n -> n
+  | None -> raise (Malformed "bad integer")
+
+let take_bool cursor =
+  match take_string cursor with
+  | "1" -> true
+  | "0" -> false
+  | _ -> raise (Malformed "bad boolean")
+
+let take_mode cursor =
+  let name = take_string cursor in
+  match
+    List.find_opt (fun m -> Sgx_types.mode_name m = name) Sgx_types.all_modes
+  with
+  | Some mode -> mode
+  | None -> raise (Malformed ("unknown mode " ^ name))
+
+let finished cursor name =
+  if cursor.pos <> Bytes.length cursor.raw then
+    raise (Malformed ("trailing bytes in " ^ name))
+
+let decode_report raw =
+  let c = { raw; pos = 0 } in
+  let mrenclave = take c in
+  let mrsigner = take c in
+  let debug = take_bool c in
+  let mode = take_mode c in
+  let xfrm = take_int c in
+  let isv_prod_id = take_int c in
+  let isv_svn = take_int c in
+  let report_data = take c in
+  let key_id = take c in
+  let mac = take c in
+  finished c "report";
+  {
+    Sgx_types.mrenclave;
+    mrsigner;
+    attributes = { Sgx_types.debug; mode; xfrm };
+    isv_prod_id;
+    isv_svn;
+    report_data;
+    key_id;
+    mac;
+  }
+
+let decode_tpm_quote raw =
+  let c = { raw; pos = 0 } in
+  let pcr_digest = take c in
+  let selection = take_string c in
+  let pcr_selection =
+    if selection = "" then []
+    else
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> raise (Malformed "bad PCR index"))
+        (String.split_on_char ',' selection)
+  in
+  let nonce = take c in
+  let signature = take c in
+  let aik_public = take c in
+  let aik_certificate = take c in
+  let ek_public = take c in
+  finished c "tpm quote";
+  {
+    Tpm.pcr_digest;
+    pcr_selection;
+    nonce;
+    signature;
+    aik_public;
+    aik_certificate;
+    ek_public;
+  }
+
+let decode_event raw =
+  let c = { raw; pos = 0 } in
+  let pcr_index = take_int c in
+  let label = take_string c in
+  let measurement = take c in
+  finished c "event";
+  { Monitor.pcr_index; label; measurement }
+
+let decode raw =
+  try
+    let c = { raw; pos = 0 } in
+    (match take_string c with
+    | "HEQ1" -> ()
+    | other -> raise (Malformed ("bad magic " ^ other)));
+    let report = decode_report (take c) in
+    let ems = take c in
+    let hapk = take c in
+    let tpm_quote = decode_tpm_quote (take c) in
+    let n_events = take_int c in
+    if n_events < 0 || n_events > 1024 then raise (Malformed "unreasonable event count");
+    (* explicit loop: the cursor side effect must run strictly in order *)
+    let events = ref [] in
+    for _ = 1 to n_events do
+      events := decode_event (take c) :: !events
+    done;
+    let events = List.rev !events in
+    finished c "quote";
+    Result.Ok { Monitor.report; ems; hapk; tpm_quote; events }
+  with Malformed m -> Result.Error m

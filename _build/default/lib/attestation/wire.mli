@@ -1,0 +1,17 @@
+(** Wire format for HyperEnclave quotes (Fig. 4).
+
+    The evaluation's attestation flow ships the quote to a remote
+    verifier; this module gives the structure of Fig. 4 a concrete,
+    length-framed binary encoding (an extension of [sgx_quote_t], as
+    Sec. 5.3 describes) so the verifier side can run on untrusted bytes.
+    Decoding performs structural validation only — cryptographic checks
+    stay in {!Verifier}. *)
+
+open Hyperenclave_monitor
+
+val encode : Monitor.quote -> bytes
+
+val decode : bytes -> (Monitor.quote, string) result
+(** Structural parse: every field length-checked, trailing bytes
+    rejected.  A decoded quote is untrusted data until {!Verifier.verify}
+    passes. *)

@@ -1,0 +1,1 @@
+lib/crypto/authenc.ml: Aes Buffer Bytes Hmac Int32 Sha256

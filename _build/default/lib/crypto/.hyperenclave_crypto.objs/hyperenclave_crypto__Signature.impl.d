@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Bytes Hashtbl Hmac Hyperenclave_hw Sha256

@@ -1,0 +1,241 @@
+(* AES-128, byte-oriented reference implementation (FIPS 197). *)
+
+let sbox =
+  [|
+    0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+    0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+    0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+    0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+    0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+    0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+    0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+    0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+    0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+    0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+    0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+    0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+    0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+    0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+    0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+    0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+    0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+    0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+    0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+    0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+    0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+    0xb0; 0x54; 0xbb; 0x16;
+  |]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then (b lxor 0x1b) land 0xff else b
+
+let mul a b =
+  (* GF(2^8) multiply by repeated xtime. *)
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+type key = int array array (* 11 round keys of 16 bytes *)
+
+let expand_key raw =
+  if Bytes.length raw <> 16 then invalid_arg "Aes.expand_key: need 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code (Bytes.get raw (4 * i)) lsl 24)
+      lor (Char.code (Bytes.get raw ((4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get raw ((4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get raw ((4 * i) + 3))
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let temp = ref w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      let rotated = ((!temp lsl 8) lor (!temp lsr 24)) land 0xffffffff in
+      let subbed =
+        (sbox.((rotated lsr 24) land 0xff) lsl 24)
+        lor (sbox.((rotated lsr 16) land 0xff) lsl 16)
+        lor (sbox.((rotated lsr 8) land 0xff) lsl 8)
+        lor sbox.(rotated land 0xff)
+      in
+      temp := subbed lxor (!rcon lsl 24);
+      rcon := xtime !rcon
+    end;
+    w.(i) <- w.(i - 4) lxor !temp
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun b ->
+          let word = w.((4 * r) + (b / 4)) in
+          (word lsr (8 * (3 - (b mod 4)))) land 0xff))
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state table =
+  for i = 0 to 15 do
+    state.(i) <- table.(state.(i))
+  done
+
+(* State layout: state.(4*c + r) is row r, column c (column-major bytes,
+   matching the order bytes enter the cipher). *)
+let shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- copy.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * ((c + r) mod 4)) + r) <- copy.((4 * c) + r)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c)
+    and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2)
+    and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- mul a0 2 lxor mul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor mul a1 2 lxor mul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor mul a2 2 lxor mul a3 3;
+    state.((4 * c) + 3) <- mul a0 3 lxor a1 lxor a2 lxor mul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c)
+    and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2)
+    and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- mul a0 14 lxor mul a1 11 lxor mul a2 13 lxor mul a3 9;
+    state.((4 * c) + 1) <- mul a0 9 lxor mul a1 14 lxor mul a2 11 lxor mul a3 13;
+    state.((4 * c) + 2) <- mul a0 13 lxor mul a1 9 lxor mul a2 14 lxor mul a3 11;
+    state.((4 * c) + 3) <- mul a0 11 lxor mul a1 13 lxor mul a2 9 lxor mul a3 14
+  done
+
+let state_of_bytes b off = Array.init 16 (fun i -> Char.code (Bytes.get b (off + i)))
+
+let bytes_of_state state =
+  let out = Bytes.create 16 in
+  Array.iteri (fun i v -> Bytes.set out i (Char.chr v)) state;
+  out
+
+let encrypt_state key state =
+  add_round_key state key.(0);
+  for round = 1 to 9 do
+    sub_bytes state sbox;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.(round)
+  done;
+  sub_bytes state sbox;
+  shift_rows state;
+  add_round_key state key.(10)
+
+let decrypt_state key state =
+  add_round_key state key.(10);
+  inv_shift_rows state;
+  sub_bytes state inv_sbox;
+  for round = 9 downto 1 do
+    add_round_key state key.(round);
+    inv_mix_columns state;
+    inv_shift_rows state;
+    sub_bytes state inv_sbox
+  done;
+  add_round_key state key.(0)
+
+let encrypt_block key block =
+  if Bytes.length block <> 16 then invalid_arg "Aes.encrypt_block";
+  let state = state_of_bytes block 0 in
+  encrypt_state key state;
+  bytes_of_state state
+
+let decrypt_block key block =
+  if Bytes.length block <> 16 then invalid_arg "Aes.decrypt_block";
+  let state = state_of_bytes block 0 in
+  decrypt_state key state;
+  bytes_of_state state
+
+let ctr_transform ~key ~nonce data =
+  if Bytes.length nonce > 12 then invalid_arg "Aes.ctr_transform: nonce > 12";
+  let key = expand_key key in
+  let len = Bytes.length data in
+  let out = Bytes.create len in
+  let counter_block = Bytes.make 16 '\000' in
+  Bytes.blit nonce 0 counter_block 0 (Bytes.length nonce);
+  let nblocks = (len + 15) / 16 in
+  for blk = 0 to nblocks - 1 do
+    Bytes.set_int32_be counter_block 12 (Int32.of_int blk);
+    let keystream = encrypt_block key counter_block in
+    let base = blk * 16 in
+    let chunk = min 16 (len - base) in
+    for i = 0 to chunk - 1 do
+      Bytes.set out (base + i)
+        (Char.chr
+           (Char.code (Bytes.get data (base + i))
+           lxor Char.code (Bytes.get keystream i)))
+    done
+  done;
+  out
+
+(* XTS-style: tweak = E(addr-block) XORed around the block cipher, with a
+   GF doubling between consecutive blocks. *)
+let tweak_block key tweak =
+  let t = Bytes.make 16 '\000' in
+  Bytes.set_int64_le t 0 (Int64.of_int tweak);
+  encrypt_block key t
+
+let gf_double block =
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 0 to 15 do
+    let v = (Char.code (Bytes.get block i) lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xff));
+    carry := v lsr 8
+  done;
+  if !carry <> 0 then
+    Bytes.set out 0 (Char.chr (Char.code (Bytes.get out 0) lxor 0x87));
+  out
+
+let xor16 a b =
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.set out i
+      (Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+  done;
+  out
+
+let xts_run ~key ~tweak ~decrypt data =
+  if Bytes.length data mod 16 <> 0 then invalid_arg "Aes.xts: length % 16 <> 0";
+  let key = expand_key key in
+  let out = Bytes.create (Bytes.length data) in
+  let t = ref (tweak_block key tweak) in
+  for blk = 0 to (Bytes.length data / 16) - 1 do
+    let input = Bytes.sub data (blk * 16) 16 in
+    let masked = xor16 input !t in
+    let transformed = if decrypt then decrypt_block key masked else encrypt_block key masked in
+    Bytes.blit (xor16 transformed !t) 0 out (blk * 16) 16;
+    t := gf_double !t
+  done;
+  out
+
+let xts_encrypt ~key ~tweak data = xts_run ~key ~tweak ~decrypt:false data
+let xts_decrypt ~key ~tweak data = xts_run ~key ~tweak ~decrypt:true data

@@ -1,0 +1,26 @@
+(** AES-128 block cipher (FIPS 197) with CTR and XTS-style modes.
+
+    CTR backs the sealing/confidentiality paths; the XTS mode mirrors what
+    AMD SME applies at the memory controller (tweaked per-block encryption
+    keyed by the physical address), used by the memory-encryption model's
+    functional tests. *)
+
+type key
+
+val expand_key : bytes -> key
+(** [expand_key k] expands a 16-byte key. @raise Invalid_argument. *)
+
+val encrypt_block : key -> bytes -> bytes
+(** One 16-byte block. *)
+
+val decrypt_block : key -> bytes -> bytes
+
+val ctr_transform : key:bytes -> nonce:bytes -> bytes -> bytes
+(** CTR keystream XOR: encryption and decryption are the same operation.
+    [nonce] is up to 12 bytes. *)
+
+val xts_encrypt : key:bytes -> tweak:int -> bytes -> bytes
+(** Encrypt a buffer whose length is a multiple of 16, tweaked by the
+    (physical-address-derived) integer tweak. *)
+
+val xts_decrypt : key:bytes -> tweak:int -> bytes -> bytes

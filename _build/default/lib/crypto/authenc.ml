@@ -1,0 +1,71 @@
+type sealed = { nonce : bytes; ciphertext : bytes; tag : bytes; aad : bytes }
+
+exception Authentication_failure
+
+let split_key key =
+  if Bytes.length key <> 32 then invalid_arg "Authenc: key must be 32 bytes";
+  let enc_key = Hmac.derive ~key ~info:"authenc-enc" in
+  let mac_key = Hmac.derive ~key ~info:"authenc-mac" in
+  (Bytes.sub enc_key 0 16, mac_key)
+
+let mac_input ~nonce ~aad ~ciphertext =
+  let buf = Buffer.create (Bytes.length ciphertext + 64) in
+  let add_framed b =
+    let len = Bytes.create 4 in
+    Bytes.set_int32_be len 0 (Int32.of_int (Bytes.length b));
+    Buffer.add_bytes buf len;
+    Buffer.add_bytes buf b
+  in
+  add_framed nonce;
+  add_framed aad;
+  add_framed ciphertext;
+  Buffer.to_bytes buf
+
+let seal ~key ?(aad = Bytes.empty) ~nonce plaintext =
+  if Bytes.length nonce <> 12 then invalid_arg "Authenc.seal: nonce must be 12 bytes";
+  let enc_key, mac_key = split_key key in
+  let ciphertext = Aes.ctr_transform ~key:enc_key ~nonce plaintext in
+  let tag = Hmac.hmac ~key:mac_key (mac_input ~nonce ~aad ~ciphertext) in
+  { nonce; ciphertext; tag; aad }
+
+let unseal ~key sealed =
+  let enc_key, mac_key = split_key key in
+  let expected =
+    Hmac.hmac ~key:mac_key
+      (mac_input ~nonce:sealed.nonce ~aad:sealed.aad ~ciphertext:sealed.ciphertext)
+  in
+  if not (Sha256.equal expected sealed.tag) then raise Authentication_failure;
+  Aes.ctr_transform ~key:enc_key ~nonce:sealed.nonce sealed.ciphertext
+
+let encode sealed =
+  let buf = Buffer.create (Bytes.length sealed.ciphertext + 64) in
+  let add_framed b =
+    let len = Bytes.create 4 in
+    Bytes.set_int32_be len 0 (Int32.of_int (Bytes.length b));
+    Buffer.add_bytes buf len;
+    Buffer.add_bytes buf b
+  in
+  add_framed sealed.nonce;
+  add_framed sealed.aad;
+  add_framed sealed.ciphertext;
+  add_framed sealed.tag;
+  Buffer.to_bytes buf
+
+let decode raw =
+  let pos = ref 0 in
+  let take_framed () =
+    if !pos + 4 > Bytes.length raw then invalid_arg "Authenc.decode: truncated";
+    let len = Int32.to_int (Bytes.get_int32_be raw !pos) in
+    pos := !pos + 4;
+    if len < 0 || !pos + len > Bytes.length raw then
+      invalid_arg "Authenc.decode: truncated";
+    let b = Bytes.sub raw !pos len in
+    pos := !pos + len;
+    b
+  in
+  let nonce = take_framed () in
+  let aad = take_framed () in
+  let ciphertext = take_framed () in
+  let tag = take_framed () in
+  if !pos <> Bytes.length raw then invalid_arg "Authenc.decode: trailing bytes";
+  { nonce; ciphertext; tag; aad }

@@ -1,0 +1,27 @@
+(** Authenticated encryption: AES-128-CTR with an encrypt-then-MAC
+    HMAC-SHA256 tag.
+
+    Backs TPM sealing and the SDK's [sgx_seal_data] equivalent.  The key is
+    any 32-byte secret; the first 16 bytes key the cipher, the last 16 key
+    the MAC (after domain separation). *)
+
+type sealed = {
+  nonce : bytes;  (** 12 bytes *)
+  ciphertext : bytes;
+  tag : bytes;  (** 32 bytes *)
+  aad : bytes;  (** additional authenticated data, bound but not hidden *)
+}
+
+exception Authentication_failure
+
+val seal : key:bytes -> ?aad:bytes -> nonce:bytes -> bytes -> sealed
+(** @raise Invalid_argument if [key] is not 32 bytes or nonce not 12. *)
+
+val unseal : key:bytes -> sealed -> bytes
+(** @raise Authentication_failure if the tag, AAD, or key is wrong. *)
+
+val encode : sealed -> bytes
+(** Length-prefixed wire form (for writing sealed blobs to "disk"). *)
+
+val decode : bytes -> sealed
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,51 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest_bytes key else key in
+  let out = Bytes.make block_size '\000' in
+  Bytes.blit key 0 out 0 (Bytes.length key);
+  out
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  out
+
+let hmac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad key 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad key 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let hmac_string ~key msg = hmac ~key (Bytes.of_string msg)
+let verify ~key msg ~tag = Sha256.equal (hmac ~key msg) tag
+
+let hkdf_extract ?salt ~ikm () =
+  let salt = match salt with Some s -> s | None -> Bytes.make 32 '\000' in
+  hmac ~key:salt ikm
+
+let hkdf_expand ~prk ~info ~len =
+  if len > 255 * 32 then invalid_arg "Hmac.hkdf_expand: len too large";
+  let out = Buffer.create len in
+  let prev = ref Bytes.empty in
+  let counter = ref 1 in
+  while Buffer.length out < len do
+    let block = Buffer.create (Bytes.length !prev + String.length info + 1) in
+    Buffer.add_bytes block !prev;
+    Buffer.add_string block info;
+    Buffer.add_char block (Char.chr !counter);
+    prev := hmac ~key:prk (Buffer.to_bytes block);
+    Buffer.add_bytes out !prev;
+    incr counter
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive ~key ~info =
+  hkdf_expand ~prk:(hkdf_extract ~ikm:key ()) ~info ~len:32

@@ -1,0 +1,18 @@
+(** HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+
+    The key-derivation chain of Sec. 3.3 ("all other key materials,
+    including the enclave's sealing key and report key, are derived from
+    K_root and the enclave's measurement") is built on these. *)
+
+val hmac : key:bytes -> bytes -> bytes
+(** HMAC-SHA256; 32-byte tag. *)
+
+val hmac_string : key:bytes -> string -> bytes
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+
+val hkdf_extract : ?salt:bytes -> ikm:bytes -> unit -> bytes
+val hkdf_expand : prk:bytes -> info:string -> len:int -> bytes
+
+val derive : key:bytes -> info:string -> bytes
+(** [derive ~key ~info] is a 32-byte subkey: extract-then-expand with
+    [info] as the context label. *)

@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for all measurements in the system: TPM PCR extends, the enclave
+    measurement computed page-by-page at EADD/EINIT, and MAC/KDF
+    construction.  Digests are 32 raw bytes; [to_hex] renders them. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> bytes -> unit
+val update_string : ctx -> string -> unit
+val finalize : ctx -> bytes
+(** Finalizing consumes the context; further [update]s raise
+    [Invalid_argument]. *)
+
+val digest_bytes : bytes -> bytes
+val digest_string : string -> bytes
+
+val digest_size : int
+(** 32. *)
+
+val to_hex : bytes -> string
+val equal : bytes -> bytes -> bool
+(** Constant-time-style comparison (full scan regardless of mismatch). *)

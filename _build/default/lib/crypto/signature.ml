@@ -1,0 +1,37 @@
+type private_key = bytes
+type public_key = bytes
+
+(* pk -> sk.  Verification-side stand-in for the public-key mathematics;
+   see the interface comment. *)
+let registry : (string, bytes) Hashtbl.t = Hashtbl.create 16
+
+let derive_public sk =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "hyperenclave-sim-pk:";
+  Sha256.update ctx sk;
+  Sha256.finalize ctx
+
+let register sk =
+  let pk = derive_public sk in
+  Hashtbl.replace registry (Bytes.to_string pk) sk;
+  pk
+
+let generate rng =
+  let sk = Hyperenclave_hw.Rng.bytes rng 32 in
+  let pk = register sk in
+  (sk, pk)
+
+let public_of_private = derive_public
+let sign sk msg = Hmac.hmac ~key:sk msg
+
+let verify pk msg ~signature =
+  match Hashtbl.find_opt registry (Bytes.to_string pk) with
+  | None -> false
+  | Some sk -> Hmac.verify ~key:sk msg ~tag:signature
+
+let export_private sk = Bytes.copy sk
+
+let import_private raw =
+  let sk = Bytes.copy raw in
+  ignore (register sk);
+  sk

@@ -1,0 +1,38 @@
+(** Simulated asymmetric signatures.
+
+    The real system signs with TPM AIK (RSA/ECDSA) and a monitor-held
+    attestation key.  Implementing production public-key crypto is outside
+    the scope of this reproduction (documented substitution, DESIGN.md
+    Sec. 2); what the attestation chain needs is the {e logic}: only the
+    holder of a private key can produce a signature that verifies under the
+    matching public key, and verification fails for any other message or
+    key.
+
+    The simulation: a keypair is [(sk, pk)] with [pk = H("pk" || sk)];
+    signing is HMAC under [sk]; verification consults a process-global
+    registry mapping [pk -> sk].  Code holding only [pk] cannot forge
+    (it would need [sk] to compute the MAC); the registry stands in for
+    the mathematics that links the halves. *)
+
+type private_key
+type public_key = bytes
+(** 32 bytes, stable across runs for a fixed generation seed. *)
+
+val generate : Hyperenclave_hw.Rng.t -> private_key * public_key
+(** Fresh keypair, registered for verification. *)
+
+val public_of_private : private_key -> public_key
+
+val sign : private_key -> bytes -> bytes
+(** 32-byte signature. *)
+
+val verify : public_key -> bytes -> signature:bytes -> bool
+(** [verify pk msg ~signature] — true iff [signature] was produced by the
+    private half of [pk] over exactly [msg]. *)
+
+val export_private : private_key -> bytes
+(** Raw private key material — used by the monitor when deriving its
+    attestation key deterministically from [K_root]. *)
+
+val import_private : bytes -> private_key
+(** Re-admit key material (re-registers the pair). *)

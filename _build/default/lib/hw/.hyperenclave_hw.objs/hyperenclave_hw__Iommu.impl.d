@@ -1,0 +1,1 @@
+lib/hw/iommu.ml: Addr Bytes Hashtbl Phys_mem

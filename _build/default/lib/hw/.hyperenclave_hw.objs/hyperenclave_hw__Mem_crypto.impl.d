@@ -1,0 +1,1 @@
+lib/hw/mem_crypto.ml: Cost_model

@@ -1,0 +1,1 @@
+lib/hw/mem_crypto.mli: Cost_model

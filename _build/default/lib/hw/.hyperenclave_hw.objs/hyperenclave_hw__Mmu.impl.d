@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Cost_model Cycles Format Hashtbl Page_table Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Cost_model Cycles Format Page_table Rng Tlb

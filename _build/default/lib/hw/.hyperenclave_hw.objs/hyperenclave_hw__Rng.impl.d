@@ -1,0 +1,1 @@
+lib/hw/rng.ml: Array Bytes Char Int64

@@ -1,0 +1,14 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_of addr = addr lsr page_shift
+let base_of_page pn = pn lsl page_shift
+let offset addr = addr land (page_size - 1)
+let align_down addr = addr land lnot (page_size - 1)
+let align_up addr = align_down (addr + page_size - 1)
+let is_aligned addr = offset addr = 0
+
+let pages_spanned ~addr ~len =
+  if len <= 0 then 0 else page_of (addr + len - 1) - page_of addr + 1
+
+let pp fmt addr = Format.fprintf fmt "0x%x" addr
+let index ~level va = (va lsr (page_shift + (9 * level))) land 0x1ff

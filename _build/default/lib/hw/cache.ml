@@ -1,0 +1,81 @@
+type line = { mutable tag : int; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  data : line array array; (* sets x ways; tag = -1 means invalid *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+type result = Hit | Miss of { evicted_dirty : bool }
+
+let rec pow2_floor n = if n land (n - 1) = 0 then n else pow2_floor (n land (n - 1))
+
+let create ?(line_bytes = 64) ?(ways = 16) ~size_bytes () =
+  let sets = max 1 (pow2_floor (size_bytes / line_bytes / ways)) in
+  let data =
+    Array.init sets (fun _ ->
+        Array.init ways (fun _ -> { tag = -1; dirty = false; lru = 0 }))
+  in
+  { line_bytes; ways; sets; data; tick = 0; accesses = 0; misses = 0 }
+
+let set_and_tag t addr =
+  let line_no = addr / t.line_bytes in
+  (line_no land (t.sets - 1), line_no)
+
+let access t ?(write = false) addr =
+  t.accesses <- t.accesses + 1;
+  t.tick <- t.tick + 1;
+  let set_idx, tag = set_and_tag t addr in
+  let set = t.data.(set_idx) in
+  let rec find i = if i >= t.ways then None else if set.(i).tag = tag then Some set.(i) else find (i + 1) in
+  match find 0 with
+  | Some line ->
+      line.lru <- t.tick;
+      if write then line.dirty <- true;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Victim = invalid way if any, else LRU. *)
+      let victim = ref set.(0) in
+      for i = 1 to t.ways - 1 do
+        if set.(i).tag = -1 then begin
+          if !victim.tag <> -1 then victim := set.(i)
+        end
+        else if !victim.tag <> -1 && set.(i).lru < !victim.lru then
+          victim := set.(i)
+      done;
+      let evicted_dirty = !victim.tag <> -1 && !victim.dirty in
+      !victim.tag <- tag;
+      !victim.dirty <- write;
+      !victim.lru <- t.tick;
+      Miss { evicted_dirty }
+
+let flush_line t addr =
+  let set_idx, tag = set_and_tag t addr in
+  Array.iter
+    (fun line ->
+      if line.tag = tag then begin
+        line.tag <- -1;
+        line.dirty <- false
+      end)
+    t.data.(set_idx)
+
+let flush_all t =
+  Array.iter
+    (Array.iter (fun line ->
+         line.tag <- -1;
+         line.dirty <- false))
+    t.data
+
+let size_bytes t = t.sets * t.ways * t.line_bytes
+let line_bytes t = t.line_bytes
+let accesses t = t.accesses
+let misses t = t.misses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

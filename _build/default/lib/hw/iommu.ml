@@ -1,0 +1,56 @@
+exception Dma_blocked of { device : string; frame : int }
+
+type t = { tables : (string, (int, unit) Hashtbl.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 8 }
+
+let attach t ~device =
+  if not (Hashtbl.mem t.tables device) then
+    Hashtbl.replace t.tables device (Hashtbl.create 64)
+
+let table t device =
+  match Hashtbl.find_opt t.tables device with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let grant t ~device ~first_frame ~nframes =
+  let tbl = table t device in
+  for f = first_frame to first_frame + nframes - 1 do
+    Hashtbl.replace tbl f ()
+  done
+
+let revoke t ~device ~first_frame ~nframes =
+  let tbl = table t device in
+  for f = first_frame to first_frame + nframes - 1 do
+    Hashtbl.remove tbl f
+  done
+
+let revoke_everywhere t ~first_frame ~nframes =
+  Hashtbl.iter
+    (fun _ tbl ->
+      for f = first_frame to first_frame + nframes - 1 do
+        Hashtbl.remove tbl f
+      done)
+    t.tables
+
+let allowed t ~device ~frame =
+  match Hashtbl.find_opt t.tables device with
+  | None -> false
+  | Some tbl -> Hashtbl.mem tbl frame
+
+let check_range t device addr len =
+  let first = Addr.page_of addr in
+  let npages = Addr.pages_spanned ~addr ~len in
+  for f = first to first + npages - 1 do
+    if not (allowed t ~device ~frame:f) then raise (Dma_blocked { device; frame = f })
+  done
+
+let dma_write t ~device mem ~addr data =
+  check_range t device addr (Bytes.length data);
+  Phys_mem.write_bytes mem addr data
+
+let dma_read t ~device mem ~addr ~len =
+  check_range t device addr len;
+  Phys_mem.read_bytes mem addr len
+
+let devices t = Hashtbl.fold (fun d _ acc -> d :: acc) t.tables []

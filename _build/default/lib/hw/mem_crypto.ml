@@ -1,0 +1,21 @@
+type engine = Plain | Sme | Mee of { epc_bytes : int }
+
+let name = function
+  | Plain -> "plain"
+  | Sme -> "sme-xts"
+  | Mee _ -> "mee-merkle"
+
+let miss_cost (m : Cost_model.t) engine ~dirty_evict =
+  let writeback_factor = if dirty_evict then 2 else 1 in
+  match engine with
+  | Plain -> m.cache_miss_dram * writeback_factor
+  | Sme -> (m.cache_miss_dram + m.sme_miss_extra) * writeback_factor
+  | Mee _ ->
+      ((m.cache_miss_dram + m.mee_miss_extra) * writeback_factor)
+      + (m.mee_tree_levels * m.mee_tree_level)
+
+let hit_cost (m : Cost_model.t) _engine = m.cache_hit
+
+let epc_limit = function
+  | Plain | Sme -> None
+  | Mee { epc_bytes } -> Some epc_bytes

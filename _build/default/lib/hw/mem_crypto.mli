@@ -1,0 +1,26 @@
+(** Memory-encryption engine models (Sec. 3.2 "Memory encryption", Fig. 11).
+
+    - {!Plain}: no protection (the baselines).
+    - {!Sme}: AMD Secure Memory Encryption — AES-XTS at the memory
+      controller; a flat extra latency on every DRAM access, no integrity
+      tree, no capacity limit.  This is what HyperEnclave runs with.
+    - {!Mee}: Intel SGX's Memory Encryption Engine — AES-CTR plus a Merkle
+      counter tree for integrity/freshness, so a miss additionally walks
+      several tree levels; protected capacity is bounded by the EPC and
+      overflowing pages are swapped by software (EWB/ELDU), which is what
+      produces the Figure 11 cliff at 93 MB. *)
+
+type engine = Plain | Sme | Mee of { epc_bytes : int }
+
+val name : engine -> string
+
+val miss_cost : Cost_model.t -> engine -> dirty_evict:bool -> int
+(** Cycles added on an LLC miss (DRAM access + engine work).  A dirty
+    eviction pays the write-back encryption too. *)
+
+val hit_cost : Cost_model.t -> engine -> int
+(** Cycles for an LLC hit — identical across engines: data inside the
+    cache hierarchy is already plaintext. *)
+
+val epc_limit : engine -> int option
+(** Protected-capacity bound, if the engine has one. *)

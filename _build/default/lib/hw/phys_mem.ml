@@ -1,0 +1,86 @@
+type t = { size : int; frames : (int, bytes) Hashtbl.t }
+
+let create ~size_bytes =
+  let size = Addr.align_up size_bytes in
+  { size; frames = Hashtbl.create 1024 }
+
+let size_bytes t = t.size
+let frames t = t.size / Addr.page_size
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Phys_mem: access [0x%x, +%d) outside 0x%x" addr len
+         t.size)
+
+let frame_for t fn =
+  match Hashtbl.find_opt t.frames fn with
+  | Some page -> page
+  | None ->
+      let page = Bytes.make Addr.page_size '\000' in
+      Hashtbl.replace t.frames fn page;
+      page
+
+let read_u8 t addr =
+  check t addr 1;
+  match Hashtbl.find_opt t.frames (Addr.page_of addr) with
+  | None -> 0
+  | Some page -> Char.code (Bytes.get page (Addr.offset addr))
+
+let write_u8 t addr v =
+  check t addr 1;
+  let page = frame_for t (Addr.page_of addr) in
+  Bytes.set page (Addr.offset addr) (Char.chr (v land 0xff))
+
+let read_bytes t addr len =
+  check t addr len;
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Addr.offset a in
+    let chunk = min (len - !pos) (Addr.page_size - off) in
+    (match Hashtbl.find_opt t.frames (Addr.page_of a) with
+    | None -> Bytes.fill out !pos chunk '\000'
+    | Some page -> Bytes.blit page off out !pos chunk);
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t addr data =
+  let len = Bytes.length data in
+  check t addr len;
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Addr.offset a in
+    let chunk = min (len - !pos) (Addr.page_size - off) in
+    let page = frame_for t (Addr.page_of a) in
+    Bytes.blit data !pos page off chunk;
+    pos := !pos + chunk
+  done
+
+let read_u64 t addr =
+  let b = read_bytes t addr 8 in
+  Bytes.get_int64_le b 0
+
+let write_u64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_bytes t addr b
+
+let blit t ~src ~dst ~len = write_bytes t dst (read_bytes t src len)
+
+let fill t ~addr ~len c =
+  check t addr len;
+  write_bytes t addr (Bytes.make len c)
+
+let read_page t ~frame = read_bytes t (Addr.base_of_page frame) Addr.page_size
+
+let write_page t ~frame data =
+  if Bytes.length data <> Addr.page_size then
+    invalid_arg "Phys_mem.write_page: not a whole page";
+  write_bytes t (Addr.base_of_page frame) data
+
+let zero_page t ~frame = Hashtbl.remove t.frames frame
+let touched_frames t = Hashtbl.length t.frames

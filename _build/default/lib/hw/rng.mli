@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Used for everything that needs randomness in the simulation — TPM RNG,
+    key generation, workload distributions, cache-jitter — so that every
+    run of the test suite and benchmark harness is reproducible. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] is a fresh generator.  Equal seeds give equal streams. *)
+
+val set_seed : t -> int64 -> unit
+(** Reset the stream; afterwards the generator replays the sequence of a
+    fresh [create ~seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,73 @@
+type entry = { frame : int; perms : Page_table.perms }
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable keys : int array; (* resident vpns, for O(1) random eviction *)
+  mutable nkeys : int;
+  rng : Rng.t;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+let create ?(capacity = 1536) rng =
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    keys = Array.make capacity 0;
+    nkeys = 0;
+    rng;
+    lookups = 0;
+    hits = 0;
+  }
+
+let lookup t ~vpn =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.table vpn with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None -> None
+
+let remove_key t vpn =
+  (* Linear scan is acceptable: invalidate is rare (shootdowns only). *)
+  let rec find i = if i >= t.nkeys then -1 else if t.keys.(i) = vpn then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    t.keys.(i) <- t.keys.(t.nkeys - 1);
+    t.nkeys <- t.nkeys - 1
+  end
+
+let evict_random t =
+  let i = Rng.int t.rng t.nkeys in
+  let vpn = t.keys.(i) in
+  Hashtbl.remove t.table vpn;
+  t.keys.(i) <- t.keys.(t.nkeys - 1);
+  t.nkeys <- t.nkeys - 1
+
+let insert t ~vpn e =
+  (match Hashtbl.find_opt t.table vpn with
+  | Some _ -> Hashtbl.replace t.table vpn e
+  | None ->
+      if t.nkeys >= t.capacity then evict_random t;
+      Hashtbl.replace t.table vpn e;
+      t.keys.(t.nkeys) <- vpn;
+      t.nkeys <- t.nkeys + 1)
+
+let invalidate t ~vpn =
+  if Hashtbl.mem t.table vpn then begin
+    Hashtbl.remove t.table vpn;
+    remove_key t vpn
+  end
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.nkeys <- 0
+
+let entries t = t.nkeys
+let lookups t = t.lookups
+let hits t = t.hits
+
+let reset_stats t =
+  t.lookups <- 0;
+  t.hits <- 0

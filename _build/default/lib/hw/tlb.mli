@@ -1,0 +1,32 @@
+(** Translation lookaside buffer.
+
+    HyperEnclave's isolation argument depends on TLB hygiene: "The TLBs are
+    cleared upon world switches to prevent illegal memory accesses using
+    stale TLB entries" (Sec. 6).  The model is a bounded map from virtual
+    page number to (frame, perms) with random replacement; precise
+    replacement policy does not matter for any reproduced result, bounded
+    capacity and explicit flushes do. *)
+
+type entry = { frame : int; perms : Page_table.perms }
+
+type t
+
+val create : ?capacity:int -> Rng.t -> t
+(** Default capacity 1536 entries (L2 TLB scale). *)
+
+val lookup : t -> vpn:int -> entry option
+val insert : t -> vpn:int -> entry -> unit
+
+val invalidate : t -> vpn:int -> unit
+(** INVLPG: drop one translation. *)
+
+val flush : t -> unit
+(** Full flush (world switch / CR3 write without PCID). *)
+
+val entries : t -> int
+
+val lookups : t -> int
+val hits : t -> int
+(** Counters for tests and the memory-latency bench. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/libos/libos.ml: Bytes Cycles Edge Hashtbl Hyperenclave_hw Hyperenclave_sdk List Option Tenv Vfs

@@ -1,0 +1,1 @@
+lib/libos/libos.mli: Hyperenclave_sdk Tenv

@@ -1,0 +1,1 @@
+lib/libos/vfs.ml: Bytes Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/libos/vfs.mli:

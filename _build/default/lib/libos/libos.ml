@@ -1,0 +1,187 @@
+open Hyperenclave_hw
+open Hyperenclave_sdk
+
+type fd_kind = File | Socket
+
+type fd_state = {
+  kind : fd_kind;
+  path : string; (* "" for sockets *)
+  mutable pos : int;
+  append : bool;
+  readable : bool;
+  writable : bool;
+}
+
+type stats = { in_enclave : int; forwarded : int }
+
+type t = {
+  tenv : Tenv.t;
+  vfs : Vfs.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+  net_send_ocall : int;
+  net_recv_ocall : int;
+  switchless_net : bool;
+  pid : int;
+  mutable in_enclave : int;
+  mutable forwarded : int;
+}
+
+exception Bad_fd of int
+exception No_such_file of string
+
+let syscall_dispatch_cost = 180
+
+let create tenv ?(net_send_ocall = 900) ?(net_recv_ocall = 901)
+    ?(switchless_net = false) () =
+  {
+    tenv;
+    vfs = Vfs.create ();
+    fds = Hashtbl.create 16;
+    next_fd = 3; (* 0-2 reserved, as tradition demands *)
+    net_send_ocall;
+    net_recv_ocall;
+    switchless_net;
+    pid = 1;
+    in_enclave = 0;
+    forwarded = 0;
+  }
+
+(* Every syscall enters through here: in-enclave dispatch cost, no world
+   switch (the libOS point). *)
+let syscall t =
+  t.in_enclave <- t.in_enclave + 1;
+  t.tenv.Tenv.compute syscall_dispatch_cost
+
+let charge_bytes t n = t.tenv.Tenv.compute (n / 8)
+
+let fd_state t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some state -> state
+  | None -> raise (Bad_fd fd)
+
+(* --- files ------------------------------------------------------------------- *)
+
+type open_flag = O_rdonly | O_wronly | O_rdwr | O_creat | O_trunc | O_append
+
+let openf t ~path flags =
+  syscall t;
+  let has flag = List.mem flag flags in
+  if not (Vfs.exists t.vfs ~path) then
+    if has O_creat then
+      Vfs.create_file t.vfs ~path ~now:(Cycles.now t.tenv.Tenv.clock)
+    else raise (No_such_file path);
+  if has O_trunc then
+    Vfs.create_file t.vfs ~path ~now:(Cycles.now t.tenv.Tenv.clock);
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd
+    {
+      kind = File;
+      path;
+      pos = 0;
+      append = has O_append;
+      readable = has O_rdonly || has O_rdwr || not (has O_wronly);
+      writable = has O_wronly || has O_rdwr || has O_append;
+    };
+  fd
+
+let close t fd =
+  syscall t;
+  if not (Hashtbl.mem t.fds fd) then raise (Bad_fd fd);
+  Hashtbl.remove t.fds fd
+
+let read t fd ~len =
+  syscall t;
+  let state = fd_state t fd in
+  if state.kind <> File then raise (Bad_fd fd);
+  if not state.readable then invalid_arg "Libos.read: fd not readable";
+  match Vfs.read_at t.vfs ~path:state.path ~pos:state.pos ~len with
+  | None -> raise (No_such_file state.path)
+  | Some data ->
+      state.pos <- state.pos + Bytes.length data;
+      charge_bytes t (Bytes.length data);
+      data
+
+let write t fd data =
+  syscall t;
+  let state = fd_state t fd in
+  if state.kind <> File then raise (Bad_fd fd);
+  if not state.writable then invalid_arg "Libos.write: fd not writable";
+  let pos =
+    if state.append then
+      Option.value ~default:0 (Vfs.size t.vfs ~path:state.path)
+    else state.pos
+  in
+  match Vfs.write_at t.vfs ~path:state.path ~pos data with
+  | None -> raise (No_such_file state.path)
+  | Some written ->
+      state.pos <- pos + written;
+      charge_bytes t written;
+      written
+
+let lseek t fd ~pos =
+  syscall t;
+  let state = fd_state t fd in
+  if pos < 0 then invalid_arg "Libos.lseek: negative position";
+  state.pos <- pos;
+  pos
+
+let unlink t ~path =
+  syscall t;
+  if not (Vfs.unlink t.vfs ~path) then raise (No_such_file path)
+
+let stat_size t ~path =
+  syscall t;
+  match Vfs.stat t.vfs ~path with
+  | Some { Vfs.size; _ } -> size
+  | None -> raise (No_such_file path)
+
+let list_dir t ~prefix =
+  syscall t;
+  Vfs.list_prefix t.vfs ~prefix
+
+(* --- process/time -------------------------------------------------------------- *)
+
+let getpid t =
+  syscall t;
+  t.pid
+
+let clock_monotonic t =
+  syscall t;
+  Cycles.now t.tenv.Tenv.clock
+
+(* --- network: the syscalls that genuinely leave the enclave -------------------- *)
+
+let socket t =
+  syscall t;
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd
+    { kind = Socket; path = ""; pos = 0; append = false; readable = true; writable = true };
+  fd
+
+let net_call t ~id data =
+  t.forwarded <- t.forwarded + 1;
+  if t.switchless_net then t.tenv.Tenv.ocall_switchless ~id ~data ()
+  else t.tenv.Tenv.ocall ~id ~data Edge.In_out
+
+let send t fd data =
+  syscall t;
+  let state = fd_state t fd in
+  if state.kind <> Socket then raise (Bad_fd fd);
+  let reply = net_call t ~id:t.net_send_ocall data in
+  match int_of_string_opt (Bytes.to_string reply) with
+  | Some n -> n
+  | None -> invalid_arg "Libos.send: malformed host reply"
+
+let recv t fd ~len =
+  syscall t;
+  let state = fd_state t fd in
+  if state.kind <> Socket then raise (Bad_fd fd);
+  net_call t ~id:t.net_recv_ocall (Bytes.of_string (string_of_int len))
+
+(* --- introspection --------------------------------------------------------------- *)
+
+let stats t = { in_enclave = t.in_enclave; forwarded = t.forwarded }
+let open_fds t = Hashtbl.length t.fds

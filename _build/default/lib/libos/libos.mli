@@ -1,0 +1,75 @@
+(** Library OS for HyperEnclave enclaves — the Occlum stand-in (Sec. 3.4,
+    5.3: "we have also ported ... the Occlum library OS to HyperEnclave").
+
+    Legacy applications talk POSIX; a libOS serves most of those syscalls
+    {e inside} the enclave (file system, time, pids — no world switch) and
+    forwards only what genuinely needs the host (network I/O) through
+    OCALLs.  {!stats} exposes the in-enclave/forwarded split, which is the
+    whole performance argument: Lighttpd under Occlum exits only for
+    sockets.
+
+    Costs: every syscall charges a small in-enclave dispatch
+    ({!syscall_dispatch_cost}) plus per-byte copy costs; forwarded calls
+    additionally pay the full OCALL path of the enclave's operation
+    mode. *)
+
+open Hyperenclave_sdk
+
+type t
+
+type fd_kind = File | Socket
+
+exception Bad_fd of int
+exception No_such_file of string
+
+val syscall_dispatch_cost : int
+(** In-enclave syscall entry/exit: a function call plus fd-table work
+    (~180 cycles), not a world switch. *)
+
+val create :
+  Tenv.t ->
+  ?net_send_ocall:int ->
+  ?net_recv_ocall:int ->
+  ?switchless_net:bool ->
+  unit ->
+  t
+(** [net_send_ocall]/[net_recv_ocall] are the registered OCALL ids backing
+    socket I/O (defaults 900/901).  [switchless_net] routes them through
+    switchless calls instead of regular OCALLs. *)
+
+(** {1 File syscalls — served in-enclave} *)
+
+type open_flag = O_rdonly | O_wronly | O_rdwr | O_creat | O_trunc | O_append
+
+val openf : t -> path:string -> open_flag list -> int
+(** @raise No_such_file without [O_creat]. *)
+
+val close : t -> int -> unit
+val read : t -> int -> len:int -> bytes
+val write : t -> int -> bytes -> int
+
+val lseek : t -> int -> pos:int -> int
+(** Absolute seek; returns the new position. *)
+
+val unlink : t -> path:string -> unit
+val stat_size : t -> path:string -> int
+val list_dir : t -> prefix:string -> string list
+
+(** {1 Process/time syscalls — served in-enclave} *)
+
+val getpid : t -> int
+val clock_monotonic : t -> int
+(** Simulated-cycle timestamp — in-enclave, like a vDSO read. *)
+
+(** {1 Network syscalls — forwarded to the host} *)
+
+val socket : t -> int
+val send : t -> int -> bytes -> int
+val recv : t -> int -> len:int -> bytes
+
+(** {1 Introspection} *)
+
+type stats = { in_enclave : int; forwarded : int }
+
+val stats : t -> stats
+val open_fds : t -> int

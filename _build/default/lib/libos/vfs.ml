@@ -1,0 +1,58 @@
+type file = { mutable data : bytes; created_at : int }
+type stat = { size : int; created_at : int }
+type t = { files : (string, file) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 32 }
+let exists t ~path = Hashtbl.mem t.files path
+
+let create_file t ~path ~now =
+  Hashtbl.replace t.files path { data = Bytes.empty; created_at = now }
+
+let unlink t ~path =
+  if Hashtbl.mem t.files path then begin
+    Hashtbl.remove t.files path;
+    true
+  end
+  else false
+
+let stat t ~path =
+  Option.map
+    (fun f -> { size = Bytes.length f.data; created_at = f.created_at })
+    (Hashtbl.find_opt t.files path)
+
+let read_at t ~path ~pos ~len =
+  match Hashtbl.find_opt t.files path with
+  | None -> None
+  | Some f ->
+      let size = Bytes.length f.data in
+      if pos >= size || len <= 0 then Some Bytes.empty
+      else Some (Bytes.sub f.data pos (min len (size - pos)))
+
+let write_at t ~path ~pos data =
+  match Hashtbl.find_opt t.files path with
+  | None -> None
+  | Some f ->
+      let len = Bytes.length data in
+      let needed = pos + len in
+      if needed > Bytes.length f.data then begin
+        let grown = Bytes.make needed '\000' in
+        Bytes.blit f.data 0 grown 0 (Bytes.length f.data);
+        f.data <- grown
+      end;
+      Bytes.blit data 0 f.data pos len;
+      Some len
+
+let size t ~path =
+  Option.map (fun f -> Bytes.length f.data) (Hashtbl.find_opt t.files path)
+
+let list_prefix t ~prefix =
+  Hashtbl.fold
+    (fun path _ acc ->
+      if String.starts_with ~prefix path then path :: acc else acc)
+    t.files []
+  |> List.sort compare
+
+let file_count t = Hashtbl.length t.files
+
+let total_bytes t =
+  Hashtbl.fold (fun _ f acc -> acc + Bytes.length f.data) t.files 0

@@ -1,0 +1,35 @@
+(** In-enclave virtual file system.
+
+    The state behind the {!Libos} syscall layer: a flat namespace of
+    in-memory files living entirely inside the enclave, so open/read/
+    write/seek never leave the TEE — the property that makes a library OS
+    the right shape for I/O-handling enclave applications (Sec. 3.4's
+    Occlum port).  Pure data structure; all cycle charging happens in
+    {!Libos}. *)
+
+type t
+
+type stat = { size : int; created_at : int }
+
+val create : unit -> t
+
+val exists : t -> path:string -> bool
+val create_file : t -> path:string -> now:int -> unit
+(** Truncates if the file exists. *)
+
+val unlink : t -> path:string -> bool
+(** [false] if absent. *)
+
+val stat : t -> path:string -> stat option
+
+val read_at : t -> path:string -> pos:int -> len:int -> bytes option
+(** Short reads at EOF; [None] if the file is absent. *)
+
+val write_at : t -> path:string -> pos:int -> bytes -> int option
+(** Extends the file as needed (zero-filling holes); returns the number of
+    bytes written, [None] if absent. *)
+
+val size : t -> path:string -> int option
+val list_prefix : t -> prefix:string -> string list
+val file_count : t -> int
+val total_bytes : t -> int

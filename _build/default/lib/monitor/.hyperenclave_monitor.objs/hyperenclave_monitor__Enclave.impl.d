@@ -1,0 +1,1 @@
+lib/monitor/enclave.ml: Addr Bytes Hyperenclave_crypto Hyperenclave_hw List Measure Page_table Sgx_types Sha256 Vcpu

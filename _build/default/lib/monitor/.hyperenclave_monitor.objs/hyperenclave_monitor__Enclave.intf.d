@@ -1,0 +1,1 @@
+lib/monitor/enclave.mli: Hyperenclave_crypto Hyperenclave_hw Page_table Sgx_types Vcpu

@@ -1,0 +1,1 @@
+lib/monitor/epc.ml: Frame_alloc Hashtbl Hyperenclave_hw List Option Sgx_types

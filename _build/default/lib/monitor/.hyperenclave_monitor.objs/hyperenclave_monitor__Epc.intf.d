@@ -1,0 +1,1 @@
+lib/monitor/epc.mli: Sgx_types

@@ -1,0 +1,1 @@
+lib/monitor/hypercall.mli: Enclave Hyperenclave_hw Monitor Page_table Sgx_types

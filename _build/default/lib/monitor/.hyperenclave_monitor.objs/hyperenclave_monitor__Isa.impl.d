@@ -1,0 +1,1 @@
+lib/monitor/isa.ml: Cost_model Hyperenclave_hw Sgx_types

@@ -1,0 +1,1 @@
+lib/monitor/isa.mli: Cost_model Hyperenclave_hw Sgx_types

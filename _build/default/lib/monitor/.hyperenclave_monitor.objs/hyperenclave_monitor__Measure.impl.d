@@ -1,0 +1,1 @@
+lib/monitor/measure.ml: Addr Bytes Format Hyperenclave_crypto Hyperenclave_hw List Page_table Printf Sgx_types Sha256

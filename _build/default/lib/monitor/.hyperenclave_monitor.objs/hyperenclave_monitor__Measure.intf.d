@@ -1,0 +1,1 @@
+lib/monitor/measure.mli: Hyperenclave_hw Page_table Sgx_types

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Cost_model Cycles Enclave Epc Hyperenclave_crypto Hyperenclave_hw Hyperenclave_tpm Iommu Mmu Page_table Phys_mem Rng Sgx_types

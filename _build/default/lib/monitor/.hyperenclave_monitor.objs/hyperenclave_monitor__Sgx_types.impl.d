@@ -1,0 +1,1 @@
+lib/monitor/sgx_types.ml: Buffer Format Hyperenclave_crypto Printf Sha256 Signature

@@ -1,0 +1,1 @@
+lib/monitor/sgx_types.mli: Format Hyperenclave_crypto

@@ -1,0 +1,1 @@
+lib/monitor/vcpu.ml: Array Bytes Hyperenclave_hw Int64 Rng

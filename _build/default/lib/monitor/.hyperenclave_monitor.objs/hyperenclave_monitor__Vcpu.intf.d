@@ -1,0 +1,1 @@
+lib/monitor/vcpu.mli: Hyperenclave_hw

@@ -1,0 +1,1 @@
+lib/monitor/world_switch.ml: Cost_model Hyperenclave_hw Sgx_types

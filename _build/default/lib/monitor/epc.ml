@@ -1,0 +1,66 @@
+open Hyperenclave_hw
+
+type owner = Monitor | Enclave of int
+
+type frame_info = { owner : owner; page_type : Sgx_types.page_type; vpn : int }
+
+type t = { alloc : Frame_alloc.t; meta : (int, frame_info) Hashtbl.t }
+
+exception Epc_exhausted
+
+let create ~base_frame ~nframes =
+  { alloc = Frame_alloc.create ~base_frame ~nframes; meta = Hashtbl.create 1024 }
+
+let alloc t ~owner ~page_type ~vpn =
+  let frame =
+    try Frame_alloc.alloc t.alloc with Frame_alloc.Out_of_frames -> raise Epc_exhausted
+  in
+  Hashtbl.replace t.meta frame { owner; page_type; vpn };
+  frame
+
+let free t frame =
+  Hashtbl.remove t.meta frame;
+  Frame_alloc.free t.alloc frame
+
+let free_enclave t ~enclave_id =
+  let frames =
+    Hashtbl.fold
+      (fun frame info acc ->
+        match info.owner with
+        | Enclave id when id = enclave_id -> frame :: acc
+        | Enclave _ | Monitor -> acc)
+      t.meta []
+  in
+  List.iter (free t) frames;
+  frames
+
+let info t frame = Hashtbl.find_opt t.meta frame
+let owned_by t frame = Option.map (fun i -> i.owner) (info t frame)
+let in_pool t frame = Frame_alloc.owns t.alloc frame
+let base_frame t = Frame_alloc.base_frame t.alloc
+let nframes t = Frame_alloc.total t.alloc
+let free_count t = Frame_alloc.free_count t.alloc
+
+let find_victim t ~prefer_not =
+  let candidate other_ok =
+    Hashtbl.fold
+      (fun frame info acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match (info.owner, info.page_type) with
+            | Enclave id, Sgx_types.Pt_reg
+              when other_ok || prefer_not <> Some id ->
+                Some (frame, info)
+            | (Enclave _ | Monitor), _ -> None))
+      t.meta None
+  in
+  match candidate false with Some v -> Some v | None -> candidate true
+
+let used_by t ~enclave_id =
+  Hashtbl.fold
+    (fun _ info acc ->
+      match info.owner with
+      | Enclave id when id = enclave_id -> acc + 1
+      | Enclave _ | Monitor -> acc)
+    t.meta 0

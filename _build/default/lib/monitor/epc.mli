@@ -1,0 +1,47 @@
+(** Enclave page cache: the reserved physical pool plus per-frame metadata.
+
+    RustMonitor "manages the reserved physical memory by maintaining a list
+    of free pages" (Sec. 5.1).  The metadata here plays the role SGX's EPCM
+    plays in hardware: every frame knows its owning enclave, page type and
+    the enclave virtual page it backs, so aliasing (two mappings onto one
+    enclave frame — Fig. 9a) and cross-enclave grabs are detectable. *)
+
+type owner = Monitor | Enclave of int
+
+type frame_info = {
+  owner : owner;
+  page_type : Sgx_types.page_type;
+  vpn : int;  (** enclave virtual page backed by this frame *)
+}
+
+type t
+
+exception Epc_exhausted
+
+val create : base_frame:int -> nframes:int -> t
+
+val alloc : t -> owner:owner -> page_type:Sgx_types.page_type -> vpn:int -> int
+(** Take a frame and record its metadata. @raise Epc_exhausted. *)
+
+val free : t -> int -> unit
+(** Release a frame; clears metadata.  The caller must scrub contents. *)
+
+val free_enclave : t -> enclave_id:int -> int list
+(** Release every frame owned by the enclave; returns the frames so the
+    monitor can scrub them. *)
+
+val info : t -> int -> frame_info option
+(** Metadata for a frame, [None] if free or out of pool. *)
+
+val owned_by : t -> int -> owner option
+val in_pool : t -> int -> bool
+val base_frame : t -> int
+val nframes : t -> int
+val free_count : t -> int
+val used_by : t -> enclave_id:int -> int
+(** Frames currently owned by the enclave. *)
+
+val find_victim : t -> prefer_not:int option -> (int * frame_info) option
+(** A regular (Pt_reg) enclave frame suitable for eviction, preferring
+    enclaves other than [prefer_not]; control structures (SECS/TCS/SSA)
+    are never evicted. *)

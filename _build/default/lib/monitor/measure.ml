@@ -1,0 +1,39 @@
+open Hyperenclave_hw
+open Hyperenclave_crypto
+
+let ecreate_chunk (secs : Sgx_types.secs) =
+  Bytes.of_string
+    (Printf.sprintf "ecreate:%x:%x:%s:%b:%d" secs.base_va secs.size
+       (Sgx_types.mode_name secs.attributes.mode)
+       secs.attributes.debug secs.attributes.xfrm)
+
+let eadd_header ~vpn ~perms ~page_type =
+  Bytes.of_string
+    (Printf.sprintf "eadd:%x:%s:%s:" vpn
+       (Format.asprintf "%a" Page_table.pp_perms perms)
+       (Sgx_types.page_type_name page_type))
+
+let page_padded content =
+  if Bytes.length content > Addr.page_size then
+    invalid_arg "Measure.page_padded: content exceeds a page";
+  let page = Bytes.make Addr.page_size '\000' in
+  Bytes.blit content 0 page 0 (Bytes.length content);
+  page
+
+type page = {
+  vpn : int;
+  perms : Page_table.perms;
+  page_type : Sgx_types.page_type;
+  content : bytes;
+}
+
+let expected secs pages =
+  let ctx = Sha256.init () in
+  Sha256.update ctx (ecreate_chunk secs);
+  List.iter
+    (fun p ->
+      Sha256.update ctx
+        (eadd_header ~vpn:p.vpn ~perms:p.perms ~page_type:p.page_type);
+      Sha256.update ctx (page_padded p.content))
+    pages;
+  Sha256.finalize ctx

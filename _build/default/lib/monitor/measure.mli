@@ -1,0 +1,28 @@
+(** The enclave measurement scheme.
+
+    Pure functions producing the exact byte chunks RustMonitor hashes at
+    ECREATE/EADD, shared with the SDK's offline signing tool (the
+    [sgx_sign] equivalent), which must predict MRENCLAVE without asking
+    the monitor. *)
+
+open Hyperenclave_hw
+
+val ecreate_chunk : Sgx_types.secs -> bytes
+(** Seed chunk binding ELRANGE geometry, mode, debug and xfrm. *)
+
+val eadd_header :
+  vpn:int -> perms:Page_table.perms -> page_type:Sgx_types.page_type -> bytes
+
+val page_padded : bytes -> bytes
+(** Content padded with zeroes to exactly one page, as measured. *)
+
+type page = {
+  vpn : int;
+  perms : Page_table.perms;
+  page_type : Sgx_types.page_type;
+  content : bytes;
+}
+
+val expected : Sgx_types.secs -> page list -> bytes
+(** MRENCLAVE for an enclave built by ECREATE followed by these EADDs in
+    order — must equal what {!Monitor.einit} finalizes. *)

@@ -1,0 +1,1 @@
+lib/os/boot.ml: Bytes Char Hyperenclave_hw Hyperenclave_monitor Hyperenclave_tpm List Rng

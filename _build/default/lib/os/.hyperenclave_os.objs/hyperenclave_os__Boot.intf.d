@@ -1,0 +1,1 @@
+lib/os/boot.mli: Hyperenclave_hw Hyperenclave_monitor Hyperenclave_tpm

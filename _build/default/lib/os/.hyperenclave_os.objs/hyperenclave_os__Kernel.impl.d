@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Addr Bytes Cost_model Cycles Frame_alloc Hashtbl Hyperenclave_hw Iommu List Mmu Option Page_table Phys_mem Process Rng Tlb

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Cost_model Cycles Hyperenclave_hw Iommu Mmu Page_table Phys_mem Process Rng

@@ -1,0 +1,1 @@
+lib/os/kmod.ml: Addr Hypercall Hyperenclave_hw Hyperenclave_monitor Hyperenclave_tpm Kernel Monitor Printf Process

@@ -1,0 +1,1 @@
+lib/os/kmod.mli: Enclave Hyperenclave_hw Hyperenclave_monitor Hyperenclave_tpm Kernel Monitor Process Sgx_types

@@ -1,0 +1,1 @@
+lib/os/process.ml: Hashtbl Hyperenclave_hw

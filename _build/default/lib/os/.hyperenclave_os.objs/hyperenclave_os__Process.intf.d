@@ -1,0 +1,1 @@
+lib/os/process.mli: Hashtbl Hyperenclave_hw

@@ -1,0 +1,99 @@
+open Hyperenclave_hw
+open Hyperenclave_monitor
+
+type t = { kernel : Kernel.t; monitor : Monitor.t }
+
+let sealed_key_name = "hyperenclave/k_root.sealed"
+let monitor_pcr = 10
+
+let load ~kernel ~tpm ~monitor ~monitor_image ~boot_log =
+  (* Late launch step 1: measure the hypervisor image out of the
+     initramfs and extend the TPM before jumping into it. *)
+  let measurement =
+    Hyperenclave_tpm.Tpm.extend_measurement tpm ~index:monitor_pcr
+      monitor_image
+  in
+  let boot_log =
+    boot_log
+    @ [ { Monitor.pcr_index = monitor_pcr; label = "hypervisor"; measurement } ]
+  in
+  let sealed = Kernel.disk_load kernel ~key:sealed_key_name in
+  (match Monitor.launch monitor ~boot_log ~sealed_root_key:sealed with
+  | `First_boot blob -> Kernel.disk_store kernel ~key:sealed_key_name blob
+  | `Resumed -> ());
+  (* Step 2: the kernel returns from the launch demoted to the normal VM.
+     It also provides the (untrusted) backing store for EPC overcommit. *)
+  Monitor.set_swap_backend monitor
+    ~store:(fun key blob -> Kernel.disk_store kernel ~key blob)
+    ~load:(fun key -> Kernel.disk_load kernel ~key);
+  Kernel.demote kernel ~npt:(Monitor.normal_npt monitor);
+  { kernel; monitor }
+
+let monitor t = t.monitor
+let kernel t = t.kernel
+
+let ioctl_enter t = Kernel.null_syscall t.kernel
+
+(* Every privileged operation crosses the explicit hypercall ABI; a
+   Fault result is re-raised so callers see the monitor's refusal. *)
+let hypercall t request =
+  match Hypercall.dispatch t.monitor request with
+  | Hypercall.Fault message -> raise (Monitor.Security_violation message)
+  | result -> result
+
+let expect_ok t request =
+  match hypercall t request with
+  | Hypercall.Ok -> ()
+  | Hypercall.Enclave_handle _ | Hypercall.Key _ | Hypercall.Report _
+  | Hypercall.Quote _ ->
+      invalid_arg ("Kmod: unexpected result for " ^ Hypercall.name request)
+  | Hypercall.Fault _ -> assert false (* re-raised in [hypercall] *)
+
+let ioctl_create_enclave t secs =
+  ioctl_enter t;
+  match hypercall t (Hypercall.Ecreate secs) with
+  | Hypercall.Enclave_handle enclave -> enclave
+  | _ -> invalid_arg "Kmod: ECREATE returned no handle"
+
+let ioctl_add_page t enclave ~vpn ~content ~perms ~page_type =
+  ioctl_enter t;
+  expect_ok t (Hypercall.Eadd { enclave; vpn; content; perms; page_type })
+
+let ioctl_add_tcs t enclave ~vpn ~entry_va ~nssa ~ssa_base_vpn =
+  ioctl_enter t;
+  expect_ok t (Hypercall.Eadd_tcs { enclave; vpn; entry_va; nssa; ssa_base_vpn })
+
+let ioctl_pin_range t proc ~va ~len =
+  ioctl_enter t;
+  let first = Addr.page_of va in
+  let last = Addr.page_of (va + len - 1) in
+  for vpn = first to last do
+    match Kernel.resolve_frame t.kernel proc ~vpn with
+    | Some _ -> Process.pin proc ~vpn
+    | None ->
+        invalid_arg
+          (Printf.sprintf "ioctl_pin_range: page 0x%x not resident" vpn)
+  done
+
+let ioctl_init_enclave t proc enclave ~sigstruct ~ms_base ~ms_size =
+  ioctl_enter t;
+  let first = Addr.page_of ms_base in
+  let last = Addr.page_of (ms_base + ms_size - 1) in
+  let pages = ref [] in
+  for vpn = last downto first do
+    if not (Process.is_pinned proc ~vpn) then
+      invalid_arg
+        (Printf.sprintf "ioctl_init_enclave: page 0x%x not pinned" vpn);
+    match Kernel.resolve_frame t.kernel proc ~vpn with
+    | Some frame -> pages := (vpn, frame) :: !pages
+    | None ->
+        invalid_arg
+          (Printf.sprintf "ioctl_init_enclave: page 0x%x not resident" vpn)
+  done;
+  expect_ok t
+    (Hypercall.Einit
+       { enclave; sigstruct; marshalling = (ms_base, ms_size, !pages) })
+
+let ioctl_destroy_enclave t enclave =
+  ioctl_enter t;
+  expect_ok t (Hypercall.Eremove enclave)

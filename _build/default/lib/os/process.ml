@@ -1,0 +1,25 @@
+type t = {
+  pid : int;
+  gpt : Hyperenclave_hw.Page_table.t;
+  pinned : (int, unit) Hashtbl.t;
+  mutable mmap_cursor : int;
+  mutable brk : int;
+  mutable alive : bool;
+}
+
+let mmap_base = 0x2_0000_0000
+let heap_base = 0x1000_0000
+
+let make ~pid =
+  {
+    pid;
+    gpt = Hyperenclave_hw.Page_table.create ();
+    pinned = Hashtbl.create 64;
+    mmap_cursor = mmap_base;
+    brk = heap_base;
+    alive = true;
+  }
+
+let pin t ~vpn = Hashtbl.replace t.pinned vpn ()
+let unpin t ~vpn = Hashtbl.remove t.pinned vpn
+let is_pinned t ~vpn = Hashtbl.mem t.pinned vpn

@@ -1,0 +1,27 @@
+(** A primary-OS process: the untrusted half of a HyperEnclave application.
+
+    Owns a guest page table managed by the kernel (unlike enclave tables,
+    which the kernel never touches).  Tracks which virtual pages are pinned
+    — the property the marshalling buffer depends on ("the primary OS is
+    requested not to compact or swap out the physical pages of the
+    marshalling buffers during the enclave's lifetime", Sec. 5.3). *)
+
+type t = {
+  pid : int;
+  gpt : Hyperenclave_hw.Page_table.t;
+  pinned : (int, unit) Hashtbl.t;  (** pinned virtual page numbers *)
+  mutable mmap_cursor : int;
+  mutable brk : int;
+  mutable alive : bool;
+}
+
+val make : pid:int -> t
+
+val mmap_base : int
+(** Base of the mmap area (also where marshalling buffers land). *)
+
+val heap_base : int
+
+val pin : t -> vpn:int -> unit
+val unpin : t -> vpn:int -> unit
+val is_pinned : t -> vpn:int -> bool

@@ -1,0 +1,1 @@
+lib/sdk/edge.ml: Cost_model Cycles Hyperenclave_hw

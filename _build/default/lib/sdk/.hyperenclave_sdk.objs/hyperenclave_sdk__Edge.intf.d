@@ -1,0 +1,1 @@
+lib/sdk/edge.mli: Cost_model Cycles Hyperenclave_hw

@@ -1,0 +1,1 @@
+lib/sdk/edl.ml: Buffer Edge List Printf Result String

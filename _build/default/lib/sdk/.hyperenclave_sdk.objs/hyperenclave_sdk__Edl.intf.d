@@ -1,0 +1,1 @@
+lib/sdk/edl.mli: Edge

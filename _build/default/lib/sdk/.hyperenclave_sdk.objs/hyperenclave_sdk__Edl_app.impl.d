@@ -1,0 +1,1 @@
+lib/sdk/edl_app.ml: Bytes Edl Hyperenclave_monitor List Option Printf Result Tenv Urts

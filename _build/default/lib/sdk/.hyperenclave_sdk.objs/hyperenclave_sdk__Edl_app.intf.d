@@ -1,0 +1,1 @@
+lib/sdk/edl_app.mli: Edl Hyperenclave_crypto Hyperenclave_hw Hyperenclave_os Kmod Process Tenv Urts

@@ -1,0 +1,1 @@
+lib/sdk/tenv.mli: Cost_model Cycles Edge Enclave Hyperenclave_hw Hyperenclave_monitor Page_table Sgx_types

@@ -1,0 +1,1 @@
+lib/sdk/urts.mli: Edge Enclave Hyperenclave_crypto Hyperenclave_hw Hyperenclave_monitor Hyperenclave_os Kmod Monitor Process Rng Sgx_types Tenv

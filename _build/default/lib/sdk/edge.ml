@@ -1,0 +1,21 @@
+open Hyperenclave_hw
+
+type direction = In | Out | In_out | User_check
+
+let direction_name = function
+  | In -> "in"
+  | Out -> "out"
+  | In_out -> "in&out"
+  | User_check -> "user_check"
+
+let kib bytes = (bytes + 1023) / 1024
+
+let charge_ms_in (m : Cost_model.t) clock ~bytes =
+  Cycles.tick clock (kib bytes * m.ms_copy_in_per_kb)
+
+let charge_ms_out (m : Cost_model.t) clock ~bytes =
+  Cycles.tick clock (kib bytes * m.ms_copy_out_per_kb)
+
+let charge_ms_in_out (m : Cost_model.t) clock ~bytes =
+  let base = kib bytes * (m.ms_copy_in_per_kb + m.ms_copy_out_per_kb) in
+  Cycles.tick clock (base * 3 / 2)

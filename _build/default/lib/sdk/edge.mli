@@ -1,0 +1,31 @@
+(** Edge-call parameter passing (Sec. 5.3, Fig. 7).
+
+    HyperEnclave's enclaves can only reach their own memory plus the
+    marshalling buffer, so every ECALL/OCALL payload crosses through it.
+    The Edger8r-generated shims this module stands in for perform, for an
+    ECALL with an [In] pointer: app copy into the marshalling buffer
+    (the {e extra} copy HyperEnclave adds), then the trusted-side copy
+    into enclave memory (which SGX-style direct access pays too).  OCALLs
+    avoid the extra copy entirely because [sgx_ocalloc] is redirected to
+    allocate inside the marshalling buffer. *)
+
+open Hyperenclave_hw
+
+type direction =
+  | In  (** app -> enclave *)
+  | Out  (** enclave -> app *)
+  | In_out
+  | User_check
+      (** no generated copies; the developer manages the pointer and must
+          have allocated it inside the marshalling buffer *)
+
+val direction_name : direction -> string
+
+val charge_ms_in : Cost_model.t -> Cycles.t -> bytes:int -> unit
+(** Extra uRTS copy into the marshalling buffer ([In] leg). *)
+
+val charge_ms_out : Cost_model.t -> Cycles.t -> bytes:int -> unit
+
+val charge_ms_in_out : Cost_model.t -> Cycles.t -> bytes:int -> unit
+(** Both legs; slightly superlinear (the second traversal of the buffer
+    misses in cache after the first evicted it). *)

@@ -1,0 +1,178 @@
+type func = {
+  name : string;
+  id : int;
+  direction : Edge.direction;
+  takes_buffer : bool;
+}
+
+type interface = { trusted : func list; untrusted : func list }
+
+(* --- lexing ------------------------------------------------------------------ *)
+
+(* The grammar is small enough for a hand-rolled scanner: strip comments,
+   then split the two sections on braces and the declarations on ';'. *)
+
+let strip_comments src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '/' && src.[i + 1] = '/' then
+      let next = match String.index_from_opt src i '\n' with Some j -> j | None -> n in
+      go next
+    else if i + 1 < n && src.[i] = '/' && src.[i + 1] = '*' then
+      let rec close j =
+        if j + 1 >= n then n
+        else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+        else close (j + 1)
+      in
+      go (close (i + 2))
+    else begin
+      Buffer.add_char buf src.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+(* Extract [section { ... }] body. *)
+let section_body src name =
+  let pattern = name in
+  let rec find_from i =
+    match String.index_from_opt src i pattern.[0] with
+    | None -> None
+    | Some j ->
+        if
+          j + String.length pattern <= String.length src
+          && String.sub src j (String.length pattern) = pattern
+        then Some j
+        else find_from (j + 1)
+  in
+  match find_from 0 with
+  | None -> Result.Error (Printf.sprintf "missing section %S" name)
+  | Some start -> (
+      match String.index_from_opt src start '{' with
+      | None -> Result.Error (Printf.sprintf "section %S has no body" name)
+      | Some open_brace ->
+          let rec close i depth =
+            if i >= String.length src then
+              Result.Error (Printf.sprintf "section %S not terminated" name)
+            else
+              match src.[i] with
+              | '{' -> close (i + 1) (depth + 1)
+              | '}' ->
+                  if depth = 0 then
+                    Result.Ok (String.sub src (open_brace + 1) (i - open_brace - 1))
+                  else close (i + 1) (depth - 1)
+              | _ -> close (i + 1) depth
+          in
+          close (open_brace + 1) 0)
+
+let trim = String.trim
+
+(* --- declarations --------------------------------------------------------------- *)
+
+(* e.g. "public void store([in, size=len] uint8_t* buf, size_t len)" *)
+let parse_decl ~id decl =
+  let decl = trim decl in
+  if decl = "" then Result.Ok None
+  else
+    let* name =
+      (* function name: the identifier right before '(' *)
+      match String.index_opt decl '(' with
+      | None -> Result.Error (Printf.sprintf "missing '(' in %S" decl)
+      | Some paren ->
+          let before = trim (String.sub decl 0 paren) in
+          let words = String.split_on_char ' ' before in
+          (match List.rev (List.filter (fun w -> w <> "") words) with
+          | name :: _ when name <> "" -> Result.Ok name
+          | _ -> Result.Error (Printf.sprintf "missing function name in %S" decl))
+    in
+    let* args =
+      match (String.index_opt decl '(', String.rindex_opt decl ')') with
+      | Some a, Some b when b > a -> Result.Ok (trim (String.sub decl (a + 1) (b - a - 1)))
+      | _ -> Result.Error (Printf.sprintf "unbalanced parentheses in %S" decl)
+    in
+    if args = "void" || args = "" then
+      Result.Ok (Some { name; id; direction = Edge.In; takes_buffer = false })
+    else
+      (* direction attributes live in the first [...] group *)
+      let* attrs =
+        match (String.index_opt args '[', String.index_opt args ']') with
+        | Some a, Some b when b > a ->
+            Result.Ok
+              (List.map
+                 (fun s -> trim s)
+                 (String.split_on_char ','
+                    (String.sub args (a + 1) (b - a - 1))))
+        | _ ->
+            Result.Error
+              (Printf.sprintf "parameter of %s needs [in]/[out] attributes" name)
+      in
+      let has a = List.mem a attrs in
+      let* direction =
+        match (has "in", has "out", has "user_check") with
+        | _, _, true ->
+            if has "in" || has "out" then
+              Result.Error
+                (Printf.sprintf "%s: user_check excludes in/out" name)
+            else Result.Ok Edge.User_check
+        | true, true, false -> Result.Ok Edge.In_out
+        | true, false, false -> Result.Ok Edge.In
+        | false, true, false -> Result.Ok Edge.Out
+        | false, false, false ->
+            Result.Error (Printf.sprintf "%s: no direction attribute" name)
+      in
+      (* size= is mandatory for copied pointers, as the real tool insists *)
+      let has_size = List.exists (fun a -> String.starts_with ~prefix:"size=" a) attrs in
+      if (direction <> Edge.User_check) && not (has_size || has "string") then
+        Result.Error (Printf.sprintf "%s: copied pointer needs size= or string" name)
+      else Result.Ok (Some { name; id; direction; takes_buffer = true })
+
+let parse_section body ~first_id =
+  let decls = String.split_on_char ';' body in
+  let rec go acc id = function
+    | [] -> Result.Ok (List.rev acc)
+    | decl :: rest -> (
+        let* parsed = parse_decl ~id decl in
+        match parsed with
+        | None -> go acc id rest
+        | Some f -> go (f :: acc) (id + 1) rest)
+  in
+  go [] first_id decls
+
+let check_unique funcs =
+  let names = List.map (fun f -> f.name) funcs in
+  if List.length names = List.length (List.sort_uniq compare names) then Result.Ok ()
+  else Result.Error "duplicate function name"
+
+let parse src =
+  let src = strip_comments src in
+  let* enclave = section_body src "enclave" in
+  let* trusted_body = section_body enclave "trusted" in
+  let* untrusted_body =
+    match section_body enclave "untrusted" with
+    | Result.Ok body -> Result.Ok body
+    | Result.Error _ -> Result.Ok "" (* untrusted section is optional *)
+  in
+  let* trusted = parse_section trusted_body ~first_id:1 in
+  let* untrusted = parse_section untrusted_body ~first_id:(1 + List.length trusted) in
+  let* () = check_unique (trusted @ untrusted) in
+  if trusted = [] then Result.Error "no trusted functions declared"
+  else Result.Ok { trusted; untrusted }
+
+let find_trusted t ~name = List.find_opt (fun f -> f.name = name) t.trusted
+let find_untrusted t ~name = List.find_opt (fun f -> f.name = name) t.untrusted
+
+let generate_header t =
+  let dir_name = Edge.direction_name in
+  let proto kind f =
+    if f.takes_buffer then
+      Printf.sprintf "sgx_status_t %s_%s(/* id %d */ uint8_t* buf /* %s */, size_t len);"
+        kind f.name f.id (dir_name f.direction)
+    else Printf.sprintf "sgx_status_t %s_%s(/* id %d */ void);" kind f.name f.id
+  in
+  String.concat "\n"
+    (List.map (proto "ecall") t.trusted @ List.map (proto "ocall") t.untrusted)

@@ -1,0 +1,48 @@
+(** Enclave Definition Language front end — the Edger8r analogue.
+
+    Sec. 5.3: "we modified SGX's Edger8r tool to automatically generate
+    code that copies the transmitted data into the marshalling buffer."
+    In the real SDK the developer writes an `.edl` file declaring each
+    edge function and the direction/size attributes of its pointers, and
+    generated shims perform the copies.  Here {!parse} reads the same
+    declaration style and {!Edl_app} (below, in {!Urts}-compatible form)
+    uses the declared attributes to drive the marshalling path, so call
+    sites cannot pick a direction the interface didn't declare — the
+    class of mistakes interface-hardening work (Sec. 3.4's [46,69])
+    worries about.
+
+    Supported subset — one buffer parameter plus its size per function:
+
+    {v
+    enclave {
+        trusted {
+            public void store_record([in, size=len] uint8_t* buf, size_t len);
+            public void load_record([out, size=len] uint8_t* buf, size_t len);
+            public void transform([in, out, size=len] uint8_t* buf, size_t len);
+            public void poke([user_check] uint8_t* buf, size_t len);
+            public void ping(void);
+        };
+        untrusted {
+            void ocall_write([in, size=len] uint8_t* buf, size_t len);
+        };
+    };
+    v} *)
+
+type func = {
+  name : string;
+  id : int;  (** assigned in declaration order, trusted then untrusted *)
+  direction : Edge.direction;
+  takes_buffer : bool;  (** [false] for [(void)] functions *)
+}
+
+type interface = { trusted : func list; untrusted : func list }
+
+val parse : string -> (interface, string) result
+(** Structural errors name the offending declaration. *)
+
+val find_trusted : interface -> name:string -> func option
+val find_untrusted : interface -> name:string -> func option
+
+val generate_header : interface -> string
+(** The C-style prototype listing a real Edger8r would emit — useful for
+    eyeballing and golden tests. *)

@@ -1,0 +1,76 @@
+
+type trusted_body =
+  ocall:(name:string -> ?data:bytes -> unit -> bytes) -> Tenv.t -> bytes -> bytes
+
+type t = { interface : Edl.interface; urts : Urts.t }
+
+let ( let* ) = Result.bind
+
+let check_coverage ~kind declared implemented =
+  let declared_names = List.map (fun (f : Edl.func) -> f.Edl.name) declared in
+  let implemented_names = List.map fst implemented in
+  let missing = List.filter (fun n -> not (List.mem n implemented_names)) declared_names in
+  let extra = List.filter (fun n -> not (List.mem n declared_names)) implemented_names in
+  match (missing, extra) with
+  | [], [] -> Result.Ok ()
+  | m :: _, _ -> Result.Error (Printf.sprintf "%s %S declared but not implemented" kind m)
+  | [], e :: _ -> Result.Error (Printf.sprintf "%s %S implemented but not declared" kind e)
+
+let create ~kmod ~proc ~rng ~signer ?config ~edl ~trusted ~untrusted () =
+  let* interface = Edl.parse edl in
+  let* () = check_coverage ~kind:"trusted function" interface.Edl.trusted trusted in
+  let* () =
+    check_coverage ~kind:"untrusted function" interface.Edl.untrusted untrusted
+  in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Urts.default_config Hyperenclave_monitor.Sgx_types.GU
+  in
+  (* Seed the code identity with the interface itself: changing the EDL
+     changes MRENCLAVE, as regenerated shims would. *)
+  let config =
+    { config with Urts.code_seed = config.Urts.code_seed ^ ":" ^ edl }
+  in
+  let ocall_id name =
+    match Edl.find_untrusted interface ~name with
+    | Some f -> f.Edl.id
+    | None -> invalid_arg (Printf.sprintf "undeclared OCALL %S" name)
+  in
+  let ecalls =
+    List.map
+      (fun (name, body) ->
+        let f = Option.get (Edl.find_trusted interface ~name) in
+        ( f.Edl.id,
+          fun (tenv : Tenv.t) input ->
+            let ocall ~name ?data () =
+              let id = ocall_id name in
+              (* OCALL directions also come from the interface. *)
+              let direction =
+                (Option.get (Edl.find_untrusted interface ~name)).Edl.direction
+              in
+              tenv.Tenv.ocall ~id ?data direction
+            in
+            body ~ocall tenv input ))
+      trusted
+  in
+  let ocalls =
+    List.map
+      (fun (name, handler) ->
+        ((Option.get (Edl.find_untrusted interface ~name)).Edl.id, handler))
+      untrusted
+  in
+  let urts = Urts.create ~kmod ~proc ~rng ~signer ~config ~ecalls ~ocalls in
+  Result.Ok { interface; urts }
+
+let call t ~name ?(data = Bytes.empty) () =
+  match Edl.find_trusted t.interface ~name with
+  | None -> invalid_arg (Printf.sprintf "undeclared ECALL %S" name)
+  | Some f ->
+      if (not f.Edl.takes_buffer) && Bytes.length data > 0 then
+        invalid_arg (Printf.sprintf "%S takes no buffer" name);
+      Urts.ecall t.urts ~id:f.Edl.id ~data ~direction:f.Edl.direction ()
+
+let interface t = t.interface
+let urts t = t.urts
+let destroy t = Urts.destroy t.urts

@@ -1,0 +1,40 @@
+(** Build and call an enclave from an EDL interface definition.
+
+    The workflow of a real SGX/HyperEnclave application: write the
+    [.edl], implement the trusted functions against the generated
+    prototypes, and let the shims pick the marshalling directions.  This
+    module checks the implementation against the interface at build time
+    (missing or extra functions are errors) and makes call sites
+    direction-oblivious: [call] looks the declared direction up, so code
+    cannot smuggle data against the interface. *)
+
+open Hyperenclave_os
+
+type t
+
+(** A trusted function body: [ocall] reaches the declared untrusted
+    functions by name. *)
+type trusted_body =
+  ocall:(name:string -> ?data:bytes -> unit -> bytes) -> Tenv.t -> bytes -> bytes
+
+val create :
+  kmod:Kmod.t ->
+  proc:Process.t ->
+  rng:Hyperenclave_hw.Rng.t ->
+  signer:Hyperenclave_crypto.Signature.private_key ->
+  ?config:Urts.config ->
+  edl:string ->
+  trusted:(string * trusted_body) list ->
+  untrusted:(string * (bytes -> bytes)) list ->
+  unit ->
+  (t, string) result
+(** Errors: EDL parse failures, trusted/untrusted functions declared but
+    not implemented, or implemented but not declared. *)
+
+val call : t -> name:string -> ?data:bytes -> unit -> bytes
+(** ECALL by name with the interface's declared direction.
+    @raise Invalid_argument for an undeclared name. *)
+
+val interface : t -> Edl.interface
+val urts : t -> Urts.t
+val destroy : t -> unit

@@ -1,0 +1,509 @@
+open Hyperenclave_hw
+open Hyperenclave_crypto
+open Hyperenclave_monitor
+open Hyperenclave_os
+
+type config = {
+  mode : Sgx_types.operation_mode;
+  debug : bool;
+  elrange_pages : int;
+  code_pages : int;
+  data_pages : int;
+  tcs_count : int;
+  nssa : int;
+  ms_bytes : int;
+  code_seed : string;
+  isv_prod_id : int;
+  isv_svn : int;
+}
+
+let default_config mode =
+  {
+    mode;
+    debug = false;
+    elrange_pages = 4096; (* 16 MiB of enclave virtual range *)
+    code_pages = 8;
+    data_pages = 8;
+    tcs_count = 2;
+    nssa = 2;
+    ms_bytes = 256 * 1024;
+    code_seed = "hyperenclave-default-app";
+    isv_prod_id = 1;
+    isv_svn = 1;
+  }
+
+exception Enclave_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Enclave_error m)) fmt
+let elbase = 0x1_0000_0000
+let aep = 0x40_1000
+
+type t = {
+  kmod : Kmod.t;
+  proc : Process.t;
+  rng : Rng.t;
+  enclave : Enclave.t;
+  config : config;
+  ms_base : int;
+  ms_size : int;
+  ecalls : (int, Tenv.handler) Hashtbl.t;
+  ocalls : (int, bytes -> bytes) Hashtbl.t;
+  heap_base_va : int;
+  mutable heap_cursor : int;
+  mutable ocalloc_cursor : int;
+  mutable active_tcs : Sgx_types.tcs option;
+}
+
+let monitor t = Kmod.monitor t.kmod
+let kernel t = Kmod.kernel t.kmod
+let clock t = Kernel.clock (kernel t)
+let cost t = Kernel.cost (kernel t)
+
+(* Marshalling-buffer regions: [0, 1/2) ECALL inputs, [1/2, 3/4) ECALL
+   outputs, [3/4, 1) OCALL allocations (sgx_ocalloc arena). *)
+let ms_out_off t = t.ms_size / 2
+let ms_ocall_off t = t.ms_size * 3 / 4
+
+(* Raw app-side access to the pinned marshalling buffer through the
+   process mapping; cycle cost is charged explicitly by the Edge rates. *)
+let ms_raw rw t ~off data_or_len =
+  let mem = Kernel.mem (kernel t) in
+  let run ~va ~len ~f =
+    let pos = ref 0 in
+    while !pos < len do
+      let a = va + !pos in
+      let chunk = min (len - !pos) (Addr.page_size - Addr.offset a) in
+      let frame =
+        match Kernel.resolve_frame (kernel t) t.proc ~vpn:(Addr.page_of a) with
+        | Some frame -> frame
+        | None -> fail "marshalling page 0x%x not resident" (Addr.page_of a)
+      in
+      f (Addr.base_of_page frame lor Addr.offset a) !pos chunk;
+      pos := !pos + chunk
+    done
+  in
+  match (rw, data_or_len) with
+  | `Write, `Data data ->
+      run ~va:(t.ms_base + off) ~len:(Bytes.length data) ~f:(fun pa pos chunk ->
+          Phys_mem.write_bytes mem pa (Bytes.sub data pos chunk));
+      Bytes.empty
+  | `Read, `Len len ->
+      let out = Bytes.create len in
+      run ~va:(t.ms_base + off) ~len ~f:(fun pa pos chunk ->
+          Bytes.blit (Phys_mem.read_bytes mem pa chunk) 0 out pos chunk);
+      out
+  | `Write, `Len _ | `Read, `Data _ -> assert false
+
+let ms_raw_write t ~off data = ignore (ms_raw `Write t ~off (`Data data))
+let ms_raw_read t ~off ~len = ms_raw `Read t ~off (`Len len)
+
+(* --- loader ---------------------------------------------------------------- *)
+
+let code_page_content config index =
+  (* Deterministic "text section" derived from the code identity; the
+     ecall table participates through the seed the caller chooses. *)
+  let block = Sha256.digest_string (Printf.sprintf "%s:code:%d" config.code_seed index) in
+  let page = Bytes.create Addr.page_size in
+  for i = 0 to (Addr.page_size / 32) - 1 do
+    Bytes.blit block 0 page (i * 32) 32
+  done;
+  page
+
+let layout config =
+  (* Page indices within ELRANGE. *)
+  let code_first = 0 in
+  let data_first = code_first + config.code_pages in
+  let tcs_first = data_first + config.data_pages in
+  let ssa_first = tcs_first + config.tcs_count in
+  let heap_first = ssa_first + (config.tcs_count * config.nssa) in
+  (code_first, data_first, tcs_first, ssa_first, heap_first)
+
+let create ~kmod ~proc ~rng ~signer ~config ~ecalls ~ocalls =
+  let code_first, data_first, tcs_first, ssa_first, heap_first = layout config in
+  if heap_first >= config.elrange_pages then fail "create: ELRANGE too small";
+  let secs =
+    {
+      Sgx_types.base_va = elbase;
+      size = config.elrange_pages * Addr.page_size;
+      attributes = { Sgx_types.debug = config.debug; mode = config.mode; xfrm = 3 };
+      ssa_frame_pages = 1;
+    }
+  in
+  let enclave = Kmod.ioctl_create_enclave kmod secs in
+  let base_vpn = Addr.page_of elbase in
+  let pages = ref [] in
+  let add ~idx ~content ~perms ~page_type =
+    let vpn = base_vpn + idx in
+    Kmod.ioctl_add_page kmod enclave ~vpn ~content ~perms ~page_type;
+    pages :=
+      { Measure.vpn; perms; page_type; content = Measure.page_padded content }
+      :: !pages
+  in
+  for i = 0 to config.code_pages - 1 do
+    add ~idx:(code_first + i)
+      ~content:(code_page_content config i)
+      ~perms:Page_table.rx ~page_type:Sgx_types.Pt_reg
+  done;
+  for i = 0 to config.data_pages - 1 do
+    add ~idx:(data_first + i) ~content:Bytes.empty ~perms:Page_table.rw
+      ~page_type:Sgx_types.Pt_reg
+  done;
+  for i = 0 to config.tcs_count - 1 do
+    let vpn = base_vpn + tcs_first + i in
+    let entry_va = elbase in
+    let ssa_base_vpn = base_vpn + ssa_first + (i * config.nssa) in
+    Kmod.ioctl_add_tcs kmod enclave ~vpn ~entry_va ~nssa:config.nssa
+      ~ssa_base_vpn;
+    pages :=
+      {
+        Measure.vpn;
+        perms = Page_table.rw;
+        page_type = Sgx_types.Pt_tcs;
+        content =
+          Measure.page_padded
+            (Bytes.of_string
+               (Printf.sprintf "tcs:%x:%d:%x" entry_va config.nssa ssa_base_vpn));
+      }
+      :: !pages;
+    for s = 0 to config.nssa - 1 do
+      add
+        ~idx:(ssa_first + (i * config.nssa) + s)
+        ~content:Bytes.empty ~perms:Page_table.rw ~page_type:Sgx_types.Pt_ssa
+    done
+  done;
+  (* sgx_sign: predict the measurement offline and sign it. *)
+  let expected = Measure.expected secs (List.rev !pages) in
+  let sigstruct =
+    Sgx_types.make_sigstruct ~vendor:signer ~enclave_hash:expected
+      ~isv_prod_id:config.isv_prod_id ~isv_svn:config.isv_svn
+  in
+  (* Marshalling buffer: mmap + MAP_POPULATE, then the pin ioctl. *)
+  let ms_size = Addr.align_up config.ms_bytes in
+  let ms_base = Kernel.mmap (Kmod.kernel kmod) proc ~len:ms_size ~populate:true in
+  Kmod.ioctl_pin_range kmod proc ~va:ms_base ~len:ms_size;
+  Kmod.ioctl_init_enclave kmod proc enclave ~sigstruct ~ms_base ~ms_size;
+  let t =
+    {
+      kmod;
+      proc;
+      rng;
+      enclave;
+      config;
+      ms_base;
+      ms_size;
+      ecalls = Hashtbl.create 16;
+      ocalls = Hashtbl.create 16;
+      heap_base_va = elbase + (heap_first * Addr.page_size);
+      heap_cursor = elbase + (heap_first * Addr.page_size);
+      ocalloc_cursor = 0;
+      active_tcs = None;
+    }
+  in
+  List.iter (fun (id, h) -> Hashtbl.replace t.ecalls id h) ecalls;
+  List.iter (fun (id, h) -> Hashtbl.replace t.ocalls id h) ocalls;
+  t
+
+(* --- trusted environment --------------------------------------------------- *)
+
+let take_tcs t =
+  match Enclave.free_tcs t.enclave with
+  | Some tcs -> tcs
+  | None -> fail "no free TCS"
+
+let rec make_tenv t : Tenv.t =
+  let m = monitor t in
+  let enc = t.enclave in
+  {
+    Tenv.mode = t.config.mode;
+    clock = clock t;
+    cost = cost t;
+    read = (fun ~va ~len -> Monitor.enclave_read m enc ~va ~len);
+    write = (fun ~va data -> Monitor.enclave_write m enc ~va data);
+    touch = (fun ~va ~write -> Monitor.touch m enc ~va ~write);
+    malloc =
+      (fun size ->
+        let aligned = (size + 15) land lnot 15 in
+        let va = t.heap_cursor in
+        if va + aligned > elbase + enc.Enclave.secs.Sgx_types.size then
+          fail "enclave heap exhausted";
+        t.heap_cursor <- t.heap_cursor + aligned;
+        va);
+    heap_base = t.heap_base_va;
+    ocall = (fun ~id ?data direction -> do_ocall t ~id ?data direction);
+    ocall_switchless = (fun ~id ?data () -> do_ocall_switchless t ~id ?data ());
+    compute = (fun cycles -> Cycles.tick (clock t) cycles);
+    getkey = (fun name -> Monitor.egetkey m enc name);
+    report = (fun ~report_data -> Monitor.ereport m enc ~report_data);
+    verify_report = (fun report -> Monitor.verify_report m report);
+    seal =
+      (fun ?aad data ->
+        let key = Monitor.egetkey m enc Sgx_types.Seal_key_mrenclave in
+        let nonce = Rng.bytes t.rng 12 in
+        Authenc.encode (Authenc.seal ~key ?aad ~nonce data));
+    unseal =
+      (fun blob ->
+        let key = Monitor.egetkey m enc Sgx_types.Seal_key_mrenclave in
+        Authenc.unseal ~key (Authenc.decode blob));
+    seal_versioned =
+      (fun data ->
+        (* Bind the blob to a fresh counter value: all older blobs die. *)
+        let version = Monitor.counter_increment_for m enc in
+        let key = Monitor.egetkey m enc Sgx_types.Seal_key_mrenclave in
+        let aad = Bytes.of_string (Printf.sprintf "version:%d" version) in
+        Authenc.encode
+          (Authenc.seal ~key ~aad ~nonce:(Rng.bytes t.rng 12) data));
+    unseal_versioned =
+      (fun blob ->
+        let key = Monitor.egetkey m enc Sgx_types.Seal_key_mrenclave in
+        let sealed = Authenc.decode blob in
+        let current = Monitor.counter_read_for m enc in
+        let expected = Bytes.of_string (Printf.sprintf "version:%d" current) in
+        if not (Bytes.equal sealed.Authenc.aad expected) then
+          failwith "stale sealed data";
+        Authenc.unseal ~key sealed);
+    set_page_perms =
+      (fun ~vpn ~perms ~grant ->
+        match t.config.mode with
+        | Sgx_types.P -> Monitor.penclave_set_perms m enc ~vpn ~perms
+        | Sgx_types.GU | Sgx_types.HU ->
+            if grant then Monitor.emodpe m enc ~vpn ~perms
+            else Monitor.emodpr m enc ~vpn ~perms);
+    register_exception_handler =
+      (fun ~vector handler -> Monitor.register_handler m enc ~vector handler);
+    raise_exception = (fun vector -> simulate_exception t vector);
+    interrupt_now = (fun () -> simulate_interrupt t);
+    arm_interrupt_guard =
+      (fun ~window_cycles ~threshold ->
+        Monitor.arm_interrupt_guard m enc ~window_cycles ~threshold);
+    interrupt_alarms = (fun () -> Monitor.interrupt_alarms enc);
+    ms_read =
+      (fun ~off ~len -> Monitor.enclave_read m enc ~va:(t.ms_base + off) ~len);
+    ms_write =
+      (fun ~off data -> Monitor.enclave_write m enc ~va:(t.ms_base + off) data);
+    ms_base = t.ms_base;
+    ms_size = t.ms_size;
+    enclave_id = enc.Enclave.id;
+  }
+
+(* --- OCALL: exit, run untrusted handler, re-enter ------------------------- *)
+
+and do_ocall t ~id ?(data = Bytes.empty) direction =
+  let m = monitor t in
+  let c = cost t in
+  Cycles.tick (clock t) (World_switch.sdk_ocall_soft c t.config.mode);
+  let handler =
+    match Hashtbl.find_opt t.ocalls id with
+    | Some h -> h
+    | None -> fail "unknown OCALL %d" id
+  in
+  (* sgx_ocalloc redirected into the marshalling buffer: the enclave
+     writes the arguments straight there — no extra copy (Sec. 5.3). *)
+  let arg_off = ms_ocall_off t + t.ocalloc_cursor in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    if arg_off + len > t.ms_size then fail "ocalloc arena exhausted";
+    Monitor.enclave_write m t.enclave ~va:(t.ms_base + arg_off) data
+  end;
+  t.ocalloc_cursor <- t.ocalloc_cursor + ((len + 15) land lnot 15);
+  Monitor.eexit m t.enclave ~target_va:aep;
+  t.enclave.Enclave.stats.Enclave.ocalls <-
+    t.enclave.Enclave.stats.Enclave.ocalls + 1;
+  let args = if len > 0 then ms_raw_read t ~off:arg_off ~len else Bytes.empty in
+  let reply = handler args in
+  let reply_off = arg_off in
+  if Bytes.length reply > 0 then ms_raw_write t ~off:reply_off reply;
+  (* Re-enter at the OCALL return stub. *)
+  let tcs = take_tcs t in
+  Monitor.eenter m t.enclave ~tcs ~return_va:aep;
+  t.enclave.Enclave.stats.Enclave.ecalls <-
+    t.enclave.Enclave.stats.Enclave.ecalls - 1;
+  t.active_tcs <- Some tcs;
+  let out =
+    if Bytes.length reply > 0 then
+      Monitor.enclave_read m t.enclave ~va:(t.ms_base + reply_off)
+        ~len:(Bytes.length reply)
+    else Bytes.empty
+  in
+  t.ocalloc_cursor <- max 0 (t.ocalloc_cursor - ((len + 15) land lnot 15));
+  ignore direction;
+  out
+
+(* Switchless OCALL: the request and reply travel through the ocalloc
+   arena like a regular OCALL's arguments, but no world switch happens —
+   the enclave posts to the ring and an untrusted worker thread picks the
+   request up.  We charge the enclave the post + expected wait and run the
+   handler inline on the worker's behalf. *)
+and do_ocall_switchless t ~id ?(data = Bytes.empty) () =
+  let m = monitor t in
+  let c = cost t in
+  let handler =
+    match Hashtbl.find_opt t.ocalls id with
+    | Some h -> h
+    | None -> fail "unknown OCALL %d" id
+  in
+  let arg_off = ms_ocall_off t + t.ocalloc_cursor in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    if arg_off + len > t.ms_size then fail "ocalloc arena exhausted";
+    Monitor.enclave_write m t.enclave ~va:(t.ms_base + arg_off) data
+  end;
+  Cycles.tick (clock t) (c.Cost_model.switchless_post + c.Cost_model.switchless_wait);
+  (* Worker side: dispatch + handler, reply into the same slot. *)
+  Cycles.tick (clock t) c.Cost_model.switchless_dispatch;
+  let args = if len > 0 then ms_raw_read t ~off:arg_off ~len else Bytes.empty in
+  let reply = handler args in
+  if Bytes.length reply > 0 then ms_raw_write t ~off:arg_off reply;
+  t.enclave.Enclave.stats.Enclave.ocalls <-
+    t.enclave.Enclave.stats.Enclave.ocalls + 1;
+  if Bytes.length reply > 0 then
+    Monitor.enclave_read m t.enclave ~va:(t.ms_base + arg_off)
+      ~len:(Bytes.length reply)
+  else Bytes.empty
+
+(* --- exception simulation --------------------------------------------------- *)
+
+and simulate_exception t vector =
+  let m = monitor t in
+  match Monitor.deliver_exception m t.enclave vector with
+  | `Handled_in_enclave -> ()
+  | `Forwarded_to_os -> (
+      let interrupted_tcs =
+        match t.active_tcs with
+        | Some tcs -> tcs
+        | None -> fail "exception outside an ECALL"
+      in
+      (* Phase 1: the primary OS turns the fault into a signal to the
+         uRTS... *)
+      Kernel.deliver_signal (kernel t);
+      (* Phase 2: ...which ECALLs the in-enclave internal handler on a
+         fresh TCS. *)
+      let vector_name = Sgx_types.vector_name vector in
+      match Enclave.find_handler t.enclave ~vector:vector_name with
+      | None -> fail "unhandled %s inside enclave %d" vector_name t.enclave.Enclave.id
+      | Some handler ->
+          Cycles.tick (clock t) (World_switch.sdk_ecall_soft (cost t) t.config.mode);
+          let tcs = take_tcs t in
+          Monitor.eenter m t.enclave ~tcs ~return_va:aep;
+          let handled = handler vector in
+          Monitor.eexit m t.enclave ~target_va:aep;
+          if not handled then fail "in-enclave handler refused %s" vector_name;
+          (* ERESUME back into the interrupted computation. *)
+          Monitor.eresume m t.enclave ~tcs:interrupted_tcs)
+
+and simulate_interrupt t =
+  let m = monitor t in
+  match t.active_tcs with
+  | None -> fail "interrupt outside an ECALL"
+  | Some tcs ->
+      Monitor.deliver_interrupt m t.enclave;
+      (* The primary OS services the interrupt and schedules us back. *)
+      Cycles.tick (clock t) (1_800 + (cost t).Cost_model.os_ctxsw);
+      Monitor.eresume m t.enclave ~tcs
+
+(* --- ECALL ------------------------------------------------------------------ *)
+
+(* A direct (non-marshalling) copy still translates the foreign pages it
+   reads through the nested tables; charge the same per-page costs the
+   marshalling path pays inside enclave_read/_write (first page cold in
+   the paging-structure caches, the rest warm) so the Fig. 7 baseline is
+   apples-to-apples. *)
+let foreign_touch_cost (c : Cost_model.t) ~bytes =
+  let pages = (bytes + Addr.page_size - 1) / Addr.page_size in
+  if pages = 0 then 0
+  else (12 * c.pt_level_access) + ((pages - 1) * ((4 * c.pt_level_access) + 2))
+
+let lookup_ecall t id =
+  match Hashtbl.find_opt t.ecalls id with
+  | Some h -> h
+  | None -> fail "unknown ECALL %d" id
+
+let run_ecall t ~id ~data ~direction ~use_ms =
+  let m = monitor t in
+  let c = cost t in
+  let handler = lookup_ecall t id in
+  Cycles.tick (clock t) (World_switch.sdk_ecall_soft c t.config.mode);
+  let len = Bytes.length data in
+  let carries_in =
+    match direction with
+    | Edge.In | Edge.In_out -> len > 0
+    | Edge.Out | Edge.User_check -> false
+  in
+  (* App-side leg: stage the input in the marshalling buffer. *)
+  if use_ms && carries_in then begin
+    ms_raw_write t ~off:0 data;
+    match direction with
+    | Edge.In -> Edge.charge_ms_in c (clock t) ~bytes:len
+    | Edge.In_out -> Edge.charge_ms_in_out c (clock t) ~bytes:len
+    | Edge.Out | Edge.User_check -> ()
+  end;
+  let tcs = take_tcs t in
+  Monitor.eenter m t.enclave ~tcs ~return_va:aep;
+  t.active_tcs <- Some tcs;
+  let tenv = make_tenv t in
+  (* Trusted-side leg: copy the staged input into enclave memory (the
+     copy SGX-style direct access performs as well). *)
+  let input =
+    if carries_in then
+      if use_ms then Monitor.enclave_read m t.enclave ~va:t.ms_base ~len
+      else begin
+        Cycles.tick (clock t)
+          (Cost_model.copy_cost c len + foreign_touch_cost c ~bytes:len);
+        data
+      end
+    else data
+  in
+  (* An exception escaping trusted code aborts the enclave call: exit
+     cleanly (freeing the TCS and restoring the normal context) before
+     propagating, as the real uRTS does for enclave crashes. *)
+  let result =
+    try handler tenv input
+    with exn ->
+      (match Monitor.current m with
+      | Some running when running.Enclave.id = t.enclave.Enclave.id ->
+          Monitor.eexit m t.enclave ~target_va:aep
+      | Some _ | None -> ());
+      t.active_tcs <- None;
+      raise exn
+  in
+  let out_len = Bytes.length result in
+  let carries_out =
+    match direction with
+    | Edge.Out | Edge.In_out -> out_len > 0
+    | Edge.In | Edge.User_check -> false
+  in
+  if carries_out then
+    if use_ms then
+      Monitor.enclave_write m t.enclave ~va:(t.ms_base + ms_out_off t) result
+    else
+      Cycles.tick (clock t)
+        (Cost_model.copy_cost c out_len + foreign_touch_cost c ~bytes:out_len);
+  Monitor.eexit m t.enclave ~target_va:aep;
+  t.active_tcs <- None;
+  if use_ms && carries_out then begin
+    (match direction with
+    | Edge.Out -> Edge.charge_ms_out c (clock t) ~bytes:out_len
+    | Edge.In_out | Edge.In | Edge.User_check -> ());
+    ms_raw_read t ~off:(ms_out_off t) ~len:out_len
+  end
+  else result
+
+let ecall t ~id ?(data = Bytes.empty) ~direction () =
+  run_ecall t ~id ~data ~direction ~use_ms:true
+
+let ecall_no_ms t ~id ?(data = Bytes.empty) ~direction () =
+  run_ecall t ~id ~data ~direction ~use_ms:false
+
+let destroy t =
+  for vpn = Addr.page_of t.ms_base to Addr.page_of (t.ms_base + t.ms_size - 1) do
+    Process.unpin t.proc ~vpn
+  done;
+  Kmod.ioctl_destroy_enclave t.kmod t.enclave
+
+let enclave t = t.enclave
+let mrenclave t = t.enclave.Enclave.mrenclave
+let mode t = t.config.mode
+let stats t = t.enclave.Enclave.stats
+let config t = t.config
+
+let gen_quote t ~report_data ~nonce =
+  Monitor.gen_quote (monitor t) t.enclave ~report_data ~nonce

@@ -1,0 +1,75 @@
+(** The untrusted runtime (SDK uRTS) and enclave loader (Sec. 3.4, 5.3).
+
+    Mirrors [libsgx_urts.so] as retrofitted by HyperEnclave:
+
+    - {!create} plays the loader + [sgx_sign]: builds the enclave image
+      page by page through the kernel module's ioctls, predicts MRENCLAVE
+      with {!Measure.expected}, signs the SIGSTRUCT, mmaps the
+      marshalling buffer with MAP_POPULATE, pins it, and EINITs.
+    - {!ecall} runs the full edge-call path of Fig. 6 with the
+      marshalling-buffer copies of Fig. 7; OCALLs issued by the enclave
+      come back through the registered untrusted handlers.
+    - exceptions raised inside the enclave follow the mode-appropriate
+      path: in-enclave delivery for P-Enclaves, the AEX + signal +
+      internal-handler-ECALL + ERESUME two-phase dance otherwise. *)
+
+open Hyperenclave_hw
+open Hyperenclave_monitor
+open Hyperenclave_os
+
+type config = {
+  mode : Sgx_types.operation_mode;
+  debug : bool;
+  elrange_pages : int;  (** total enclave virtual range, pages *)
+  code_pages : int;
+  data_pages : int;
+  tcs_count : int;  (** >= 2 so the two-phase exception flow has a free
+                        TCS while the faulted one is parked *)
+  nssa : int;
+  ms_bytes : int;  (** marshalling buffer size *)
+  code_seed : string;  (** stands for the code identity: different seed,
+                           different MRENCLAVE *)
+  isv_prod_id : int;
+  isv_svn : int;
+}
+
+val default_config : Sgx_types.operation_mode -> config
+
+exception Enclave_error of string
+
+type t
+
+val create :
+  kmod:Kmod.t ->
+  proc:Process.t ->
+  rng:Rng.t ->
+  signer:Hyperenclave_crypto.Signature.private_key ->
+  config:config ->
+  ecalls:(int * Tenv.handler) list ->
+  ocalls:(int * (bytes -> bytes)) list ->
+  t
+
+val ecall :
+  t -> id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes
+(** @raise Enclave_error on unknown id or no free TCS. *)
+
+val ecall_no_ms :
+  t -> id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes
+(** Fig. 7's baseline variant: the same call without the marshalling
+    buffer legs (direct-copy semantics, as plain SGX would do). *)
+
+val destroy : t -> unit
+
+val enclave : t -> Enclave.t
+val mrenclave : t -> bytes
+val mode : t -> Sgx_types.operation_mode
+val stats : t -> Enclave.stats
+val config : t -> config
+val monitor : t -> Monitor.t
+
+val gen_quote : t -> report_data:bytes -> nonce:bytes -> Monitor.quote
+(** Sec. 3.3 remote attestation: quote for this enclave. *)
+
+val aep : int
+(** The asynchronous exit pointer / ECALL return site the monitor's EEXIT
+    validation is checked against. *)

@@ -1,0 +1,1 @@
+lib/sgx/sgx_model.ml: Addr Authenc Bytes Cost_model Cycles Hashtbl Hmac Hyperenclave_crypto Hyperenclave_hw Hyperenclave_monitor List Printf Queue Rng Sgx_types Sha256 Signature

@@ -1,0 +1,1 @@
+lib/sgx/sgx_model.mli: Cost_model Cycles Hyperenclave_crypto Hyperenclave_hw Hyperenclave_monitor Rng Sgx_types

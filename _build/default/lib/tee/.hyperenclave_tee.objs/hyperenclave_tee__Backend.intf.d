@@ -1,0 +1,1 @@
+lib/tee/backend.mli: Cost_model Cycles Edge Hyperenclave_hw Hyperenclave_monitor Hyperenclave_sdk Mem_sim Platform Rng Sgx_types Urts

@@ -1,0 +1,1 @@
+lib/tee/mem_sim.ml: Addr Cache Cost_model Cycles Hashtbl Hyperenclave_hw Mem_crypto Option Page_table Queue Rng Tlb

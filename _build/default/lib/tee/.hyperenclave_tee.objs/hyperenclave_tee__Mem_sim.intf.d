@@ -1,0 +1,1 @@
+lib/tee/mem_sim.mli: Cost_model Cycles Hyperenclave_hw Mem_crypto Rng

@@ -1,0 +1,1 @@
+lib/tee/platform.ml: Addr Boot Cost_model Cycles Hyperenclave_crypto Hyperenclave_hw Hyperenclave_monitor Hyperenclave_os Hyperenclave_tpm Int64 Iommu Kernel Kmod Mmu Page_table Phys_mem Process Rng

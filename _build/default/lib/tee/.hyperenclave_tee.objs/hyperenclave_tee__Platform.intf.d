@@ -1,0 +1,1 @@
+lib/tee/platform.mli: Boot Cost_model Cycles Hyperenclave_crypto Hyperenclave_hw Hyperenclave_monitor Hyperenclave_os Hyperenclave_tpm Iommu Kernel Kmod Mmu Phys_mem Process Rng

@@ -1,0 +1,164 @@
+open Hyperenclave_hw
+open Hyperenclave_monitor
+open Hyperenclave_sdk
+module Sgx_model = Hyperenclave_sgx.Sgx_model
+
+type env = {
+  clock : Cycles.t;
+  compute : int -> unit;
+  mem : Mem_sim.t;
+  ocall : id:int -> ?data:bytes -> unit -> bytes;
+  interrupt : unit -> unit;
+  backend_name : string;
+}
+
+type handler = env -> bytes -> bytes
+
+type kind = Native | Hyperenclave of Sgx_types.operation_mode | Sgx
+
+let kind_name = function
+  | Native -> "native"
+  | Hyperenclave mode -> Sgx_types.mode_name mode
+  | Sgx -> "Intel SGX"
+
+type t = {
+  name : string;
+  kind : kind;
+  clock : Cycles.t;
+  mem : Mem_sim.t;
+  call : id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes;
+  destroy : unit -> unit;
+}
+
+let native ~clock ~cost ~rng ~handlers ~ocalls =
+  let mem =
+    Mem_sim.create ~clock ~cost ~rng:(Rng.split rng) ~engine:Mem_crypto.Plain ()
+  in
+  let ocall_tbl = Hashtbl.create 16 in
+  List.iter (fun (id, h) -> Hashtbl.replace ocall_tbl id h) ocalls;
+  let env =
+    {
+      clock;
+      compute = (fun n -> Cycles.tick clock n);
+      mem;
+      ocall =
+        (fun ~id ?(data = Bytes.empty) () ->
+          match Hashtbl.find_opt ocall_tbl id with
+          | Some h -> h data
+          | None -> invalid_arg (Printf.sprintf "native: unknown OCALL %d" id));
+      (* Native code takes timer interrupts too: handler plus scheduler
+         work, without any enclave exit on top. *)
+      interrupt = (fun () -> Cycles.tick clock (1_800 + cost.Cost_model.os_ctxsw));
+      backend_name = "native";
+    }
+  in
+  let ecall_tbl = Hashtbl.create 16 in
+  List.iter (fun (id, h) -> Hashtbl.replace ecall_tbl id h) handlers;
+  {
+    name = "native";
+    kind = Native;
+    clock;
+    mem;
+    call =
+      (fun ~id ?(data = Bytes.empty) ~direction:_ () ->
+        match Hashtbl.find_opt ecall_tbl id with
+        | Some h -> h env data
+        | None -> invalid_arg (Printf.sprintf "native: unknown ECALL %d" id));
+    destroy = (fun () -> ());
+  }
+
+let hyperenclave (platform : Platform.t) ~mode ?(tweak = fun c -> c) ~handlers
+    ~ocalls () =
+  let translation =
+    match mode with
+    | Sgx_types.HU -> Mem_sim.One_level
+    | Sgx_types.GU | Sgx_types.P -> Mem_sim.Nested
+  in
+  let mem =
+    Mem_sim.create ~clock:platform.Platform.clock ~cost:platform.Platform.cost
+      ~rng:(Rng.split platform.Platform.rng)
+      ~engine:Mem_crypto.Sme ~translation ()
+  in
+  let env_of_tenv (tenv : Tenv.t) =
+    {
+      clock = tenv.Tenv.clock;
+      compute = tenv.Tenv.compute;
+      mem;
+      ocall =
+        (fun ~id ?data () ->
+          (* EEXIT/EENTER around the OCALL flush the enclave's TLB. *)
+          let reply = tenv.Tenv.ocall ~id ?data Edge.In_out in
+          Mem_sim.tlb_flush mem;
+          reply);
+      interrupt = tenv.Tenv.interrupt_now;
+      backend_name = Sgx_types.mode_name mode;
+    }
+  in
+  let ecalls =
+    List.map
+      (fun (id, h) -> (id, fun tenv input -> h (env_of_tenv tenv) input))
+      handlers
+  in
+  let config = tweak (Urts.default_config mode) in
+  let urts =
+    Urts.create ~kmod:platform.Platform.kmod ~proc:platform.Platform.proc
+      ~rng:platform.Platform.rng ~signer:platform.Platform.signer ~config
+      ~ecalls ~ocalls
+  in
+  {
+    name = Sgx_types.mode_name mode;
+    kind = Hyperenclave mode;
+    clock = platform.Platform.clock;
+    mem;
+    call =
+      (fun ~id ?(data = Bytes.empty) ~direction () ->
+        Mem_sim.tlb_flush mem;
+        Urts.ecall urts ~id ~data ~direction ());
+    destroy = (fun () -> Urts.destroy urts);
+  }
+
+let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
+    ~ocalls () =
+  let mem =
+    Mem_sim.create ~clock ~cost ~rng:(Rng.split rng)
+      ~engine:(Mem_crypto.Mee { epc_bytes })
+      ()
+  in
+  let sgx_platform =
+    Sgx_model.create_platform ~clock ~cost ~rng:(Rng.split rng) ~epc_bytes
+  in
+  let env_of_enclave enclave =
+    {
+      clock;
+      compute = (fun n -> Sgx_model.compute enclave n);
+      mem;
+      ocall =
+        (fun ~id ?data () ->
+          let reply = Sgx_model.ocall enclave ~id ?data () in
+          Mem_sim.tlb_flush mem;
+          reply);
+      interrupt = (fun () -> Sgx_model.interrupt enclave);
+      backend_name = "Intel SGX";
+    }
+  in
+  let ecalls =
+    List.map
+      (fun (id, h) -> (id, fun enclave input -> h (env_of_enclave enclave) input))
+      handlers
+  in
+  let signer, _ = Hyperenclave_crypto.Signature.generate rng in
+  let enclave =
+    Sgx_model.create_enclave sgx_platform ~code_seed:"tee-backend-sgx" ~signer
+      ~ecalls ~ocalls
+  in
+  {
+    name = "Intel SGX";
+    kind = Sgx;
+    clock;
+    mem;
+    call =
+      (fun ~id ?(data = Bytes.empty) ~direction:_ () ->
+        Mem_sim.tlb_flush mem;
+        Sgx_model.ecall enclave ~id ~data ());
+    destroy = (fun () -> ());
+  }

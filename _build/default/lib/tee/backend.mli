@@ -1,0 +1,71 @@
+(** Uniform workload interface over the compared systems.
+
+    Every workload in this reproduction is written once against {!env} and
+    then run, unmodified, on:
+    - the {b native} baseline — no protection, zero-cost edges, plain
+      DRAM (the paper's "SDK simulation mode" baseline);
+    - {b HyperEnclave} in any of the three operation modes — real edge
+      calls through the SDK/monitor with marshalling copies, SME-priced
+      memory;
+    - the {b SGX} model — Table-1-priced edges, MEE-priced memory with
+      the 93 MB EPC.
+
+    Relative slowdowns between these are the quantity every figure in
+    Sec. 7 reports. *)
+
+open Hyperenclave_hw
+open Hyperenclave_monitor
+open Hyperenclave_sdk
+
+type env = {
+  clock : Cycles.t;
+  compute : int -> unit;  (** charge pure computation *)
+  mem : Mem_sim.t;  (** memory-system behaviour *)
+  ocall : id:int -> ?data:bytes -> unit -> bytes;
+  interrupt : unit -> unit;  (** a timer tick lands now *)
+  backend_name : string;
+}
+
+type handler = env -> bytes -> bytes
+
+type kind = Native | Hyperenclave of Sgx_types.operation_mode | Sgx
+
+val kind_name : kind -> string
+
+type t = {
+  name : string;
+  kind : kind;
+  clock : Cycles.t;
+  mem : Mem_sim.t;
+  call : id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes;
+  destroy : unit -> unit;
+}
+
+val native :
+  clock:Cycles.t ->
+  cost:Cost_model.t ->
+  rng:Rng.t ->
+  handlers:(int * handler) list ->
+  ocalls:(int * (bytes -> bytes)) list ->
+  t
+
+val hyperenclave :
+  Platform.t ->
+  mode:Sgx_types.operation_mode ->
+  ?tweak:(Urts.config -> Urts.config) ->
+  handlers:(int * handler) list ->
+  ocalls:(int * (bytes -> bytes)) list ->
+  unit ->
+  t
+(** Builds a real enclave through the SDK on the given platform. *)
+
+val sgx :
+  clock:Cycles.t ->
+  cost:Cost_model.t ->
+  rng:Rng.t ->
+  ?epc_bytes:int ->
+  handlers:(int * handler) list ->
+  ocalls:(int * (bytes -> bytes)) list ->
+  unit ->
+  t
+(** The Intel baseline; default EPC 93 MB. *)

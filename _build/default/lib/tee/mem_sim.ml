@@ -1,0 +1,227 @@
+open Hyperenclave_hw
+
+type translation = One_level | Nested
+
+type t = {
+  translation : translation;
+  tlb : Tlb.t;
+  clock : Cycles.t;
+  cost : Cost_model.t;
+  rng : Rng.t;
+  engine : Mem_crypto.engine;
+  cache : Cache.t;
+  llc_bytes : int;
+  sample_cap : int;
+  (* EPC residency (Mee only): page-granular CLOCK (approximate LRU),
+     like the SGX driver's reclaim scan — hot pages survive, so zipfian
+     workloads keep their working set resident (Fig. 8b) while uniform
+     scans thrash (Fig. 11). *)
+  epc_pages : int option;
+  resident : (int, bool ref) Hashtbl.t; (* page -> referenced bit *)
+  fifo : int Queue.t;
+  mutable swaps : int;
+}
+
+let create ~clock ~cost ~rng ~engine ?(llc_bytes = 8 * 1024 * 1024)
+    ?(sample_cap = 262_144) ?(translation = One_level) () =
+  {
+    translation;
+    tlb = Tlb.create (Rng.create ~seed:17L);
+    clock;
+    cost;
+    rng;
+    engine;
+    cache = Cache.create ~size_bytes:llc_bytes ();
+    llc_bytes;
+    sample_cap;
+    epc_pages =
+      Option.map (fun b -> b / Addr.page_size) (Mem_crypto.epc_limit engine);
+    resident = Hashtbl.create 4096;
+    fifo = Queue.create ();
+    swaps = 0;
+  }
+
+let engine t = t.engine
+
+(* EPC paging charge for one touched page; 2x: EWB the victim, ELDU ours.
+   Eviction is CLOCK: referenced pages get a second chance. *)
+let evict_one t =
+  let rec spin guard =
+    match Queue.take_opt t.fifo with
+    | None -> ()
+    | Some victim -> (
+        match Hashtbl.find_opt t.resident victim with
+        | None -> spin guard
+        | Some referenced ->
+            if !referenced && guard > 0 then begin
+              referenced := false;
+              Queue.add victim t.fifo;
+              spin (guard - 1)
+            end
+            else Hashtbl.remove t.resident victim)
+  in
+  spin (Hashtbl.length t.resident)
+
+let epc_charge t page =
+  match t.epc_pages with
+  | None -> 0
+  | Some capacity -> (
+      match Hashtbl.find_opt t.resident page with
+      | Some referenced ->
+          referenced := true;
+          0
+      | None ->
+          let swap_cost =
+            if Hashtbl.length t.resident >= capacity then begin
+              evict_one t;
+              t.swaps <- t.swaps + 1;
+              2 * t.cost.epc_swap_page
+            end
+            else 0
+          in
+          Hashtbl.replace t.resident page (ref false);
+          Queue.add page t.fifo;
+          swap_cost)
+
+(* Data-TLB charge for the page containing [addr]: hit is ~free; a miss
+   walks one set of tables natively/HU, or the two-dimensional nested
+   tables for GU/P. *)
+let tlb_cost t page =
+  match Tlb.lookup t.tlb ~vpn:page with
+  | Some _ -> t.cost.tlb_hit
+  | None ->
+      Tlb.insert t.tlb ~vpn:page { Tlb.frame = page; perms = Page_table.rw };
+      (match t.translation with
+      | One_level -> 4 * t.cost.pt_level_access
+      | Nested -> 12 * t.cost.pt_level_access)
+
+let tlb_flush t = Tlb.flush t.tlb
+
+(* One line access; [seq] selects the prefetch-friendly cost profile
+   (tree nodes and next lines prefetched) vs. the dependent-load one. *)
+let line_cost t ~seq ~write addr =
+  let page = Addr.page_of addr in
+  let epc = epc_charge t page + tlb_cost t page in
+  match Cache.access t.cache ~write addr with
+  | Cache.Hit -> t.cost.cache_hit + epc
+  | Cache.Miss { evicted_dirty } ->
+      let wb = if evicted_dirty then 2 else 1 in
+      let base =
+        if seq then
+          (t.cost.dram_seq_miss
+          +
+          match t.engine with
+          | Mem_crypto.Plain -> 0
+          | Mem_crypto.Sme -> t.cost.sme_seq_extra
+          | Mem_crypto.Mee _ -> t.cost.mee_seq_extra)
+          * wb
+        else
+          ((t.cost.cache_miss_dram
+           +
+           match t.engine with
+           | Mem_crypto.Plain -> 0
+           | Mem_crypto.Sme -> t.cost.sme_miss_extra
+           | Mem_crypto.Mee _ -> t.cost.mee_miss_extra)
+          * wb)
+          +
+          (match t.engine with
+          | Mem_crypto.Plain | Mem_crypto.Sme -> 0
+          | Mem_crypto.Mee _ -> t.cost.mee_tree_levels * t.cost.mee_tree_level)
+      in
+      base + epc
+
+let line = 64
+
+let seq_scan t ~base ~bytes ~write =
+  if bytes > 0 then begin
+    let lines = (bytes + line - 1) / line in
+    let simulated = min lines t.sample_cap in
+    let acc = ref 0 in
+    for i = 0 to simulated - 1 do
+      acc := !acc + line_cost t ~seq:true ~write (base + (i * line))
+    done;
+    (* Scale the sampled window cost up to the full scan. *)
+    let total =
+      if simulated = lines then !acc
+      else int_of_float (float_of_int !acc *. float_of_int lines /. float_of_int simulated)
+    in
+    Cycles.tick t.clock total
+  end
+
+let random_access t ~base ~working_set ~count ~write =
+  if count > 0 && working_set > 0 then begin
+    let lines_in_ws = max 1 (working_set / line) in
+    let simulated = min count t.sample_cap in
+    let acc = ref 0 in
+    for _ = 1 to simulated do
+      let addr = base + (Rng.int t.rng lines_in_ws * line) in
+      acc := !acc + line_cost t ~seq:false ~write addr
+    done;
+    let total =
+      if simulated = count then !acc
+      else int_of_float (float_of_int !acc *. float_of_int count /. float_of_int simulated)
+    in
+    Cycles.tick t.clock total
+  end
+
+let touch_bytes t ~addr ~len ~write =
+  (* The first line of an object is a dependent load (pointer chase into
+     it); the rest streams under the prefetcher. *)
+  if len > 0 then begin
+    let first = addr / line and last = (addr + len - 1) / line in
+    let acc = ref (line_cost t ~seq:false ~write (first * line)) in
+    for l = first + 1 to last do
+      acc := !acc + line_cost t ~seq:true ~write (l * line)
+    done;
+    Cycles.tick t.clock !acc
+  end
+
+let touch_dependent t ~addr ~len ~write =
+  if len > 0 then begin
+    let first = addr / line and last = (addr + len - 1) / line in
+    let acc = ref 0 in
+    for l = first to last do
+      acc := !acc + line_cost t ~seq:false ~write (l * line)
+    done;
+    Cycles.tick t.clock !acc
+  end
+
+let flush_range t ~base ~bytes =
+  let lines = (bytes + line - 1) / line in
+  for i = 0 to min lines t.sample_cap - 1 do
+    Cache.flush_line t.cache (base + (i * line))
+  done
+
+let flush_all t = Cache.flush_all t.cache
+let swaps t = t.swaps
+
+let avg_access_cycles t ~pattern ~working_set =
+  (* Private replica so the measurement does not disturb [t].  The scan is
+     unsampled (cap >= the buffer) so EPC-residency effects are real, and
+     the random pass replays the exact same address sequence it warmed
+     with — the dependent pointer chain lat_mem_rd-style scans build. *)
+  let clock = Cycles.create () in
+  let full_cap = max t.sample_cap ((working_set / line) + 1) in
+  let probe =
+    create ~clock ~cost:t.cost
+      ~rng:(Rng.create ~seed:7L)
+      ~engine:t.engine ~llc_bytes:t.llc_bytes ~sample_cap:full_cap ()
+  in
+  let count = max 4096 (working_set / line) in
+  let run () =
+    Rng.set_seed probe.rng 7L;
+    match pattern with
+    | `Seq -> seq_scan probe ~base:0 ~bytes:working_set ~write:false
+    | `Random ->
+        random_access probe ~base:0 ~working_set ~count ~write:false
+  in
+  run ();
+  (* Warm pass done; measure the second pass. *)
+  let before = Cycles.now clock in
+  run ();
+  let accesses =
+    match pattern with
+    | `Seq -> max 1 ((working_set + line - 1) / line)
+    | `Random -> count
+  in
+  float_of_int (Cycles.now clock - before) /. float_of_int accesses

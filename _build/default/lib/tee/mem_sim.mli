@@ -1,0 +1,70 @@
+(** Memory-system cost simulator: LLC + memory-encryption engine + EPC
+    paging, with deterministic sampling for large scans.
+
+    Workloads describe their memory behaviour (sequential scans, random
+    accesses inside a working set) and this module charges cycles through
+    the cache model and the engine: {!Hyperenclave_hw.Mem_crypto.Plain}
+    for the unprotected baselines, [Sme] for HyperEnclave, [Mee] with a
+    93 MB EPC for SGX.  This is where Figure 11's knees (LLC at 8 MB, EPC
+    at 93 MB) and Figure 8b's SGX cliff come from.
+
+    Scans larger than the sampling cap are simulated over a deterministic
+    sample and the cost scaled, keeping bench runtimes bounded without
+    changing per-access averages. *)
+
+open Hyperenclave_hw
+
+type t
+
+(** How data-side virtual addresses translate: native processes and
+    HU-Enclaves walk one level of page tables, GU/P-Enclaves walk the
+    two-dimensional nested tables (Sec. 4.2's "extra virtualization
+    overhead ... two-dimensional page walking"). *)
+type translation = One_level | Nested
+
+val create :
+  clock:Cycles.t ->
+  cost:Cost_model.t ->
+  rng:Rng.t ->
+  engine:Mem_crypto.engine ->
+  ?llc_bytes:int ->
+  ?sample_cap:int ->
+  ?translation:translation ->
+  unit ->
+  t
+(** Defaults: 8 MiB LLC, 262,144 sampled accesses per operation,
+    one-level translation. *)
+
+val tlb_flush : t -> unit
+(** World switches flush the data TLB (Sec. 6); backends call this around
+    enclave transitions so post-switch re-walks are charged at the
+    mode-appropriate rate. *)
+
+val engine : t -> Mem_crypto.engine
+
+val seq_scan : t -> base:int -> bytes:int -> write:bool -> unit
+(** Stream through [\[base, base+bytes)] line by line. *)
+
+val random_access : t -> base:int -> working_set:int -> count:int -> write:bool -> unit
+(** [count] uniformly random line accesses within the working set. *)
+
+val touch_bytes : t -> addr:int -> len:int -> write:bool -> unit
+(** Access a small range (an object / record), line-granular, unsampled;
+    the first line is a dependent load, the rest stream. *)
+
+val touch_dependent : t -> addr:int -> len:int -> write:bool -> unit
+(** Like {!touch_bytes} but every line is a dependent load (pointer
+    chasing inside the object, e.g. a B-tree node binary search). *)
+
+val flush_range : t -> base:int -> bytes:int -> unit
+(** CLFLUSH a range (the Fig. 7 methodology). *)
+
+val flush_all : t -> unit
+
+val swaps : t -> int
+(** EPC page swaps incurred so far (Mee engine only). *)
+
+val avg_access_cycles : t -> pattern:[ `Seq | `Random ] -> working_set:int -> float
+(** Measured average cycles per access for the pattern at the given
+    working-set size — the Fig. 11 metric.  Runs a warm-up pass then a
+    measured pass on a private clock; does not disturb [t]'s clock. *)

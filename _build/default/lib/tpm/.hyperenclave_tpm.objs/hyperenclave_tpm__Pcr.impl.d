@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array Bytes Hyperenclave_crypto List Printf Sha256

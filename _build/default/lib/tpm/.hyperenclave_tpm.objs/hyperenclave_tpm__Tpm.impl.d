@@ -1,0 +1,1 @@
+lib/tpm/tpm.ml: Authenc Buffer Bytes Char Cost_model Cycles Hashtbl Hyperenclave_crypto Hyperenclave_hw List Pcr Rng Sha256 Signature

@@ -1,0 +1,1 @@
+lib/tpm/tpm.mli: Hyperenclave_crypto Hyperenclave_hw Pcr

@@ -1,0 +1,37 @@
+open Hyperenclave_crypto
+
+let bank_size = 24
+
+type t = { regs : bytes array }
+
+let zero () = Bytes.make Sha256.digest_size '\000'
+let create () = { regs = Array.init bank_size (fun _ -> zero ()) }
+
+let reset t =
+  Array.iteri (fun i _ -> t.regs.(i) <- zero ()) t.regs
+
+let check_index index =
+  if index < 0 || index >= bank_size then
+    invalid_arg (Printf.sprintf "Pcr: index %d out of range" index)
+
+let read t ~index =
+  check_index index;
+  Bytes.copy t.regs.(index)
+
+let extend t ~index m =
+  check_index index;
+  let ctx = Sha256.init () in
+  Sha256.update ctx t.regs.(index);
+  Sha256.update ctx m;
+  t.regs.(index) <- Sha256.finalize ctx
+
+let selection_digest t ~indices =
+  let ctx = Sha256.init () in
+  List.iter
+    (fun index ->
+      check_index index;
+      Sha256.update ctx t.regs.(index))
+    indices;
+  Sha256.finalize ctx
+
+let equal_value = Sha256.equal

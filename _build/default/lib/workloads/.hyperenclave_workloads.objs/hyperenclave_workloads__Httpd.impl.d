@@ -1,0 +1,1 @@
+lib/workloads/httpd.ml: Backend Bytes Hashtbl Hyperenclave_hw Hyperenclave_sdk Hyperenclave_tee List Mem_sim Printf Result String

@@ -1,0 +1,1 @@
+lib/workloads/kernel_build.ml: Bytes Cycles Hyperenclave_crypto Hyperenclave_hw Hyperenclave_os Hyperenclave_tee Kernel List Platform Printf Sha256 String

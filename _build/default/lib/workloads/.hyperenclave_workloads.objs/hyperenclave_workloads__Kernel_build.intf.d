@@ -1,0 +1,1 @@
+lib/workloads/kernel_build.mli: Hyperenclave_tee Platform

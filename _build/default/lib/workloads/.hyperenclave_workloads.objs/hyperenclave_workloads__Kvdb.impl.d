@@ -1,0 +1,1 @@
+lib/workloads/kvdb.ml: Backend Btree Buffer Bytes Char Cycles Hyperenclave_hw Hyperenclave_sdk Hyperenclave_tee Int64 List Mem_sim Printf Result Rng String Timer Ycsb

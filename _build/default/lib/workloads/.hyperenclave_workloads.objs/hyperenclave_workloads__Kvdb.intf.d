@@ -1,0 +1,1 @@
+lib/workloads/kvdb.mli: Backend Btree Hyperenclave_tee

@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Addr Bytes Cycles Hyperenclave_hw Hyperenclave_os Hyperenclave_tee Kernel List Platform

@@ -1,0 +1,1 @@
+lib/workloads/memlat.ml: Cycles Hyperenclave_hw Hyperenclave_tee List Mem_sim Rng

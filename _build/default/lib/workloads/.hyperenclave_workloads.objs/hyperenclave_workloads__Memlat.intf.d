@@ -1,0 +1,1 @@
+lib/workloads/memlat.mli: Cost_model Hyperenclave_hw Mem_crypto

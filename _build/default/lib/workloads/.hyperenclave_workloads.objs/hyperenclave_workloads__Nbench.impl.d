@@ -1,0 +1,1 @@
+lib/workloads/nbench.ml: Array Backend Bytes Char Cycles Float Hyperenclave_hw Hyperenclave_sdk Hyperenclave_tee Int64 List Mem_sim Rng String Timer

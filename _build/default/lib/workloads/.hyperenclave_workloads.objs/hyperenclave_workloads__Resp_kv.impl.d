@@ -1,0 +1,1 @@
+lib/workloads/resp_kv.ml: Backend Buffer Bytes Cycles Hashtbl Hyperenclave_hw Hyperenclave_sdk Hyperenclave_tee List Mem_sim Printf Result Rng String Ycsb

@@ -1,0 +1,1 @@
+lib/workloads/resp_kv.mli: Backend Hyperenclave_tee Ycsb

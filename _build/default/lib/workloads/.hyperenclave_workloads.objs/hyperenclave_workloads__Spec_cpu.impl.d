@@ -1,0 +1,1 @@
+lib/workloads/spec_cpu.ml: Addr Array Bytes Char Cycles Hashtbl Hyperenclave_hw Hyperenclave_os Hyperenclave_tee Kernel List Mmu Platform Printf Rng String

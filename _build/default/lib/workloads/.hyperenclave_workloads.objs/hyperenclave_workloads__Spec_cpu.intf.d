@@ -1,0 +1,1 @@
+lib/workloads/spec_cpu.mli: Hyperenclave_tee Platform

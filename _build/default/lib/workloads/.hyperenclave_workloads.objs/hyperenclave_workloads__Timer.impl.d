@@ -1,0 +1,1 @@
+lib/workloads/timer.ml: Backend Cycles Hyperenclave_hw Hyperenclave_tee

@@ -1,0 +1,1 @@
+lib/workloads/timer.mli: Backend Hyperenclave_tee

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Bytes Hyperenclave_hw Printf Rng String

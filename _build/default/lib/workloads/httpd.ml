@@ -1,0 +1,108 @@
+open Hyperenclave_tee
+
+let ecall_request = 300
+let ocall_write = 301
+let chunk_bytes = 16 * 1024
+
+type request = { meth : string; path : string; headers : (string * string) list }
+
+let parse_request raw =
+  match String.split_on_char '\n' raw with
+  | [] -> Result.Error "empty request"
+  | request_line :: rest -> (
+      let request_line = String.trim request_line in
+      match String.split_on_char ' ' request_line with
+      | [ meth; path; version ] ->
+          if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+            Result.Error ("bad version " ^ version)
+          else if String.length path = 0 || path.[0] <> '/' then
+            Result.Error "bad path"
+          else begin
+            let headers =
+              List.filter_map
+                (fun line ->
+                  let line = String.trim line in
+                  match String.index_opt line ':' with
+                  | Some i ->
+                      Some
+                        ( String.lowercase_ascii (String.sub line 0 i),
+                          String.trim
+                            (String.sub line (i + 1) (String.length line - i - 1))
+                        )
+                  | None -> None)
+                rest
+            in
+            Result.Ok { meth; path; headers }
+          end
+      | _ -> Result.Error "malformed request line")
+
+(* Fixed per-request server work besides parsing: fd/connection state,
+   mtime lookup, response-header assembly, access logging. *)
+let per_request_cost = 30_000
+let per_parse_char = 12
+let body_per_byte_num = 1
+let body_per_byte_den = 4 (* content assembly + checksumming *)
+
+(* Loopback send cost per write() (LMBench AF_UNIX scale, Table 3) —
+   charged right after each write OCALL so every backend, enclave or
+   native, pays the same network-stack price. *)
+let per_chunk_net = 12_600
+
+let ocalls () =
+  [
+    ( ocall_write,
+      fun chunk ->
+        Bytes.of_string (string_of_int (Bytes.length chunk)) );
+  ]
+
+let handlers ~pages =
+  let docroot = Hashtbl.create 16 in
+  List.iter (fun (path, size) -> Hashtbl.replace docroot path size) pages;
+  let handle (env : Backend.env) input =
+    match parse_request (Bytes.to_string input) with
+    | Result.Error e -> Bytes.of_string ("HTTP/1.1 400 " ^ e)
+    | Result.Ok { meth; path; headers = _ } -> (
+        env.Backend.compute
+          (per_request_cost + (per_parse_char * Bytes.length input));
+        if meth <> "GET" then Bytes.of_string "HTTP/1.1 405 method not allowed"
+        else
+          match Hashtbl.find_opt docroot path with
+          | None -> Bytes.of_string "HTTP/1.1 404 not found"
+          | Some size ->
+              (* Build and stream the body in write() chunks. *)
+              env.Backend.compute (size * body_per_byte_num / body_per_byte_den);
+              Mem_sim.seq_scan env.Backend.mem ~base:0x5000_0000 ~bytes:size
+                ~write:false;
+              let sent = ref 0 in
+              while !sent < size do
+                let chunk = min chunk_bytes (size - !sent) in
+                let payload = Bytes.make chunk 'x' in
+                let reply = env.Backend.ocall ~id:ocall_write ~data:payload () in
+                env.Backend.compute per_chunk_net;
+                (match int_of_string_opt (Bytes.to_string reply) with
+                | Some n when n = chunk -> ()
+                | Some _ | None -> failwith "Httpd: short write");
+                sent := !sent + chunk
+              done;
+              Bytes.of_string (Printf.sprintf "HTTP/1.1 200 OK bytes=%d" size))
+  in
+  [ (ecall_request, handle) ]
+
+let request_for ~path =
+  Bytes.of_string
+    (Printf.sprintf
+       "GET %s HTTP/1.1\nhost: bench.local\nuser-agent: ab/2.4\nconnection: keep-alive\n"
+       path)
+
+let serve (backend : Backend.t) ~path =
+  let reply, cycles =
+    Hyperenclave_hw.Cycles.time backend.Backend.clock (fun () ->
+        backend.Backend.call ~id:ecall_request ~data:(request_for ~path)
+          ~direction:Hyperenclave_sdk.Edge.In_out ())
+  in
+  let reply = Bytes.to_string reply in
+  if String.length reply < 12 || String.sub reply 9 3 <> "200" then
+    failwith ("Httpd: bad response: " ^ reply);
+  cycles
+
+let throughput_rps ~cycles_per_request = 2.2e9 /. cycles_per_request

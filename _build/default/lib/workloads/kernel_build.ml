@@ -1,0 +1,72 @@
+open Hyperenclave_hw
+open Hyperenclave_crypto
+open Hyperenclave_os
+open Hyperenclave_tee
+
+type result = {
+  native_cycles : int;
+  vm_cycles : int;
+  overhead_pct : float;
+  files : int;
+}
+
+let source_for index =
+  String.concat "\n"
+    (List.init 64 (fun line ->
+         Printf.sprintf "static int fn_%d_%d(int a, int b) { return a * %d + b; }"
+           index line ((line * 17) + 3)))
+
+let lex source =
+  let tokens = ref 0 in
+  let in_word = ref false in
+  String.iter
+    (fun c ->
+      let word_char =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      if word_char && not !in_word then incr tokens;
+      in_word := word_char)
+    source;
+  !tokens
+
+let compile_one (p : Platform.t) index =
+  (* cc1 is a fresh process per translation unit. *)
+  let cc = Kernel.spawn p.kernel in
+  Kernel.switch_to p.kernel cc;
+  let source = source_for index in
+  (* read() of the source, through the page cache. *)
+  let buf_va = Kernel.mmap p.kernel cc ~len:(String.length source) ~populate:false in
+  Kernel.proc_write p.kernel cc ~va:buf_va (Bytes.of_string source);
+  Kernel.null_syscall p.kernel;
+  let tokens = lex source in
+  assert (tokens > 0);
+  Cycles.tick p.clock (tokens * 220 (* parse + codegen per token *));
+  let digest = Sha256.digest_string source in
+  assert (Bytes.length digest = 32);
+  Cycles.tick p.clock (String.length source / 64 * p.cost.sha256_per_block);
+  (* write() of the object file. *)
+  Kernel.null_syscall p.kernel;
+  Kernel.exit_process p.kernel cc;
+  Kernel.switch_to p.kernel p.proc
+
+let run_mode (p : Platform.t) ~nested ~files =
+  Kernel.with_translation p.kernel ~nested (fun () ->
+      let _, cycles =
+        Cycles.time p.clock (fun () ->
+            for index = 1 to files do
+              compile_one p index
+            done)
+      in
+      cycles)
+
+let run (p : Platform.t) ?(files = 48) () =
+  let native_cycles = run_mode p ~nested:false ~files in
+  let vm_cycles = run_mode p ~nested:true ~files in
+  {
+    native_cycles;
+    vm_cycles;
+    overhead_pct =
+      float_of_int (vm_cycles - native_cycles)
+      /. float_of_int native_cycles *. 100.0;
+    files;
+  }

@@ -1,0 +1,18 @@
+(** Linux-kernel-build stand-in (Table 3's last column).
+
+    Compiles a synthetic source tree: per translation unit the "compiler"
+    forks, reads the source, genuinely lexes it, hashes the contents
+    (real SHA-256, charged at the crypto engine rate) and writes an
+    object file.  Run natively and inside the normal VM to expose the
+    virtualization overhead of a fork-heavy, syscall-heavy workload. *)
+
+open Hyperenclave_tee
+
+type result = {
+  native_cycles : int;
+  vm_cycles : int;
+  overhead_pct : float;
+  files : int;
+}
+
+val run : Platform.t -> ?files:int -> unit -> result

@@ -1,0 +1,188 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+
+let record_bytes = 1024
+let stored_bytes = 32 (* actual payload kept in OCaml memory; addresses
+                         and charges still span full 1 KB records *)
+
+let ecall_load = 200
+let ecall_run = 201
+
+(* --- mini-SQL engine --------------------------------------------------------- *)
+
+module Engine = struct
+  type t = { btree : Btree.t; mutable tokens_parsed : int }
+
+  let create () =
+    {
+      btree = Btree.create ~addr_base:0x1000_0000 ~record_bytes ();
+      tokens_parsed = 0;
+    }
+
+  let tokenize stmt =
+    let buf = Buffer.create 16 in
+    let tokens = ref [] in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        tokens := Buffer.contents buf :: !tokens;
+        Buffer.clear buf
+      end
+    in
+    let in_string = ref false in
+    String.iter
+      (fun c ->
+        if !in_string then
+          if c = '\'' then begin
+            tokens := ("'" ^ Buffer.contents buf) :: !tokens;
+            Buffer.clear buf;
+            in_string := false
+          end
+          else Buffer.add_char buf c
+        else
+          match c with
+          | ' ' | '\t' | '\n' | ',' -> flush ()
+          | '(' | ')' | '=' -> flush ()
+          | '\'' ->
+              flush ();
+              in_string := true
+          | c -> Buffer.add_char buf (Char.lowercase_ascii c))
+      stmt;
+    flush ();
+    List.rev !tokens
+
+  let exec t stmt =
+    let tokens = tokenize stmt in
+    t.tokens_parsed <- t.tokens_parsed + List.length tokens;
+    match tokens with
+    | [ "insert"; "into"; "kv"; "values"; key; value ]
+      when String.length value > 0 && value.[0] = '\'' -> (
+        match int_of_string_opt key with
+        | Some key ->
+            Btree.insert t.btree ~key
+              (Bytes.of_string (String.sub value 1 (String.length value - 1)));
+            Result.Ok "ok"
+        | None -> Result.Error "bad key")
+    | [ "select"; "v"; "from"; "kv"; "where"; "k"; key ] -> (
+        match int_of_string_opt key with
+        | Some key -> (
+            match Btree.find t.btree ~key with
+            | Some value -> Result.Ok (Bytes.to_string value)
+            | None -> Result.Error "not found")
+        | None -> Result.Error "bad key")
+    | [ "update"; "kv"; "set"; "v"; value; "where"; "k"; key ]
+      when String.length value > 0 && value.[0] = '\'' -> (
+        match int_of_string_opt key with
+        | Some key ->
+            if
+              Btree.update t.btree ~key
+                (Bytes.of_string (String.sub value 1 (String.length value - 1)))
+            then Result.Ok "ok"
+            else Result.Error "not found"
+        | None -> Result.Error "bad key")
+    | _ -> Result.Error ("parse error: " ^ stmt)
+
+  let btree t = t.btree
+end
+
+(* --- enclave workload --------------------------------------------------------- *)
+
+(* SQLite does far more per statement than our mini engine: bytecode
+   compilation, VDBE dispatch, pager bookkeeping.  This constant stands in
+   for that fixed per-statement CPU work. *)
+let sql_fixed_cost = 22_000
+let sql_per_token = 90
+
+(* Per-statement allocator/pager scatter: SQLite touches lookaside slots,
+   page-cache headers and VDBE registers spread over its heap.  The heap
+   is its own region, far smaller than the record store. *)
+let heap_scatter_bytes = 16 * 1024 * 1024
+let heap_scatter_count = 6
+
+let charge_engine (env : Backend.env) engine =
+  let tokens = engine.Engine.tokens_parsed in
+  engine.Engine.tokens_parsed <- 0;
+  env.Backend.compute (sql_fixed_cost + (tokens * sql_per_token));
+  Mem_sim.random_access env.Backend.mem ~base:0x7000_0000
+    ~working_set:heap_scatter_bytes ~count:heap_scatter_count ~write:false;
+  (* B-tree descent and the record itself are dependent loads. *)
+  List.iter
+    (fun (addr, len) ->
+      Mem_sim.touch_dependent env.Backend.mem ~addr ~len ~write:false)
+    (Btree.last_touched (Engine.btree engine))
+
+let value_literal key = Bytes.to_string (Ycsb.record_value ~key ~size:stored_bytes)
+
+let parse_two tag input =
+  match String.split_on_char ':' (Bytes.to_string input) with
+  | [ t; a; b ] when t = tag -> (int_of_string a, int_of_string b)
+  | _ -> invalid_arg ("Kvdb: bad request for " ^ tag)
+
+let handlers () =
+  let engine = ref None in
+  let get_engine () =
+    match !engine with
+    | Some e -> e
+    | None -> invalid_arg "Kvdb: database not loaded"
+  in
+  let load_handler (env : Backend.env) input =
+    let records, seed = parse_two "load" input in
+    let e = Engine.create () in
+    engine := Some e;
+    let timer = Timer.create env in
+    for key = 0 to records - 1 do
+      (match
+         Engine.exec e
+           (Printf.sprintf "INSERT INTO kv VALUES (%d, '%s')" key
+              (value_literal key))
+       with
+      | Result.Ok _ -> ()
+      | Result.Error m -> failwith m);
+      charge_engine env e;
+      Timer.check timer env
+    done;
+    ignore seed;
+    Bytes.of_string (string_of_int (Btree.size (Engine.btree e)))
+  in
+  let run_handler (env : Backend.env) input =
+    let records, ops = parse_two "run" input in
+    let e = get_engine () in
+    let gen =
+      Ycsb.create ~rng:(Rng.create ~seed:(Int64.of_int (records + 7))) ~records ()
+    in
+    let timer = Timer.create env in
+    let errors = ref 0 in
+    for _ = 1 to ops do
+      let stmt =
+        match Ycsb.next_op_a gen with
+        | Ycsb.Read key -> Printf.sprintf "SELECT v FROM kv WHERE k = %d" key
+        | Ycsb.Update key ->
+            Printf.sprintf "UPDATE kv SET v = '%s' WHERE k = %d"
+              (value_literal key) key
+      in
+      (match Engine.exec e stmt with
+      | Result.Ok _ -> ()
+      | Result.Error _ -> incr errors);
+      charge_engine env e;
+      Timer.check timer env
+    done;
+    if !errors > 0 then failwith (Printf.sprintf "Kvdb: %d failed ops" !errors);
+    Bytes.of_string (string_of_int ops)
+  in
+  [ (ecall_load, load_handler); (ecall_run, run_handler) ]
+
+let call_int (backend : Backend.t) ~id ~request =
+  let _, cycles =
+    Cycles.time backend.Backend.clock (fun () ->
+        backend.Backend.call ~id ~data:(Bytes.of_string request)
+          ~direction:Hyperenclave_sdk.Edge.In ())
+  in
+  cycles
+
+let load backend ~records =
+  call_int backend ~id:ecall_load ~request:(Printf.sprintf "load:%d:1" records)
+
+let run_ops backend ~records ~ops =
+  call_int backend ~id:ecall_run ~request:(Printf.sprintf "run:%d:%d" records ops)
+
+let throughput_kops ~cycles ~ops =
+  float_of_int ops /. (float_of_int cycles /. 2.2e9) /. 1000.0

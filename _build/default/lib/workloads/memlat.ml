@@ -1,0 +1,27 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+
+type point = { size : int; latency_cycles : float }
+
+let default_sizes =
+  let rec go acc size =
+    if size > 256 * 1024 * 1024 then List.rev acc else go (size :: acc) (size * 2)
+  in
+  go [] (16 * 1024)
+
+let series ~cost ~engine ~pattern ~sizes =
+  List.map
+    (fun size ->
+      let clock = Cycles.create () in
+      let sim =
+        Mem_sim.create ~clock ~cost ~rng:(Rng.create ~seed:5L) ~engine ()
+      in
+      { size; latency_cycles = Mem_sim.avg_access_cycles sim ~pattern ~working_set:size })
+    sizes
+
+let overhead_vs ~baseline points =
+  List.map2
+    (fun (b : point) (x : point) ->
+      assert (b.size = x.size);
+      (x.size, x.latency_cycles /. b.latency_cycles))
+    baseline points

@@ -1,0 +1,24 @@
+(** Memory-encryption latency scan (Fig. 11).
+
+    Average access latency for sequential and random patterns over buffer
+    sizes 16 KB - 256 MB, for each engine: unencrypted, AMD SME
+    (HyperEnclave) and Intel MEE with the 93 MB EPC (SGX).  The LLC knee
+    at 8 MB and the SGX paging cliff at 93 MB come out of the cache and
+    EPC models. *)
+
+open Hyperenclave_hw
+
+type point = { size : int; latency_cycles : float }
+
+val default_sizes : int list
+(** 16 KB to 256 MB, doubling. *)
+
+val series :
+  cost:Cost_model.t ->
+  engine:Mem_crypto.engine ->
+  pattern:[ `Seq | `Random ] ->
+  sizes:int list ->
+  point list
+
+val overhead_vs : baseline:point list -> point list -> (int * float) list
+(** Per-size slowdown factor. *)

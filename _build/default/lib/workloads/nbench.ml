@@ -1,0 +1,416 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+
+let kernel_names =
+  [
+    "numeric sort";
+    "string sort";
+    "bitfield";
+    "fp emulation";
+    "fourier";
+    "assignment";
+    "idea";
+    "huffman";
+    "neural net";
+    "lu decomposition";
+  ]
+
+let kernel_count = List.length kernel_names
+let ecall_id i = 100 + i
+
+(* Synthetic data addresses for the memory simulator: each kernel works in
+   its own 1 MiB window. *)
+let data_base i = 0x400_0000 + (i * 0x10_0000)
+
+(* --- 1. numeric sort -------------------------------------------------------- *)
+
+let numeric_sort (env : Backend.env) rng =
+  let n = 4096 in
+  let a = Array.init n (fun _ -> Rng.int rng 1_000_000) in
+  let comps = ref 0 in
+  let rec qsort lo hi =
+    if lo < hi then begin
+      let pivot = a.((lo + hi) / 2) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while
+          incr comps;
+          a.(!i) < pivot
+        do
+          incr i
+        done;
+        while
+          incr comps;
+          a.(!j) > pivot
+        do
+          decr j
+        done;
+        if !i <= !j then begin
+          let tmp = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- tmp;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  qsort 0 (n - 1);
+  for i = 1 to n - 1 do
+    assert (a.(i - 1) <= a.(i))
+  done;
+  env.Backend.compute (!comps * 6);
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 0) ~bytes:(n * 8) ~write:true
+
+(* --- 2. string sort --------------------------------------------------------- *)
+
+let string_sort (env : Backend.env) rng =
+  let n = 768 in
+  let strings =
+    Array.init n (fun _ ->
+        String.init (8 + Rng.int rng 24) (fun _ -> Char.chr (97 + Rng.int rng 26)))
+  in
+  let comps = ref 0 in
+  Array.sort
+    (fun a b ->
+      incr comps;
+      compare a b)
+    strings;
+  for i = 1 to n - 1 do
+    assert (strings.(i - 1) <= strings.(i))
+  done;
+  env.Backend.compute (!comps * 20);
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 1) ~bytes:(n * 32) ~write:true
+
+(* --- 3. bitfield ------------------------------------------------------------ *)
+
+let bitfield (env : Backend.env) rng =
+  let bits = 32768 in
+  let field = Bytes.make (bits / 8) '\000' in
+  let get i = Char.code (Bytes.get field (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+  let set i v =
+    let b = Char.code (Bytes.get field (i / 8)) in
+    let b = if v then b lor (1 lsl (i mod 8)) else b land lnot (1 lsl (i mod 8)) in
+    Bytes.set field (i / 8) (Char.chr (b land 0xff))
+  in
+  let ops = ref 0 in
+  for _ = 1 to 1024 do
+    let start = Rng.int rng (bits - 64) in
+    let len = 1 + Rng.int rng 63 in
+    let kind = Rng.int rng 3 in
+    for i = start to start + len - 1 do
+      incr ops;
+      match kind with
+      | 0 -> set i true
+      | 1 -> set i false
+      | _ -> set i (not (get i))
+    done
+  done;
+  env.Backend.compute (!ops * 4);
+  Mem_sim.random_access env.Backend.mem ~base:(data_base 2) ~working_set:(bits / 8)
+    ~count:1024 ~write:true
+
+(* --- 4. fp emulation (software floating point on integers) ----------------- *)
+
+type soft_float = { sign : int; exp : int; mant : int }
+
+let normalize f =
+  if f.mant = 0 then { f with exp = 0 }
+  else begin
+    let mant = ref f.mant and exp = ref f.exp in
+    while !mant >= 1 lsl 24 do
+      mant := !mant lsr 1;
+      incr exp
+    done;
+    while !mant < 1 lsl 23 do
+      mant := !mant lsl 1;
+      decr exp
+    done;
+    { f with mant = !mant; exp = !exp }
+  end
+
+let soft_of_int n =
+  if n = 0 then { sign = 0; exp = 0; mant = 0 }
+  else normalize { sign = (if n < 0 then 1 else 0); exp = 23; mant = abs n }
+
+let soft_add a b =
+  if a.mant = 0 then b
+  else if b.mant = 0 then a
+  else begin
+    let hi, lo = if a.exp >= b.exp then (a, b) else (b, a) in
+    let shift = min 30 (hi.exp - lo.exp) in
+    let lo_mant = lo.mant lsr shift in
+    if hi.sign = lo.sign then normalize { hi with mant = hi.mant + lo_mant }
+    else if hi.mant >= lo_mant then normalize { hi with mant = hi.mant - lo_mant }
+    else normalize { lo with mant = lo_mant - hi.mant }
+  end
+
+let soft_mul a b =
+  if a.mant = 0 || b.mant = 0 then { sign = 0; exp = 0; mant = 0 }
+  else
+    normalize
+      {
+        sign = a.sign lxor b.sign;
+        exp = a.exp + b.exp - 23;
+        mant = (a.mant lsr 12) * (b.mant lsr 11);
+      }
+
+let fp_emulation (env : Backend.env) rng =
+  let ops = ref 0 in
+  let acc = ref (soft_of_int 1) in
+  for _ = 1 to 2048 do
+    let x = soft_of_int (1 + Rng.int rng 1000) in
+    let y = soft_of_int (1 + Rng.int rng 1000) in
+    acc := soft_add (soft_mul x y) !acc;
+    (* Keep the accumulator bounded so exponents stay sane. *)
+    if !acc.exp > 60 then acc := soft_of_int 1;
+    ops := !ops + 2
+  done;
+  assert (!acc.mant >= 0);
+  env.Backend.compute (!ops * 45)
+
+(* --- 5. fourier (numeric integration of coefficients) ----------------------- *)
+
+let fourier (env : Backend.env) _rng =
+  let coeffs = 48 in
+  let steps = 32 in
+  let f x = (x +. 1.0) ** 1.5 in
+  let integrate g =
+    let lo = 0.0 and hi = 2.0 in
+    let dx = (hi -. lo) /. float_of_int steps in
+    let acc = ref 0.0 in
+    for i = 0 to steps - 1 do
+      let x = lo +. ((float_of_int i +. 0.5) *. dx) in
+      acc := !acc +. (g x *. dx)
+    done;
+    !acc
+  in
+  let total = ref 0.0 in
+  for n = 1 to coeffs do
+    let fn = float_of_int n in
+    total := !total +. integrate (fun x -> f x *. cos (fn *. x));
+    total := !total +. integrate (fun x -> f x *. sin (fn *. x))
+  done;
+  assert (Float.is_finite !total);
+  env.Backend.compute (coeffs * 2 * steps * 60)
+
+(* --- 6. assignment ----------------------------------------------------------- *)
+
+let assignment (env : Backend.env) rng =
+  let n = 32 in
+  let cost = Array.init n (fun _ -> Array.init n (fun _ -> Rng.int rng 100)) in
+  (* Greedy seed + pairwise-exchange improvement (the spirit of the BYTEmark
+     assignment kernel without the full Hungarian machinery). *)
+  let assign = Array.init n (fun i -> i) in
+  let ops = ref (n * n) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        incr ops;
+        let current = cost.(i).(assign.(i)) + cost.(j).(assign.(j)) in
+        let swapped = cost.(i).(assign.(j)) + cost.(j).(assign.(i)) in
+        if swapped < current then begin
+          let tmp = assign.(i) in
+          assign.(i) <- assign.(j);
+          assign.(j) <- tmp;
+          improved := true
+        end
+      done
+    done
+  done;
+  env.Backend.compute (!ops * 8);
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 5) ~bytes:(n * n * 4)
+    ~write:false
+
+(* --- 7. IDEA cipher ----------------------------------------------------------- *)
+
+let idea_mul a b =
+  (* multiplication modulo 2^16 + 1, with 0 meaning 2^16 *)
+  let a = if a = 0 then 0x10000 else a in
+  let b = if b = 0 then 0x10000 else b in
+  let p = a * b mod 0x10001 in
+  if p = 0x10000 then 0 else p
+
+let idea_round x0 x1 x2 x3 k =
+  let y0 = idea_mul x0 k.(0) in
+  let y1 = (x1 + k.(1)) land 0xffff in
+  let y2 = (x2 + k.(2)) land 0xffff in
+  let y3 = idea_mul x3 k.(3) in
+  let t0 = idea_mul (y0 lxor y2) k.(4) in
+  let t1 = idea_mul ((y1 lxor y3) + t0 land 0xffff) k.(5) in
+  let t2 = (t0 + t1) land 0xffff in
+  (y0 lxor t1, y2 lxor t1, y1 lxor t2, y3 lxor t2)
+
+let idea (env : Backend.env) rng =
+  let key = Array.init 52 (fun _ -> Rng.int rng 0x10000) in
+  let blocks = 512 in
+  let checksum = ref 0 in
+  for b = 0 to blocks - 1 do
+    let x0 = ref (b land 0xffff)
+    and x1 = ref (b * 7 land 0xffff)
+    and x2 = ref (b * 13 land 0xffff)
+    and x3 = ref (b * 31 land 0xffff) in
+    for round = 0 to 7 do
+      let k = Array.sub key (round * 6) 6 in
+      let a, b', c, d = idea_round !x0 !x1 !x2 !x3 k in
+      x0 := a;
+      x1 := b';
+      x2 := c;
+      x3 := d
+    done;
+    checksum := !checksum lxor !x0 lxor !x1 lxor !x2 lxor !x3
+  done;
+  assert (!checksum >= 0);
+  env.Backend.compute (blocks * 8 * 14);
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 6) ~bytes:(blocks * 8)
+    ~write:true
+
+(* --- 8. huffman --------------------------------------------------------------- *)
+
+type huff_tree = Leaf of int * int | Node of int * huff_tree * huff_tree
+
+let huff_weight = function Leaf (w, _) -> w | Node (w, _, _) -> w
+
+let huffman (env : Backend.env) rng =
+  let len = 4096 in
+  let data = Bytes.init len (fun _ -> Char.chr (Rng.int rng 64)) in
+  let freq = Array.make 256 0 in
+  Bytes.iter (fun c -> freq.(Char.code c) <- freq.(Char.code c) + 1) data;
+  let leaves =
+    Array.to_list freq
+    |> List.mapi (fun sym w -> (sym, w))
+    |> List.filter (fun (_, w) -> w > 0)
+    |> List.map (fun (sym, w) -> Leaf (w, sym))
+  in
+  let rec build = function
+    | [] -> invalid_arg "huffman: empty"
+    | [ tree ] -> tree
+    | trees ->
+        let sorted = List.sort (fun a b -> compare (huff_weight a) (huff_weight b)) trees in
+        (match sorted with
+        | a :: b :: rest -> build (Node (huff_weight a + huff_weight b, a, b) :: rest)
+        | [ _ ] | [] -> assert false)
+  in
+  let tree = build leaves in
+  let codes = Array.make 256 0 in
+  let rec fill tree depth =
+    match tree with
+    | Leaf (_, sym) -> codes.(sym) <- max 1 depth
+    | Node (_, l, r) ->
+        fill l (depth + 1);
+        fill r (depth + 1)
+  in
+  fill tree 0;
+  let bits = ref 0 in
+  Bytes.iter (fun c -> bits := !bits + codes.(Char.code c)) data;
+  assert (!bits > 0 && !bits <= len * 8);
+  env.Backend.compute ((len * 12) + (256 * 30));
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 7) ~bytes:len ~write:false
+
+(* --- 9. neural net ------------------------------------------------------------ *)
+
+let neural_net (env : Backend.env) rng =
+  let inputs = 8 and hidden = 8 and outputs = 4 in
+  let w1 = Array.init hidden (fun _ -> Array.init inputs (fun _ -> Rng.float rng 1.0 -. 0.5)) in
+  let w2 = Array.init outputs (fun _ -> Array.init hidden (fun _ -> Rng.float rng 1.0 -. 0.5)) in
+  let sigmoid x = 1.0 /. (1.0 +. exp (-.x)) in
+  let iterations = 64 in
+  for _ = 1 to iterations do
+    let x = Array.init inputs (fun _ -> Rng.float rng 1.0) in
+    let target = Array.init outputs (fun _ -> Rng.float rng 1.0) in
+    let h = Array.map (fun row -> sigmoid (Array.fold_left ( +. ) 0.0 (Array.mapi (fun i w -> w *. x.(i)) row))) w1 in
+    let o = Array.map (fun row -> sigmoid (Array.fold_left ( +. ) 0.0 (Array.mapi (fun i w -> w *. h.(i)) row))) w2 in
+    (* Backpropagation with a fixed learning rate. *)
+    let delta_o = Array.mapi (fun i v -> (target.(i) -. v) *. v *. (1.0 -. v)) o in
+    Array.iteri
+      (fun i row -> Array.iteri (fun j w -> row.(j) <- w +. (0.25 *. delta_o.(i) *. h.(j))) row)
+      w2;
+    let delta_h =
+      Array.init hidden (fun j ->
+          let back = ref 0.0 in
+          Array.iteri (fun i d -> back := !back +. (d *. w2.(i).(j))) delta_o;
+          !back *. h.(j) *. (1.0 -. h.(j)))
+    in
+    Array.iteri
+      (fun j row -> Array.iteri (fun k w -> row.(k) <- w +. (0.25 *. delta_h.(j) *. x.(k))) row)
+      w1
+  done;
+  env.Backend.compute (iterations * ((inputs * hidden) + (hidden * outputs)) * 14)
+
+(* --- 10. LU decomposition ------------------------------------------------------ *)
+
+let lu_decomposition (env : Backend.env) rng =
+  let n = 32 in
+  let a = Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 10.0 +. 0.1)) in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- a.(i).(i) +. 50.0 (* diagonal dominance: no pivoting woes *)
+  done;
+  for k = 0 to n - 1 do
+    for i = k + 1 to n - 1 do
+      let factor = a.(i).(k) /. a.(k).(k) in
+      a.(i).(k) <- factor;
+      for j = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (factor *. a.(k).(j))
+      done
+    done
+  done;
+  for i = 0 to n - 1 do
+    assert (Float.is_finite a.(i).(i) && a.(i).(i) <> 0.0)
+  done;
+  env.Backend.compute (n * n * n / 3 * 10);
+  Mem_sim.seq_scan env.Backend.mem ~base:(data_base 9) ~bytes:(n * n * 8)
+    ~write:true
+
+(* --- suite runner --------------------------------------------------------------- *)
+
+let kernels =
+  [|
+    numeric_sort;
+    string_sort;
+    bitfield;
+    fp_emulation;
+    fourier;
+    assignment;
+    idea;
+    huffman;
+    neural_net;
+    lu_decomposition;
+  |]
+
+let encode_iterations n = Bytes.of_string (string_of_int n)
+
+let decode_iterations data =
+  match int_of_string_opt (Bytes.to_string data) with
+  | Some n when n > 0 -> n
+  | Some _ | None -> invalid_arg "Nbench: bad iteration count"
+
+let handler index : Backend.handler =
+ fun env input ->
+  let iterations = decode_iterations input in
+  let rng = Rng.create ~seed:(Int64.of_int (1000 + index)) in
+  let timer = Timer.create env in
+  for _ = 1 to iterations do
+    kernels.(index) env rng;
+    Timer.check timer env
+  done;
+  Bytes.empty
+
+let handlers () = List.init kernel_count (fun i -> (ecall_id i, handler i))
+
+let run_kernel (backend : Backend.t) ~index ~iterations =
+  let _, cycles =
+    Cycles.time backend.Backend.clock (fun () ->
+        backend.Backend.call ~id:(ecall_id index)
+          ~data:(encode_iterations iterations)
+          ~direction:Hyperenclave_sdk.Edge.In ())
+  in
+  cycles
+
+let run_suite backend ~iterations =
+  List.mapi
+    (fun index name -> (name, run_kernel backend ~index ~iterations))
+    kernel_names

@@ -1,0 +1,29 @@
+(** NBench (BYTEmark) — the CPU/FPU/memory suite of Fig. 8a.
+
+    Ten kernels, each genuinely computed (sorts really sort, the cipher
+    really enciphers, LU really factorizes — results are asserted), with
+    cycle charges proportional to the work done plus memory-system charges
+    through the backend's {!Hyperenclave_tee.Mem_sim}.  Timer interrupts
+    fire while kernels run, which is where the enclave overhead for
+    CPU-bound work comes from (AEX + ERESUME per tick). *)
+
+open Hyperenclave_tee
+
+val kernel_names : string list
+(** The ten BYTEmark kernels. *)
+
+val kernel_count : int
+
+val handlers : unit -> (int * Backend.handler) list
+(** ECALL handlers (ids 100..109); register when building a backend. *)
+
+val ecall_id : int -> int
+(** [ecall_id i] is the ECALL id of kernel [i]. *)
+
+val encode_iterations : int -> bytes
+val run_kernel : Backend.t -> index:int -> iterations:int -> int
+(** Run one kernel for [iterations] inside the backend; simulated cycles
+    consumed. *)
+
+val run_suite : Backend.t -> iterations:int -> (string * int) list
+(** All ten kernels; (name, cycles) pairs. *)

@@ -1,0 +1,217 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+
+let ecall_command = 400
+let ocall_read = 401
+let ocall_write = 402
+let value_bytes = 1024
+let stored_bytes = 32
+
+(* --- RESP protocol ------------------------------------------------------------ *)
+
+let encode_command parts =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "*%d\r\n" (List.length parts));
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "$%d\r\n%s\r\n" (String.length p) p))
+    parts;
+  Buffer.to_bytes buf
+
+let parse_one raw pos =
+  let len = String.length raw in
+  let line () =
+    match String.index_from_opt raw !pos '\r' with
+    | Some i when i + 1 < len && raw.[i + 1] = '\n' ->
+        let l = String.sub raw !pos (i - !pos) in
+        pos := i + 2;
+        Result.Ok l
+    | Some _ | None -> Result.Error "missing CRLF"
+  in
+  let ( let* ) = Result.bind in
+  let* header = line () in
+  if String.length header < 2 || header.[0] <> '*' then
+    Result.Error "expected array header"
+  else
+    match int_of_string_opt (String.sub header 1 (String.length header - 1)) with
+    | None -> Result.Error "bad array length"
+    | Some n when n < 0 || n > 64 -> Result.Error "unreasonable array length"
+    | Some n ->
+        let rec bulk acc remaining =
+          if remaining = 0 then Result.Ok (List.rev acc)
+          else
+            let* size_line = line () in
+            if String.length size_line < 2 || size_line.[0] <> '$' then
+              Result.Error "expected bulk string"
+            else
+              match
+                int_of_string_opt (String.sub size_line 1 (String.length size_line - 1))
+              with
+              | None -> Result.Error "bad bulk length"
+              | Some size ->
+                  if !pos + size + 2 > len then Result.Error "truncated bulk"
+                  else begin
+                    let s = String.sub raw !pos size in
+                    pos := !pos + size + 2;
+                    bulk (s :: acc) (remaining - 1)
+                  end
+        in
+        bulk [] n
+
+let parse_resp raw = parse_one raw (ref 0)
+
+(* A pipelined request: back-to-back RESP arrays (redis pipelining). *)
+let parse_pipeline raw =
+  let pos = ref 0 in
+  let rec go acc =
+    if !pos >= String.length raw then Result.Ok (List.rev acc)
+    else
+      match parse_one raw pos with
+      | Result.Ok cmd -> go (cmd :: acc)
+      | Result.Error _ as e -> e
+  in
+  go []
+
+let decode_reply raw =
+  let s = Bytes.to_string raw in
+  if String.length s = 0 then Result.Error "empty reply"
+  else
+    match s.[0] with
+    | '+' -> Result.Ok (String.sub s 1 (String.length s - 1))
+    | '$' -> (
+        match String.index_opt s '\n' with
+        | Some i -> Result.Ok (String.sub s (i + 1) (String.length s - i - 1))
+        | None -> Result.Error "malformed bulk reply")
+    | '-' -> Result.Error (String.sub s 1 (String.length s - 1))
+    | _ -> Result.Error ("unknown reply: " ^ s)
+
+(* --- server ----------------------------------------------------------------- *)
+
+let per_command_cost = 2_600 (* dispatch, object bookkeeping, expiry checks *)
+let per_chunk_net = 12_600
+
+let ocalls () =
+  [
+    (ocall_read, fun data -> data);
+    (ocall_write, fun data -> Bytes.of_string (string_of_int (Bytes.length data)));
+  ]
+
+let handlers () =
+  let store : (string, bytes) Hashtbl.t = Hashtbl.create 4096 in
+  let addr_of_key key =
+    0x6000_0000 + (Hashtbl.hash key land 0xffff) * value_bytes
+  in
+  let run_command (env : Backend.env) parts =
+    env.Backend.compute per_command_cost;
+    (* Value accesses are pointer chases into a 1 KB object. *)
+    match List.map String.lowercase_ascii parts with
+    | "set" :: _ :: _ -> (
+        match parts with
+        | [ _; key; value ] ->
+            Hashtbl.replace store key (Bytes.of_string value);
+            Mem_sim.touch_dependent env.Backend.mem ~addr:(addr_of_key key)
+              ~len:value_bytes ~write:true;
+            "+OK"
+        | _ -> "-ERR wrong number of arguments for 'set'")
+    | [ "get"; key ] -> (
+        Mem_sim.touch_dependent env.Backend.mem ~addr:(addr_of_key key)
+          ~len:value_bytes ~write:false;
+        match Hashtbl.find_opt store key with
+        | Some v -> Printf.sprintf "$%d\n%s" (Bytes.length v) (Bytes.to_string v)
+        | None -> "$-1\n")
+    | [ "dbsize" ] -> Printf.sprintf "+%d" (Hashtbl.length store)
+    | cmd :: _ -> "-ERR unknown command '" ^ cmd ^ "'"
+    | [] -> "-ERR empty command"
+  in
+  let handle (env : Backend.env) input =
+    (* One socket read delivers the whole (possibly pipelined) request. *)
+    ignore (env.Backend.ocall ~id:ocall_read ~data:input ());
+    env.Backend.compute per_chunk_net;
+    env.Backend.compute (20 * Bytes.length input);
+    let reply =
+      match parse_pipeline (Bytes.to_string input) with
+      | Result.Error e -> "-ERR " ^ e
+      | Result.Ok commands ->
+          String.concat "\r" (List.map (run_command env) commands)
+    in
+    (* One socket write carries all the replies back. *)
+    let out = Bytes.of_string reply in
+    ignore (env.Backend.ocall ~id:ocall_write ~data:out ());
+    env.Backend.compute per_chunk_net;
+    out
+  in
+  [ (ecall_command, handle) ]
+
+(* --- client ------------------------------------------------------------------- *)
+
+let key_name key = Printf.sprintf "user%08d" key
+
+let value_for key =
+  Bytes.to_string (Ycsb.record_value ~key ~size:stored_bytes)
+
+let raw_call (backend : Backend.t) parts =
+  backend.Backend.call ~id:ecall_command ~data:(encode_command parts)
+    ~direction:Hyperenclave_sdk.Edge.In_out ()
+
+let load backend ~records =
+  for key = 0 to records - 1 do
+    match decode_reply (raw_call backend [ "SET"; key_name key; value_for key ]) with
+    | Result.Ok "OK" -> ()
+    | Result.Ok other -> failwith ("Resp_kv.load: unexpected reply " ^ other)
+    | Result.Error e -> failwith ("Resp_kv.load: " ^ e)
+  done
+
+let op (backend : Backend.t) operation =
+  let parts =
+    match operation with
+    | Ycsb.Read key -> [ "GET"; key_name key ]
+    | Ycsb.Update key -> [ "SET"; key_name key; value_for key ]
+  in
+  let reply, cycles =
+    Cycles.time backend.Backend.clock (fun () -> raw_call backend parts)
+  in
+  (match decode_reply reply with
+  | Result.Ok _ -> ()
+  | Result.Error e -> failwith ("Resp_kv.op: " ^ e));
+  cycles
+
+(* Under saturation the 20 YCSB clients keep several commands in flight,
+   so the server drains them pipelined — one read()/enter per batch. *)
+let pipeline_depth = 12
+
+let service_time backend ~records ~samples =
+  let gen =
+    Ycsb.create ~rng:(Rng.create ~seed:99L) ~records ()
+  in
+  let batches = max 1 (samples / pipeline_depth) in
+  let total = ref 0 in
+  for _ = 1 to batches do
+    let buf = Buffer.create 512 in
+    for _ = 1 to pipeline_depth do
+      let parts =
+        match Ycsb.next_op_a gen with
+        | Ycsb.Read key -> [ "GET"; key_name key ]
+        | Ycsb.Update key -> [ "SET"; key_name key; value_for key ]
+      in
+      Buffer.add_bytes buf (encode_command parts)
+    done;
+    let _, cycles =
+      Cycles.time backend.Backend.clock (fun () ->
+          ignore
+            (backend.Backend.call ~id:ecall_command ~data:(Buffer.to_bytes buf)
+               ~direction:Hyperenclave_sdk.Edge.In_out ()))
+    in
+    total := !total + cycles
+  done;
+  float_of_int !total /. float_of_int (batches * pipeline_depth)
+
+let latency_curve ~service_cycles ~offered_kops =
+  let s_seconds = service_cycles /. 2.2e9 in
+  List.map
+    (fun kops ->
+      let lambda = kops *. 1000.0 in
+      let rho = lambda *. s_seconds in
+      if rho >= 0.98 then (kops, None)
+      else
+        let latency_s = s_seconds /. (1.0 -. rho) in
+        (kops, Some (latency_s *. 1e6)))
+    offered_kops

@@ -1,0 +1,18 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+
+type t = { period : int; mutable next : int; mutable fired : int }
+
+let default_period = 550_000
+
+let create ?(period = default_period) (env : Backend.env) =
+  { period; next = Cycles.now env.Backend.clock + period; fired = 0 }
+
+let check t (env : Backend.env) =
+  while Cycles.now env.Backend.clock >= t.next do
+    env.Backend.interrupt ();
+    t.fired <- t.fired + 1;
+    t.next <- t.next + t.period
+  done
+
+let fired t = t.fired

@@ -1,0 +1,24 @@
+(** YCSB workload generator (Cooper et al., SoCC'10) — the load used for
+    the SQLite and Redis evaluations (Fig. 8b, 8d).
+
+    Workload A: 50% reads, 50% updates, keys drawn from a zipfian
+    distribution over the loaded records. *)
+
+type op = Read of int | Update of int  (** key *)
+
+type t
+
+val create :
+  rng:Hyperenclave_hw.Rng.t -> records:int -> ?zipf_theta:float -> unit -> t
+(** Default theta 0.99 (the YCSB standard constant). *)
+
+val next_key : t -> int
+(** Zipfian-distributed key in [\[0, records)], hottest keys first. *)
+
+val next_op_a : t -> op
+(** Workload A mix. *)
+
+val uniform_key : t -> int
+
+val record_value : key:int -> size:int -> bytes
+(** Deterministic record payload for a key. *)

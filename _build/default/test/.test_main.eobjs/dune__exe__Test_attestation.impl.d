@@ -1,0 +1,1 @@
+test/test_attestation.ml: Alcotest Bytes Char Cost_model Cycles Enclave Format Hyperenclave List Monitor Platform Quote_wire Result Rng Sgx_types String Tpm Urts Verifier

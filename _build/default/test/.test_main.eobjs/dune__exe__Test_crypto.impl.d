@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Authenc Bytes Char Gen Hmac Hyperenclave List QCheck QCheck_alcotest Sha256 Signature String Test

@@ -1,0 +1,1 @@
+test/test_edl.ml: Alcotest Bytes Char Edge Edl Edl_app Hyperenclave List Option Platform QCheck QCheck_alcotest Result String Tenv Urts

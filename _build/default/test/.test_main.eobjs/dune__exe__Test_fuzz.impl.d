@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Cycles Edge Hashtbl Hyperenclave Int64 Libos List Platform Printf QCheck QCheck_alcotest Quote_wire Result Sgx_types String Tenv Urts

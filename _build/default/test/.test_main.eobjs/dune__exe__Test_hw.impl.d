@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Array Bytes Cache Cost_model Cycles Format Frame_alloc Hashtbl Hyperenclave Iommu List Mem_crypto Mmu Option Page_table Phys_mem QCheck QCheck_alcotest Rng Test Tlb

@@ -1,0 +1,1 @@
+test/test_libos.ml: Alcotest Bytes Cycles Edge Hyperenclave Libos List Option Platform Printf Sgx_types Tenv Urts

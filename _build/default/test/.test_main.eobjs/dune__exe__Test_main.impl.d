@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_attestation Test_crypto Test_edl Test_fuzz Test_hw Test_libos Test_monitor Test_os Test_sdk Test_sgx Test_tee Test_tpm Test_workloads

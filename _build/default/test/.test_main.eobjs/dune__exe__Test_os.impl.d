@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Boot Bytes Cost_model Cycles Edge Enclave Hashtbl Hyperenclave Kernel Kmod List Mmu Monitor Pcr Platform Printf Process Rng Sgx_types Sha256 Tenv Urts

@@ -1,0 +1,1 @@
+test/test_sdk.ml: Alcotest Bytes Char Crypto Cycles Edge Enclave Hyperenclave List Monitor Page_table Platform Printf Sgx_types String Tenv Urts

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Bytes Cost_model Crypto Cycles Hyperenclave Printf Rng Sgx Sgx_types

@@ -1,0 +1,1 @@
+test/test_tee.ml: Alcotest Backend Bytes Char Cost_model Cycles Edge Hw Hyperenclave List Mem_sim Monitor Platform Printf Rng Sgx_types

@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Bytes Cost_model Cycles Hyperenclave Rng

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Backend Bytes Cost_model Cycles Edge Gen Hashtbl Hw Hyperenclave List Option Platform Printf QCheck QCheck_alcotest Result Rng String Test

@@ -1,0 +1,227 @@
+(* Crypto primitives against published vectors, plus roundtrip and
+   tamper-detection properties. *)
+
+open Hyperenclave.Crypto
+
+let hex = Sha256.to_hex
+
+let of_hex s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let check_hex = Alcotest.(check string)
+
+(* --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) -------------------------------- *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (hex (Sha256.digest_string ""));
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (hex (Sha256.digest_string "abc"));
+  check_hex "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (hex
+       (Sha256.digest_string
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check_hex "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Sha256.digest_bytes (Bytes.make 1_000_000 'a')))
+
+let test_sha256_incremental () =
+  let data = "The quick brown fox jumps over the lazy dog, repeatedly." in
+  let oneshot = Sha256.digest_string data in
+  let ctx = Sha256.init () in
+  String.iter (fun c -> Sha256.update_string ctx (String.make 1 c)) data;
+  Alcotest.(check string)
+    "bytewise = oneshot" (hex oneshot)
+    (hex (Sha256.finalize ctx));
+  let ctx2 = Sha256.init () in
+  Sha256.update_string ctx2 data;
+  ignore (Sha256.finalize ctx2);
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Sha256.finalize: already finalized") (fun () ->
+      ignore (Sha256.finalize ctx2))
+
+let test_sha256_equal () =
+  let a = Sha256.digest_string "x" and b = Sha256.digest_string "x" in
+  Alcotest.(check bool) "equal digests" true (Sha256.equal a b);
+  Alcotest.(check bool)
+    "different digests" false
+    (Sha256.equal a (Sha256.digest_string "y"));
+  Alcotest.(check bool) "length mismatch" false (Sha256.equal a (Bytes.create 4))
+
+(* --- HMAC (RFC 4231) ------------------------------------------------------------ *)
+
+let test_hmac_vectors () =
+  check_hex "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Hmac.hmac_string ~key:(Bytes.make 20 '\x0b') "Hi There"));
+  check_hex "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex
+       (Hmac.hmac_string ~key:(Bytes.of_string "Jefe")
+          "what do ya want for nothing?"));
+  (* case 3: 20 x 0xaa key, 50 x 0xdd data *)
+  check_hex "rfc4231 case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex (Hmac.hmac ~key:(Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd')))
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "0123456789abcdef0123456789abcdef" in
+  let msg = Bytes.of_string "attested message" in
+  let tag = Hmac.hmac ~key msg in
+  Alcotest.(check bool) "verify ok" true (Hmac.verify ~key msg ~tag);
+  Alcotest.(check bool)
+    "verify bad msg" false
+    (Hmac.verify ~key (Bytes.of_string "attested message!") ~tag)
+
+let test_hkdf () =
+  (* RFC 5869 test case 1. *)
+  let ikm = Bytes.make 22 '\x0b' in
+  let salt = of_hex "000102030405060708090a0b0c" in
+  let prk = Hmac.hkdf_extract ~salt ~ikm () in
+  check_hex "prk" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (hex prk);
+  (* info = 0xf0..f9, L=42 *)
+  let info = Bytes.to_string (of_hex "f0f1f2f3f4f5f6f7f8f9") in
+  let okm = Hmac.hkdf_expand ~prk ~info ~len:42 in
+  check_hex "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (hex okm);
+  Alcotest.(check int) "derive is 32 bytes" 32 (Bytes.length (Hmac.derive ~key:ikm ~info:"x"));
+  Alcotest.(check bool)
+    "derive domain separation" false
+    (Bytes.equal (Hmac.derive ~key:ikm ~info:"a") (Hmac.derive ~key:ikm ~info:"b"))
+
+(* --- AES (FIPS 197) ---------------------------------------------------------------- *)
+
+let test_aes_vector () =
+  let key = Aes.expand_key (of_hex "000102030405060708090a0b0c0d0e0f") in
+  let ct = Aes.encrypt_block key (of_hex "00112233445566778899aabbccddeeff") in
+  check_hex "fips-197 C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" (hex ct);
+  check_hex "decrypt inverts" "00112233445566778899aabbccddeeff"
+    (hex (Aes.decrypt_block key ct))
+
+let test_aes_ctr () =
+  let key = Bytes.of_string "0123456789abcdef" in
+  let nonce = Bytes.make 12 '\x01' in
+  let plaintext = Bytes.of_string "counter mode works on odd lengths too!" in
+  let ct = Aes.ctr_transform ~key ~nonce plaintext in
+  Alcotest.(check bool) "ciphertext differs" false (Bytes.equal ct plaintext);
+  Alcotest.(check string)
+    "ctr roundtrip"
+    (Bytes.to_string plaintext)
+    (Bytes.to_string (Aes.ctr_transform ~key ~nonce ct))
+
+let test_aes_xts () =
+  let key = Bytes.of_string "fedcba9876543210" in
+  let plaintext = Bytes.make 64 'p' in
+  let ct1 = Aes.xts_encrypt ~key ~tweak:0x1000 plaintext in
+  let ct2 = Aes.xts_encrypt ~key ~tweak:0x2000 plaintext in
+  Alcotest.(check bool)
+    "tweak (address) changes ciphertext" false (Bytes.equal ct1 ct2);
+  Alcotest.(check bool)
+    "blocks differ within buffer" false
+    (Bytes.equal (Bytes.sub ct1 0 16) (Bytes.sub ct1 16 16));
+  Alcotest.(check string)
+    "xts roundtrip"
+    (Bytes.to_string plaintext)
+    (Bytes.to_string (Aes.xts_decrypt ~key ~tweak:0x1000 ct1));
+  Alcotest.check_raises "length check" (Invalid_argument "Aes.xts: length % 16 <> 0")
+    (fun () -> ignore (Aes.xts_encrypt ~key ~tweak:0 (Bytes.create 15)))
+
+(* --- Signatures ---------------------------------------------------------------------- *)
+
+let test_signature () =
+  let rng = Hyperenclave.Rng.create ~seed:9L in
+  let sk, pk = Signature.generate rng in
+  let msg = Bytes.of_string "enclave measurement" in
+  let signature = Signature.sign sk msg in
+  Alcotest.(check bool) "verify ok" true (Signature.verify pk msg ~signature);
+  Alcotest.(check bool)
+    "other message fails" false
+    (Signature.verify pk (Bytes.of_string "enclave measurement!") ~signature);
+  let _, pk2 = Signature.generate rng in
+  Alcotest.(check bool) "other key fails" false (Signature.verify pk2 msg ~signature);
+  Alcotest.(check bool)
+    "unregistered key fails" false
+    (Signature.verify (Bytes.make 32 'z') msg ~signature);
+  (* export/import keeps identity *)
+  let sk' = Signature.import_private (Signature.export_private sk) in
+  Alcotest.(check bool)
+    "imported key signs identically" true
+    (Signature.verify pk msg ~signature:(Signature.sign sk' msg))
+
+(* --- Authenc ---------------------------------------------------------------------------- *)
+
+let test_authenc () =
+  let key = Hmac.derive ~key:(Bytes.of_string "root") ~info:"seal" in
+  let nonce = Bytes.make 12 '\x42' in
+  let aad = Bytes.of_string "policy" in
+  let sealed = Authenc.seal ~key ~aad ~nonce (Bytes.of_string "secret data") in
+  Alcotest.(check string)
+    "roundtrip" "secret data"
+    (Bytes.to_string (Authenc.unseal ~key sealed));
+  let tampered = { sealed with Authenc.ciphertext = Bytes.map (fun c -> Char.chr (Char.code c lxor 1)) sealed.Authenc.ciphertext } in
+  Alcotest.check_raises "tampered ciphertext" Authenc.Authentication_failure
+    (fun () -> ignore (Authenc.unseal ~key tampered));
+  let tampered_aad = { sealed with Authenc.aad = Bytes.of_string "POLICY" } in
+  Alcotest.check_raises "tampered aad" Authenc.Authentication_failure (fun () ->
+      ignore (Authenc.unseal ~key tampered_aad));
+  let wrong_key = Hmac.derive ~key:(Bytes.of_string "other") ~info:"seal" in
+  Alcotest.check_raises "wrong key" Authenc.Authentication_failure (fun () ->
+      ignore (Authenc.unseal ~key:wrong_key sealed));
+  let decoded = Authenc.decode (Authenc.encode sealed) in
+  Alcotest.(check string)
+    "encode/decode roundtrip" "secret data"
+    (Bytes.to_string (Authenc.unseal ~key decoded))
+
+(* --- properties ---------------------------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"aes encrypt/decrypt roundtrip" ~count:100
+      (string_of_size (Gen.return 16))
+      (fun s ->
+        let key = Aes.expand_key (Bytes.of_string "aaaabbbbccccdddd") in
+        let block = Bytes.of_string s in
+        Bytes.equal (Aes.decrypt_block key (Aes.encrypt_block key block)) block);
+    Test.make ~name:"ctr roundtrip any length" ~count:100 string (fun s ->
+        let key = Bytes.of_string "0123456789abcdef" in
+        let nonce = Bytes.make 12 'n' in
+        let data = Bytes.of_string s in
+        Bytes.equal
+          (Aes.ctr_transform ~key ~nonce (Aes.ctr_transform ~key ~nonce data))
+          data);
+    Test.make ~name:"authenc seal/unseal roundtrip" ~count:100
+      (pair string string)
+      (fun (secret, aad) ->
+        let key = Hmac.derive ~key:(Bytes.of_string "k") ~info:"t" in
+        let sealed =
+          Authenc.seal ~key ~aad:(Bytes.of_string aad) ~nonce:(Bytes.make 12 'x')
+            (Bytes.of_string secret)
+        in
+        Bytes.to_string (Authenc.unseal ~key (Authenc.decode (Authenc.encode sealed)))
+        = secret);
+    Test.make ~name:"sha256 distinct on distinct strings" ~count:200
+      (pair small_string small_string)
+      (fun (a, b) ->
+        a = b || not (Sha256.equal (Sha256.digest_string a) (Sha256.digest_string b)));
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_tests
+  @ [
+      Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+      Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+      Alcotest.test_case "sha256 equal" `Quick test_sha256_equal;
+      Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+      Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+      Alcotest.test_case "hkdf rfc5869" `Quick test_hkdf;
+      Alcotest.test_case "aes fips vector" `Quick test_aes_vector;
+      Alcotest.test_case "aes ctr" `Quick test_aes_ctr;
+      Alcotest.test_case "aes xts" `Quick test_aes_xts;
+      Alcotest.test_case "signatures" `Quick test_signature;
+      Alcotest.test_case "authenc" `Quick test_authenc;
+    ]

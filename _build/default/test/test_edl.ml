@@ -1,0 +1,178 @@
+(* The EDL front end (Edger8r analogue) and the interface-enforced
+   application wrapper. *)
+
+open Hyperenclave
+
+let sample_edl =
+  {|
+  // storage service interface
+  enclave {
+      trusted {
+          public void store_record([in, size=len] uint8_t* buf, size_t len);
+          public void load_record([out, size=len] uint8_t* buf, size_t len);
+          public void transform([in, out, size=len] uint8_t* buf, size_t len);
+          public void ping(void);
+      };
+      untrusted {
+          void ocall_log([in, string] char* msg);
+      };
+  };
+|}
+
+let parse_ok src =
+  match Edl.parse src with
+  | Result.Ok i -> i
+  | Result.Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse () =
+  let i = parse_ok sample_edl in
+  Alcotest.(check int) "four trusted" 4 (List.length i.Edl.trusted);
+  Alcotest.(check int) "one untrusted" 1 (List.length i.Edl.untrusted);
+  let dir name =
+    (Option.get (Edl.find_trusted i ~name)).Edl.direction
+  in
+  Alcotest.(check string) "in" "in" (Edge.direction_name (dir "store_record"));
+  Alcotest.(check string) "out" "out" (Edge.direction_name (dir "load_record"));
+  Alcotest.(check string) "in&out" "in&out" (Edge.direction_name (dir "transform"));
+  Alcotest.(check bool)
+    "void takes no buffer" false
+    (Option.get (Edl.find_trusted i ~name:"ping")).Edl.takes_buffer;
+  (* ids are unique and assigned across both sections *)
+  let ids =
+    List.map (fun f -> f.Edl.id) (i.Edl.trusted @ i.Edl.untrusted)
+  in
+  Alcotest.(check int) "unique ids" 5 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool)
+    "header mentions every function" true
+    (let header = Edl.generate_header i in
+     List.for_all
+       (fun f ->
+         let rec contains i =
+           i + String.length f.Edl.name <= String.length header
+           && (String.sub header i (String.length f.Edl.name) = f.Edl.name
+              || contains (i + 1))
+         in
+         contains 0)
+       i.Edl.trusted)
+
+let expect_parse_error name src =
+  match Edl.parse src with
+  | Result.Ok _ -> Alcotest.failf "%s: malformed EDL accepted" name
+  | Result.Error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "no enclave" "trusted { public void f(void); };";
+  expect_parse_error "no trusted fns" "enclave { trusted { }; };";
+  expect_parse_error "missing direction"
+    "enclave { trusted { public void f([size=len] uint8_t* b, size_t len); }; };";
+  expect_parse_error "missing size"
+    "enclave { trusted { public void f([in] uint8_t* b, size_t len); }; };";
+  expect_parse_error "user_check with in"
+    "enclave { trusted { public void f([in, user_check] uint8_t* b, size_t len); }; };";
+  expect_parse_error "duplicate names"
+    "enclave { trusted { public void f(void); public void f(void); }; };"
+
+let make_app () =
+  let p = Platform.create ~seed:8800L () in
+  let store = ref Bytes.empty in
+  let logged = ref [] in
+  let app =
+    Edl_app.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+      ~rng:p.Platform.rng ~signer:p.Platform.signer ~edl:sample_edl
+      ~trusted:
+        [
+          ( "store_record",
+            fun ~ocall (_ : Tenv.t) input ->
+              ignore (ocall ~name:"ocall_log" ~data:(Bytes.of_string "stored") ());
+              store := input;
+              Bytes.empty );
+          ("load_record", fun ~ocall:_ _ _ -> !store);
+          ( "transform",
+            fun ~ocall:_ _ input -> Bytes.map Char.uppercase_ascii input );
+          ("ping", fun ~ocall:_ _ _ -> Bytes.empty);
+        ]
+      ~untrusted:[ ("ocall_log", fun msg -> logged := Bytes.to_string msg :: !logged; Bytes.empty) ]
+      ()
+  in
+  match app with
+  | Result.Ok app -> (app, store, logged)
+  | Result.Error e -> Alcotest.failf "Edl_app.create: %s" e
+
+let test_app_calls () =
+  let app, _, logged = make_app () in
+  ignore (Edl_app.call app ~name:"store_record" ~data:(Bytes.of_string "payload") ());
+  Alcotest.(check (list string)) "ocall by name" [ "stored" ] !logged;
+  Alcotest.(check string)
+    "out direction returns the record" "payload"
+    (Bytes.to_string (Edl_app.call app ~name:"load_record" ()));
+  Alcotest.(check string)
+    "in&out transforms" "LOUD"
+    (Bytes.to_string
+       (Edl_app.call app ~name:"transform" ~data:(Bytes.of_string "loud") ()));
+  ignore (Edl_app.call app ~name:"ping" ());
+  (* Interface enforcement. *)
+  Alcotest.check_raises "undeclared ecall"
+    (Invalid_argument "undeclared ECALL \"backdoor\"") (fun () ->
+      ignore (Edl_app.call app ~name:"backdoor" ()));
+  Alcotest.check_raises "void function refuses data"
+    (Invalid_argument "\"ping\" takes no buffer") (fun () ->
+      ignore (Edl_app.call app ~name:"ping" ~data:(Bytes.of_string "x") ()));
+  Edl_app.destroy app
+
+let test_coverage_checks () =
+  let p = Platform.create ~seed:8801L () in
+  let attempt ~trusted ~untrusted =
+    Edl_app.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+      ~rng:p.Platform.rng ~signer:p.Platform.signer ~edl:sample_edl ~trusted
+      ~untrusted ()
+  in
+  let stub = fun ~ocall:_ (_ : Tenv.t) (_ : bytes) -> Bytes.empty in
+  (match attempt ~trusted:[ ("ping", stub) ] ~untrusted:[] with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "missing implementations accepted");
+  match
+    attempt
+      ~trusted:
+        [
+          ("store_record", stub); ("load_record", stub); ("transform", stub);
+          ("ping", stub); ("extra", stub);
+        ]
+      ~untrusted:[ ("ocall_log", fun _ -> Bytes.empty) ]
+  with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "undeclared implementation accepted"
+
+let test_edl_changes_measurement () =
+  let app1, _, _ = make_app () in
+  let mr1 = Urts.mrenclave (Edl_app.urts app1) in
+  Edl_app.destroy app1;
+  (* Same bodies, different interface -> different MRENCLAVE. *)
+  let p = Platform.create ~seed:8802L () in
+  let app2 =
+    Edl_app.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+      ~rng:p.Platform.rng ~signer:p.Platform.signer
+      ~edl:"enclave { trusted { public void ping(void); }; };"
+      ~trusted:[ ("ping", fun ~ocall:_ _ _ -> Bytes.empty) ]
+      ~untrusted:[] ()
+  in
+  match app2 with
+  | Result.Error e -> Alcotest.fail e
+  | Result.Ok app2 ->
+      Alcotest.(check bool)
+        "interface is part of the identity" false
+        (Bytes.equal mr1 (Urts.mrenclave (Edl_app.urts app2)));
+      Edl_app.destroy app2
+
+let edl_fuzz =
+  QCheck.Test.make ~name:"EDL parser total on garbage" ~count:300 QCheck.string
+    (fun s -> match Edl.parse s with Result.Ok _ | Result.Error _ -> true | exception _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest edl_fuzz;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "app calls + enforcement" `Quick test_app_calls;
+    Alcotest.test_case "coverage checks" `Quick test_coverage_checks;
+    Alcotest.test_case "EDL in measurement" `Quick test_edl_changes_measurement;
+  ]

@@ -1,0 +1,226 @@
+(* Fuzz/property batch: the surfaces that consume untrusted bytes
+   (protocol parsers, the quote wire format, the SQL front end, the libOS
+   fd layer) must be total — reject garbage, never crash — and the
+   encode/parse pairs must be inverses. *)
+
+open Hyperenclave
+module W = Hyperenclave.Workloads
+
+let never_crashes name f =
+  QCheck.Test.make ~name ~count:300 QCheck.string (fun s ->
+      match f s with _ -> true | exception _ -> false)
+
+(* --- generators ------------------------------------------------------------- *)
+
+let resp_word =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 33 126)) (int_range 1 12))
+
+let resp_command_gen = QCheck.Gen.(list_size (int_range 1 5) resp_word)
+
+(* --- RESP -------------------------------------------------------------------- *)
+
+let resp_roundtrip =
+  QCheck.Test.make ~name:"RESP encode/parse inverse" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 6) resp_command_gen))
+    (fun commands ->
+      let wire =
+        Bytes.to_string
+          (Bytes.concat Bytes.empty (List.map W.Resp_kv.encode_command commands))
+      in
+      match W.Resp_kv.parse_pipeline wire with
+      | Result.Ok parsed -> parsed = commands
+      | Result.Error _ -> false)
+
+let resp_total = never_crashes "RESP parser total on garbage" W.Resp_kv.parse_resp
+
+let resp_prefix_rejected =
+  (* Any strict prefix of a valid encoding must be rejected cleanly. *)
+  QCheck.Test.make ~name:"RESP truncation rejected" ~count:200
+    (QCheck.make resp_command_gen)
+    (fun command ->
+      let wire = Bytes.to_string (W.Resp_kv.encode_command command) in
+      let ok = ref true in
+      for len = 1 to String.length wire - 1 do
+        match W.Resp_kv.parse_resp (String.sub wire 0 len) with
+        | Result.Error _ -> ()
+        | Result.Ok parsed -> if parsed = command then ok := false
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+(* --- HTTP -------------------------------------------------------------------- *)
+
+let http_total = never_crashes "HTTP parser total on garbage" W.Httpd.parse_request
+
+let http_valid_requests =
+  QCheck.Test.make ~name:"HTTP parser accepts well-formed requests" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 20))
+           (list_size (int_range 0 4)
+              (pair
+                 (string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 8))
+                 (string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 8))))))
+    (fun (path, headers) ->
+      let raw =
+        Printf.sprintf "GET /%s HTTP/1.1\n%s" path
+          (String.concat ""
+             (List.map (fun (k, v) -> Printf.sprintf "%s: %s\n" k v) headers))
+      in
+      match W.Httpd.parse_request raw with
+      | Result.Ok r ->
+          r.W.Httpd.meth = "GET"
+          && r.W.Httpd.path = "/" ^ path
+          && List.length r.W.Httpd.headers = List.length headers
+      | Result.Error _ -> false)
+
+(* --- mini-SQL ------------------------------------------------------------------ *)
+
+let sql_total =
+  QCheck.Test.make ~name:"SQL engine total on garbage" ~count:300 QCheck.string
+    (fun s ->
+      let e = W.Kvdb.Engine.create () in
+      match W.Kvdb.Engine.exec e s with
+      | Result.Ok _ | Result.Error _ -> true
+      | exception _ -> false)
+
+let sql_store_consistency =
+  QCheck.Test.make ~name:"SQL insert/update/select agree with a model" ~count:80
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 60) (pair (int_bound 20) (int_bound 999))))
+    (fun ops ->
+      let e = W.Kvdb.Engine.create () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (key, v) ->
+          let value = Printf.sprintf "v%d" v in
+          let stmt =
+            if Hashtbl.mem model key && v mod 2 = 0 then
+              Printf.sprintf "UPDATE kv SET v = '%s' WHERE k = %d" value key
+            else Printf.sprintf "INSERT INTO kv VALUES (%d, '%s')" key value
+          in
+          (match W.Kvdb.Engine.exec e stmt with
+          | Result.Ok _ -> Hashtbl.replace model key value
+          | Result.Error _ -> ());
+          match
+            ( W.Kvdb.Engine.exec e (Printf.sprintf "SELECT v FROM kv WHERE k = %d" key),
+              Hashtbl.find_opt model key )
+          with
+          | Result.Ok got, Some expected -> got = expected
+          | Result.Error _, None -> true
+          | Result.Ok _, None | Result.Error _, Some _ -> false)
+        ops)
+
+(* --- quote wire format ----------------------------------------------------------- *)
+
+let wire_total =
+  QCheck.Test.make ~name:"quote decoder total on garbage" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+      match Quote_wire.decode (Bytes.of_string s) with
+      | Result.Ok _ | Result.Error _ -> true
+      | exception _ -> false)
+
+(* --- libOS fd layer ---------------------------------------------------------------- *)
+
+let libos_fd_invariants =
+  QCheck.Test.make ~name:"libOS fd table consistent under random op storms"
+    ~count:20
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 5 40) (pair (int_bound 4) (int_bound 3))))
+    (fun ops ->
+      let p = Platform.create ~seed:7100L () in
+      let outcome = ref true in
+      let handle =
+        Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+          ~rng:p.Platform.rng ~signer:p.Platform.signer
+          ~config:(Urts.default_config Sgx_types.HU)
+          ~ecalls:
+            [
+              ( 1,
+                fun tenv _ ->
+                  let os = Libos.create tenv () in
+                  let fds = ref [] in
+                  List.iter
+                    (fun (op, which) ->
+                      match op with
+                      | 0 ->
+                          let path = Printf.sprintf "/f%d" which in
+                          fds := Libos.openf os ~path [ Libos.O_creat; Libos.O_rdwr ] :: !fds
+                      | 1 -> (
+                          match !fds with
+                          | fd :: rest ->
+                              Libos.close os fd;
+                              fds := rest
+                          | [] -> ())
+                      | 2 -> (
+                          match !fds with
+                          | fd :: _ -> ignore (Libos.write os fd (Bytes.of_string "data"))
+                          | [] -> ())
+                      | 3 -> (
+                          match !fds with
+                          | fd :: _ ->
+                              ignore (Libos.lseek os fd ~pos:0);
+                              ignore (Libos.read os fd ~len:2)
+                          | [] -> ())
+                      | 4 | _ -> (
+                          (* double close must raise, not corrupt *)
+                          match !fds with
+                          | fd :: rest ->
+                              Libos.close os fd;
+                              fds := rest;
+                              (match Libos.close os fd with
+                              | () -> outcome := false
+                              | exception Libos.Bad_fd _ -> ())
+                          | [] -> ()))
+                    ops;
+                  if Libos.open_fds os <> List.length !fds then outcome := false;
+                  Bytes.empty );
+            ]
+          ~ocalls:[]
+      in
+      ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
+      Urts.destroy handle;
+      !outcome)
+
+(* --- determinism -------------------------------------------------------------------- *)
+
+let platform_cycle_determinism =
+  QCheck.Test.make ~name:"identical seeds give identical simulated cycles"
+    ~count:10
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let run () =
+        let p = Platform.create ~seed:(Int64.of_int (9000 + seed)) () in
+        let handle =
+          Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+            ~rng:p.Platform.rng ~signer:p.Platform.signer
+            ~config:(Urts.default_config Sgx_types.GU)
+            ~ecalls:[ (1, fun tenv input -> tenv.Tenv.seal input) ]
+            ~ocalls:[]
+        in
+        ignore
+          (Urts.ecall handle ~id:1 ~data:(Bytes.of_string "d")
+             ~direction:Edge.In_out ());
+        let total = Cycles.now p.Platform.clock in
+        Urts.destroy handle;
+        total
+      in
+      run () = run ())
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      resp_roundtrip;
+      resp_total;
+      resp_prefix_rejected;
+      http_total;
+      http_valid_requests;
+      sql_total;
+      sql_store_consistency;
+      wire_total;
+      libos_fd_invariants;
+      platform_cycle_determinism;
+    ]

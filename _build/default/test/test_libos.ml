@@ -1,0 +1,188 @@
+(* The library OS: POSIX-ish semantics in-enclave, network forwarding,
+   and the in-enclave/forwarded syscall accounting that makes the Occlum
+   approach pay off. *)
+
+open Hyperenclave
+
+let with_libos ?(mode = Sgx_types.GU) ?(switchless_net = false) body =
+  let p = Platform.create ~seed:7000L () in
+  let result = ref None in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config mode)
+      ~ecalls:
+        [
+          ( 1,
+            fun tenv _ ->
+              let os = Libos.create tenv ~switchless_net () in
+              result := Some (body os);
+              Bytes.empty );
+        ]
+      ~ocalls:
+        [
+          (900, fun data -> Bytes.of_string (string_of_int (Bytes.length data)));
+          ( 901,
+            fun len ->
+              Bytes.make (int_of_string (Bytes.to_string len)) 'r' );
+        ]
+  in
+  ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
+  Urts.destroy handle;
+  Option.get !result
+
+let test_file_lifecycle () =
+  with_libos (fun os ->
+      let fd = Libos.openf os ~path:"/data/log.txt" [ Libos.O_creat; Libos.O_rdwr ] in
+      Alcotest.(check int) "first write" 5 (Libos.write os fd (Bytes.of_string "hello"));
+      Alcotest.(check int) "append-style write" 7 (Libos.write os fd (Bytes.of_string " libos!"));
+      ignore (Libos.lseek os fd ~pos:0);
+      Alcotest.(check string)
+        "read back" "hello libos!"
+        (Bytes.to_string (Libos.read os fd ~len:100));
+      Alcotest.(check string)
+        "read at EOF is empty" ""
+        (Bytes.to_string (Libos.read os fd ~len:10));
+      ignore (Libos.lseek os fd ~pos:6);
+      Alcotest.(check string)
+        "seek + partial read" "libos"
+        (Bytes.to_string (Libos.read os fd ~len:5));
+      Alcotest.(check int) "stat" 12 (Libos.stat_size os ~path:"/data/log.txt");
+      Libos.close os fd;
+      Alcotest.(check int) "fd table drained" 0 (Libos.open_fds os);
+      (* O_TRUNC resets; O_APPEND writes at the end regardless of seeks. *)
+      let fd2 = Libos.openf os ~path:"/data/log.txt" [ Libos.O_trunc; Libos.O_append ] in
+      ignore (Libos.write os fd2 (Bytes.of_string "a"));
+      ignore (Libos.lseek os fd2 ~pos:0);
+      ignore (Libos.write os fd2 (Bytes.of_string "b"));
+      Alcotest.(check int) "append semantics" 2 (Libos.stat_size os ~path:"/data/log.txt");
+      Libos.close os fd2;
+      Libos.unlink os ~path:"/data/log.txt";
+      (try
+         ignore (Libos.stat_size os ~path:"/data/log.txt");
+         Alcotest.fail "stat after unlink"
+       with Libos.No_such_file _ -> ());
+      true)
+  |> Alcotest.(check bool) "completed" true
+
+let test_errors () =
+  with_libos (fun os ->
+      (try
+         ignore (Libos.openf os ~path:"/missing" [ Libos.O_rdonly ]);
+         Alcotest.fail "open without O_CREAT"
+       with Libos.No_such_file _ -> ());
+      (try
+         ignore (Libos.read os 42 ~len:1);
+         Alcotest.fail "bad fd"
+       with Libos.Bad_fd 42 -> ());
+      let s = Libos.socket os in
+      (try
+         ignore (Libos.read os s ~len:1);
+         Alcotest.fail "file read on socket"
+       with Libos.Bad_fd _ -> ());
+      true)
+  |> Alcotest.(check bool) "completed" true
+
+let test_directory_listing () =
+  with_libos (fun os ->
+      List.iter
+        (fun path -> Libos.close os (Libos.openf os ~path [ Libos.O_creat ]))
+        [ "/etc/app.conf"; "/etc/keys.pem"; "/var/run.pid" ];
+      Libos.list_dir os ~prefix:"/etc/")
+  |> Alcotest.(check (list string)) "prefix listing" [ "/etc/app.conf"; "/etc/keys.pem" ]
+
+let test_network_forwarding_and_stats () =
+  let stats =
+    with_libos (fun os ->
+        let pid = Libos.getpid os in
+        Alcotest.(check int) "pid" 1 pid;
+        Alcotest.(check bool) "clock ticks" true (Libos.clock_monotonic os > 0);
+        let fd = Libos.openf os ~path:"/tmp/x" [ Libos.O_creat; Libos.O_rdwr ] in
+        for _ = 1 to 10 do
+          ignore (Libos.write os fd (Bytes.of_string "block"))
+        done;
+        Libos.close os fd;
+        let s = Libos.socket os in
+        Alcotest.(check int) "send returns count" 4 (Libos.send os s (Bytes.of_string "ping"));
+        Alcotest.(check string)
+          "recv payload" "rrr"
+          (Bytes.to_string (Libos.recv os s ~len:3));
+        Libos.stats os)
+  in
+  (* 10 writes + open/close + socket + send + recv + pid + clock + ... all
+     dispatched in-enclave; only the two socket ops actually left. *)
+  Alcotest.(check int) "only network forwarded" 2 stats.Libos.forwarded;
+  Alcotest.(check bool)
+    (Printf.sprintf "most syscalls stayed inside (%d)" stats.Libos.in_enclave)
+    true
+    (stats.Libos.in_enclave > 15)
+
+let test_exitless_is_cheaper () =
+  (* The same file work costs far less than the equivalent number of
+     world switches would. *)
+  let p = Platform.create ~seed:7001L () in
+  let cycles = ref 0 in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config Sgx_types.GU)
+      ~ecalls:
+        [
+          ( 1,
+            fun tenv _ ->
+              let os = Libos.create tenv () in
+              let fd = Libos.openf os ~path:"/f" [ Libos.O_creat; Libos.O_rdwr ] in
+              let _, c =
+                Cycles.time tenv.Tenv.clock (fun () ->
+                    for _ = 1 to 100 do
+                      ignore (Libos.write os fd (Bytes.of_string "x"))
+                    done)
+              in
+              cycles := c;
+              Bytes.empty );
+        ]
+      ~ocalls:[]
+  in
+  ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
+  Urts.destroy handle;
+  let ocall_equivalent = 100 * 4920 in
+  Alcotest.(check bool)
+    (Printf.sprintf "100 in-enclave writes (%d cyc) << 100 OCALLs (%d cyc)"
+       !cycles ocall_equivalent)
+    true
+    (!cycles * 5 < ocall_equivalent)
+
+let test_switchless_net () =
+  let regular =
+    with_libos ~switchless_net:false (fun os ->
+        let s = Libos.socket os in
+        let clock_before = Libos.clock_monotonic os in
+        for _ = 1 to 20 do
+          ignore (Libos.send os s (Bytes.of_string "chunk"))
+        done;
+        Libos.clock_monotonic os - clock_before)
+  in
+  let switchless =
+    with_libos ~switchless_net:true (fun os ->
+        let s = Libos.socket os in
+        let clock_before = Libos.clock_monotonic os in
+        for _ = 1 to 20 do
+          ignore (Libos.send os s (Bytes.of_string "chunk"))
+        done;
+        Libos.clock_monotonic os - clock_before)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "switchless net (%d) beats regular (%d)" switchless regular)
+    true
+    (switchless * 2 < regular)
+
+let suite =
+  [
+    Alcotest.test_case "file lifecycle" `Quick test_file_lifecycle;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "directory listing" `Quick test_directory_listing;
+    Alcotest.test_case "network forwarding + stats" `Quick
+      test_network_forwarding_and_stats;
+    Alcotest.test_case "exitless file I/O is cheap" `Quick test_exitless_is_cheaper;
+    Alcotest.test_case "switchless network" `Quick test_switchless_net;
+  ]

@@ -1,0 +1,19 @@
+(* Test entry point: one alcotest section per subsystem. *)
+
+let () =
+  Alcotest.run "hyperenclave"
+    [
+      ("hw", Test_hw.suite);
+      ("crypto", Test_crypto.suite);
+      ("tpm", Test_tpm.suite);
+      ("monitor", Test_monitor.suite);
+      ("os", Test_os.suite);
+      ("sdk", Test_sdk.suite);
+      ("libos", Test_libos.suite);
+      ("edl", Test_edl.suite);
+      ("sgx", Test_sgx.suite);
+      ("attestation", Test_attestation.suite);
+      ("tee", Test_tee.suite);
+      ("workloads", Test_workloads.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]
