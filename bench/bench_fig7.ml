@@ -72,31 +72,38 @@ let run () =
      16 KB: ECALL in 8%, out 11%, in&out 21%; OCALL negligible.";
   let platform = Platform.create ~seed:303L () in
   let enclave = make_enclave platform in
+  let telemetry = Monitor.telemetry platform.Platform.monitor in
+  let phase name f = Util.with_phase_deltas telemetry ~phase:name f in
   let dir_rows direction label =
-    List.map
-      (fun size ->
-        let with_ms = measure platform enclave ~use_ms:true ~direction ~size in
-        let without = measure platform enclave ~use_ms:false ~direction ~size in
-        let overhead =
-          float_of_int (with_ms - without) /. float_of_int without *. 100.0
-        in
-        [
-          Printf.sprintf "ECALL %s" label;
-          Util.human_bytes size;
-          Util.cyc without;
-          Util.cyc with_ms;
-          Util.pct overhead;
-        ])
-      sizes
+    phase (Printf.sprintf "ECALL %s" label) (fun () ->
+        List.map
+          (fun size ->
+            let with_ms = measure platform enclave ~use_ms:true ~direction ~size in
+            let without = measure platform enclave ~use_ms:false ~direction ~size in
+            let overhead =
+              float_of_int (with_ms - without) /. float_of_int without *. 100.0
+            in
+            [
+              Printf.sprintf "ECALL %s" label;
+              Util.human_bytes size;
+              Util.cyc without;
+              Util.cyc with_ms;
+              Util.pct overhead;
+            ])
+          sizes)
   in
   let ocall_rows =
-    List.map
-      (fun size ->
-        let c = measure_ocall platform enclave ~size in
-        (* The no-ms OCALL variant costs the same path minus nothing: by
-           construction the extra is zero; report measured totals. *)
-        [ "OCALL in"; Util.human_bytes size; Util.cyc c; Util.cyc c; Util.pct 0.0 ])
-      sizes
+    phase "OCALL in" (fun () ->
+        List.map
+          (fun size ->
+            let c = measure_ocall platform enclave ~size in
+            (* The no-ms OCALL variant costs the same path minus nothing: by
+               construction the extra is zero; report measured totals. *)
+            [
+              "OCALL in"; Util.human_bytes size; Util.cyc c; Util.cyc c;
+              Util.pct 0.0;
+            ])
+          sizes)
   in
   Util.print_table
     ~columns:[ "call"; "size"; "no ms buf"; "ms buf"; "overhead" ]

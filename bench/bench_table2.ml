@@ -83,10 +83,17 @@ let measure_hyperenclave mode =
       ~config:(Urts.default_config mode)
       ~ecalls:handlers ~ocalls:[]
   in
-  ignore
-    (Urts.ecall enclave ~id:ud_ecall ~data:Bytes.empty ~direction:Edge.In ());
-  ignore
-    (Urts.ecall enclave ~id:gc_ecall ~data:Bytes.empty ~direction:Edge.In ());
+  let telemetry = Monitor.telemetry platform.Platform.monitor in
+  Util.with_phase_deltas telemetry
+    ~phase:(Printf.sprintf "#UD (%s)" (Sgx_types.mode_name mode))
+    (fun () ->
+      ignore
+        (Urts.ecall enclave ~id:ud_ecall ~data:Bytes.empty ~direction:Edge.In ()));
+  Util.with_phase_deltas telemetry
+    ~phase:(Printf.sprintf "#PF GC (%s)" (Sgx_types.mode_name mode))
+    (fun () ->
+      ignore
+        (Urts.ecall enclave ~id:gc_ecall ~data:Bytes.empty ~direction:Edge.In ()));
   Urts.destroy enclave;
   !results
 

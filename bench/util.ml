@@ -84,3 +84,19 @@ let human_bytes n =
   else Printf.sprintf "%d B" n
 
 let note fmt = Printf.printf fmt
+
+(* Per-phase telemetry deltas: wrap a bench phase, diff the monitor's
+   counters across it, and print whatever moved.  Deltas only — earlier
+   phases (enclave build, warm-up) don't pollute the numbers. *)
+let with_phase_deltas telemetry ~phase f =
+  let before = Hyperenclave.Telemetry.snapshot telemetry in
+  let result = f () in
+  let after = Hyperenclave.Telemetry.snapshot telemetry in
+  (match Hyperenclave.Telemetry.delta_counters ~before ~after with
+  | [] -> ()
+  | deltas ->
+      Printf.printf "\n  telemetry deltas — %s:\n" phase;
+      List.iter
+        (fun (name, d) -> Printf.printf "    %-28s %+10d\n" name d)
+        deltas);
+  result

@@ -5,11 +5,13 @@
      attest   generate a quote and verify it against golden values
      modes    print the world-switch cost table for the three modes
      run      run a workload on a chosen backend and print cycle costs
+     stats    run an EPC-pressure demo and dump the telemetry snapshot
 
    Examples:
      dune exec bin/hyperenclave_cli.exe -- boot --seed 7
      dune exec bin/hyperenclave_cli.exe -- run --workload sqlite --backend hu
-     dune exec bin/hyperenclave_cli.exe -- attest --tamper kernel *)
+     dune exec bin/hyperenclave_cli.exe -- attest --tamper kernel
+     dune exec bin/hyperenclave_cli.exe -- stats --json *)
 
 open Hyperenclave
 open Cmdliner
@@ -215,6 +217,67 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload on a chosen backend.")
     Term.(const run $ workload_arg $ backend_arg)
 
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the snapshot as JSON instead of the human rendering." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run verbose seed json =
+    setup_logs verbose;
+    (* A demo run sized to exercise every instrumented path: 2 MiB of EPC
+       (512 frames) against a 700-page working set forces demand commits,
+       evictions and swap-ins; the echo ECALL and its OCALL cover the SDK
+       legs. *)
+    let p =
+      Platform.create ~seed:(Int64.of_int seed) ~phys_mb:134 ~os_mb:128
+        ~monitor_mb:4 ()
+    in
+    let handle =
+      Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+        ~signer:p.Platform.signer
+        ~config:
+          { (Urts.default_config Sgx_types.GU) with Urts.elrange_pages = 2048 }
+        ~ecalls:
+          [
+            ( 1,
+              fun (tenv : Tenv.t) _ ->
+                let pages = 700 in
+                let base = tenv.Tenv.malloc (pages * 4096) in
+                for i = 0 to pages - 1 do
+                  tenv.Tenv.write ~va:(base + (i * 4096))
+                    (Bytes.of_string (Printf.sprintf "page-%04d" i))
+                done;
+                for i = 0 to pages - 1 do
+                  ignore (tenv.Tenv.read ~va:(base + (i * 4096)) ~len:9)
+                done;
+                Bytes.empty );
+            ( 2,
+              fun (tenv : Tenv.t) input ->
+                tenv.Tenv.ocall ~id:1 ~data:input Edge.In_out );
+          ]
+        ~ocalls:[ (1, fun request -> Bytes.cat request request) ]
+    in
+    ignore (Urts.ecall handle ~id:1 ~direction:Edge.User_check ());
+    ignore
+      (Urts.ecall handle ~id:2
+         ~data:(Bytes.of_string "telemetry-demo")
+         ~direction:Edge.In_out ());
+    Urts.destroy handle;
+    let snap = Telemetry.snapshot (Monitor.telemetry p.Platform.monitor) in
+    if json then print_endline (Telemetry.to_json snap)
+    else begin
+      Printf.printf "telemetry after demo run (seed %d):\n" seed;
+      Format.printf "%a@." Telemetry.pp snap
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an EPC-pressure demo and dump the monitor telemetry snapshot.")
+    Term.(const run $ verbose_arg $ seed_arg $ json_arg)
+
 (* --- sign ------------------------------------------------------------------ *)
 
 let sign_cmd =
@@ -261,4 +324,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hyperenclave_cli" ~version:"1.0.0" ~doc)
-          [ boot_cmd; modes_cmd; attest_cmd; run_cmd; sign_cmd ]))
+          [ boot_cmd; modes_cmd; attest_cmd; run_cmd; sign_cmd; stats_cmd ]))

@@ -35,6 +35,7 @@ module Tee = Hyperenclave_tee
 module Workloads = Hyperenclave_workloads
 
 (* Frequently-used modules, re-exported flat. *)
+module Telemetry = Hyperenclave_obs.Telemetry
 module Cycles = Hyperenclave_hw.Cycles
 module Cost_model = Hyperenclave_hw.Cost_model
 module Rng = Hyperenclave_hw.Rng

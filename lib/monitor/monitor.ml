@@ -2,6 +2,7 @@ open Hyperenclave_hw
 open Hyperenclave_crypto
 module Tpm = Hyperenclave_tpm.Tpm
 module Pcr = Hyperenclave_tpm.Pcr
+module Telemetry = Hyperenclave_obs.Telemetry
 
 exception Security_violation of string
 
@@ -55,10 +56,16 @@ type t = {
   mutable saved_normal : (Page_table.t * Page_table.t option) option;
   (* EPC overcommit: evicted pages are sealed and handed to untrusted
      storage through the kernel module's backend (EWB/ELDU analogue). *)
-  mutable swap_backend :
-    ((string -> bytes -> unit) * (string -> bytes option)) option;
+  mutable swap_backend : swap_backend option;
   swapped : (int * int, unit) Hashtbl.t; (* (enclave, vpn) currently out *)
   mutable epc_swaps : int;
+  telemetry : Telemetry.t;
+}
+
+and swap_backend = {
+  store : string -> bytes -> unit;
+  load : string -> bytes option;
+  delete : string -> unit;
 }
 
 (* PCR allocation: 0 CRTM, 1 BIOS, 2 grub, 3 kernel, 4 initramfs,
@@ -101,6 +108,7 @@ let create ~clock ~cost ~rng ~mem ~cpu ~iommu ~tpm config =
     swap_backend = None;
     swapped = Hashtbl.create 64;
     epc_swaps = 0;
+    telemetry = Telemetry.create ();
   }
 
 (* --- measured late launch ------------------------------------------------ *)
@@ -164,8 +172,31 @@ let boot_log t = t.boot_log
 
 let require_launched t op = if not t.launched then violation "%s: monitor not launched" op
 
-let set_swap_backend t ~store ~load = t.swap_backend <- Some (store, load)
+let set_swap_backend t ~store ~load ~delete =
+  t.swap_backend <- Some { store; load; delete }
+
 let epc_swap_count t = t.epc_swaps
+let telemetry t = t.telemetry
+
+let swapped_out t ~enclave_id =
+  Hashtbl.fold
+    (fun (id, _) () acc -> if id = enclave_id then acc + 1 else acc)
+    t.swapped 0
+
+(* Shorthand for the instrumentation below: count an event, and record
+   the simulated cycles an operation consumed in its histogram. *)
+let count t name = Telemetry.incr t.telemetry name
+
+let timed t name f =
+  let start = Cycles.now t.clock in
+  let result = f () in
+  Telemetry.observe t.telemetry name (Cycles.now t.clock - start);
+  result
+
+let trace_switch t name (enclave : Enclave.t) =
+  Telemetry.trace t.telemetry ~at:(Cycles.now t.clock)
+    ~detail:(Printf.sprintf "enclave %d" enclave.Enclave.id)
+    name
 let swap_key t = Hmac.derive ~key:t.k_root ~info:"epc-swap-key"
 let swap_slot_name id vpn = Printf.sprintf "heswap:%d:%x" id vpn
 
@@ -183,7 +214,7 @@ let parse_perms s : Page_table.perms =
 let evict_one_epc t ~prefer_not =
   let store =
     match t.swap_backend with
-    | Some (store, _) -> store
+    | Some backend -> backend.store
     | None -> violation "EPC exhausted and no swap backend registered"
   in
   match Epc.find_victim t.epc ~prefer_not with
@@ -224,11 +255,17 @@ let evict_one_epc t ~prefer_not =
       Hashtbl.replace t.swapped (owner_id, vpn) ();
       t.epc_swaps <- t.epc_swaps + 1;
       Cycles.tick t.clock t.cost.epc_swap_page;
+      count t "epc.evict";
+      count t "tlb.invlpg";
+      Telemetry.trace t.telemetry ~at:(Cycles.now t.clock)
+        ~detail:(Printf.sprintf "enclave %d vpn 0x%x" owner_id vpn)
+        "epc.evict";
       Log.debug (fun k ->
           k "EPC eviction: enclave %d page 0x%x sealed out" owner_id vpn)
 
 (* Allocate an EPC frame, evicting if the pool is dry. *)
 let alloc_epc t ~owner ~page_type ~vpn ~prefer_not =
+  count t "epc.alloc";
   match Epc.alloc t.epc ~owner ~page_type ~vpn with
   | frame -> frame
   | exception Epc.Epc_exhausted ->
@@ -239,6 +276,7 @@ let alloc_epc t ~owner ~page_type ~vpn ~prefer_not =
 
 let ecreate t secs =
   require_launched t "ecreate";
+  count t "hypercall.ecreate";
   Cycles.tick t.clock t.cost.hypercall;
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -281,6 +319,7 @@ let measure_page t (enclave : Enclave.t) ~vpn ~perms ~page_type ~content =
 let eadd t (enclave : Enclave.t) ~vpn ~content ~perms ~page_type =
   require_launched t "eadd";
   require_building enclave "eadd";
+  count t "hypercall.eadd";
   Cycles.tick t.clock t.cost.hypercall;
   let va = Addr.base_of_page vpn in
   if not (Enclave.in_elrange enclave ~va) then
@@ -304,6 +343,7 @@ let eadd t (enclave : Enclave.t) ~vpn ~content ~perms ~page_type =
 let eadd_tcs t (enclave : Enclave.t) ~vpn ~entry_va ~nssa ~ssa_base_vpn =
   require_building enclave "eadd_tcs";
   if nssa < 1 then violation "eadd_tcs: need at least one SSA frame";
+  count t "hypercall.eadd_tcs";
   let content =
     Bytes.of_string (Printf.sprintf "tcs:%x:%d:%x" entry_va nssa ssa_base_vpn)
   in
@@ -322,6 +362,7 @@ let eadd_tcs t (enclave : Enclave.t) ~vpn ~entry_va ~nssa ~ssa_base_vpn =
 let einit t (enclave : Enclave.t) ~sigstruct ~marshalling =
   require_launched t "einit";
   require_building enclave "einit";
+  count t "hypercall.einit";
   Cycles.tick t.clock t.cost.hypercall;
   if not (Sgx_types.sigstruct_valid sigstruct) then
     violation "einit: SIGSTRUCT signature invalid";
@@ -364,15 +405,32 @@ let einit t (enclave : Enclave.t) ~sigstruct ~marshalling =
         (Epc.used_by t.epc ~enclave_id:enclave.id))
 
 let eremove t (enclave : Enclave.t) =
+  count t "hypercall.eremove";
   Cycles.tick t.clock t.cost.hypercall;
   if enclave.entered then violation "eremove: enclave is running";
   let frames = Epc.free_enclave t.epc ~enclave_id:enclave.id in
   List.iter (fun frame -> Phys_mem.zero_page t.mem ~frame) frames;
+  (* Pages the monitor evicted for this enclave still sit sealed on the
+     untrusted store; purge both the (enclave, vpn) bookkeeping and the
+     blobs themselves, or a future enclave reusing the id could be fed a
+     stale (if authentic) page and the backend leaks ciphertexts forever. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((id, _) as key) () acc -> if id = enclave.id then key :: acc else acc)
+      t.swapped []
+  in
+  List.iter
+    (fun (id, vpn) ->
+      Hashtbl.remove t.swapped (id, vpn);
+      match t.swap_backend with
+      | Some backend -> backend.delete (swap_slot_name id vpn)
+      | None -> ())
+    stale;
   enclave.lifecycle <- Enclave.Dead;
   Hashtbl.remove t.enclaves enclave.id;
   Log.debug (fun k ->
-      k "EREMOVE: enclave %d, %d frames scrubbed" enclave.id
-        (List.length frames))
+      k "EREMOVE: enclave %d, %d frames scrubbed, %d swapped blobs purged"
+        enclave.id (List.length frames) (List.length stale))
 
 (* --- world switches ------------------------------------------------------ *)
 
@@ -399,18 +457,22 @@ let eenter t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) ~return_va =
   | Some running -> violation "eenter: enclave %d already on this vCPU" running.id
   | None -> ());
   if tcs.busy then violation "eenter: TCS 0x%x is busy" tcs.tcs_vpn;
-  (* switch_context below charges the TLB flush that is part of the
-     composed EENTER cost. *)
-  Cycles.tick t.clock
-    (World_switch.eenter_cost t.cost (Enclave.mode enclave) - t.cost.tlb_flush);
-  tcs.busy <- true;
-  enclave.entered <- true;
-  enclave.return_va <- return_va;
-  enclave.regs <- Vcpu.fresh ~entry:tcs.entry_va;
-  enclave.stats.ecalls <- enclave.stats.ecalls + 1;
-  t.current <- Some enclave;
-  t.current_tcs <- Some tcs;
-  enter_context t enclave
+  count t "switch.eenter";
+  trace_switch t "eenter" enclave;
+  timed t "cycles.eenter" (fun () ->
+      (* switch_context below charges the TLB flush that is part of the
+         composed EENTER cost. *)
+      Cycles.tick t.clock
+        (World_switch.eenter_cost t.cost (Enclave.mode enclave)
+        - t.cost.tlb_flush);
+      tcs.busy <- true;
+      enclave.entered <- true;
+      enclave.return_va <- return_va;
+      enclave.regs <- Vcpu.fresh ~entry:tcs.entry_va;
+      enclave.stats.ecalls <- enclave.stats.ecalls + 1;
+      t.current <- Some enclave;
+      t.current_tcs <- Some tcs;
+      enter_context t enclave)
 
 let eexit t (enclave : Enclave.t) ~target_va =
   (match t.current with
@@ -421,20 +483,27 @@ let eexit t (enclave : Enclave.t) ~target_va =
   if target_va <> enclave.return_va then
     violation "eexit: target 0x%x does not match the recorded return point"
       target_va;
-  Cycles.tick t.clock
-    (World_switch.eexit_cost t.cost (Enclave.mode enclave) - t.cost.tlb_flush);
-  (match t.current_tcs with
-  | Some tcs -> tcs.busy <- false
-  | None -> ());
-  enclave.entered <- false;
-  t.current <- None;
-  t.current_tcs <- None;
-  leave_context t
+  count t "switch.eexit";
+  trace_switch t "eexit" enclave;
+  timed t "cycles.eexit" (fun () ->
+      Cycles.tick t.clock
+        (World_switch.eexit_cost t.cost (Enclave.mode enclave)
+        - t.cost.tlb_flush);
+      (match t.current_tcs with
+      | Some tcs -> tcs.busy <- false
+      | None -> ());
+      enclave.entered <- false;
+      t.current <- None;
+      t.current_tcs <- None;
+      leave_context t)
 
 let aex t (enclave : Enclave.t) =
   (match t.current with
   | Some running when running.id = enclave.id -> ()
   | Some _ | None -> violation "aex: enclave %d is not running" enclave.id);
+  count t "switch.aex";
+  trace_switch t "aex" enclave;
+  let aex_start = Cycles.now t.clock in
   Cycles.tick t.clock
     (World_switch.aex_cost t.cost (Enclave.mode enclave) - t.cost.tlb_flush);
   (* The interrupted TCS stays busy; the register state spills into its
@@ -456,12 +525,13 @@ let aex t (enclave : Enclave.t) =
   enclave.entered <- false;
   enclave.stats.aexs <- enclave.stats.aexs + 1;
   t.current <- None;
-  (* The normal context is restored but kept recorded so ERESUME can come
-     back; leave_context clears it, so re-save. *)
+  (* The normal context is restored but stays recorded so the eventual
+     EEXIT (after ERESUME) returns to the context saved at EENTER;
+     leave_context clears the record, so re-save it. *)
   let saved = t.saved_normal in
   leave_context t;
-  t.saved_normal <- None;
-  ignore saved
+  t.saved_normal <- saved;
+  Telemetry.observe t.telemetry "cycles.aex" (Cycles.now t.clock - aex_start)
 
 let eresume t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) =
   require_initialized enclave "eresume";
@@ -469,6 +539,9 @@ let eresume t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) =
   | Some running -> violation "eresume: enclave %d already running" running.id
   | None -> ());
   if tcs.current_ssa = 0 then violation "eresume: no interrupted state to resume";
+  count t "switch.eresume";
+  trace_switch t "eresume" enclave;
+  let eresume_start = Cycles.now t.clock in
   Cycles.tick t.clock
     (World_switch.eresume_cost t.cost (Enclave.mode enclave) - t.cost.tlb_flush);
   tcs.current_ssa <- tcs.current_ssa - 1;
@@ -485,7 +558,9 @@ let eresume t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) =
   enclave.entered <- true;
   t.current <- Some enclave;
   t.current_tcs <- Some tcs;
-  enter_context t enclave
+  enter_context t enclave;
+  Telemetry.observe t.telemetry "cycles.eresume"
+    (Cycles.now t.clock - eresume_start)
 
 let current t = t.current
 
@@ -497,6 +572,8 @@ let require_entered t (enclave : Enclave.t) op =
   | Some _ | None -> violation "%s: enclave %d is not entered" op enclave.id
 
 let commit_page t (enclave : Enclave.t) ~vpn =
+  count t "epc.commit";
+  count t "fault.page_fault";
   let frame =
     alloc_epc t ~owner:(Epc.Enclave enclave.id) ~page_type:Sgx_types.Pt_reg ~vpn
       ~prefer_not:None
@@ -511,13 +588,16 @@ let commit_page t (enclave : Enclave.t) ~vpn =
 (* Fault on a page the monitor previously evicted: reload and unseal it
    (ELDU), verifying integrity and freshness of the untrusted blob. *)
 let swap_in_page t (enclave : Enclave.t) ~vpn =
-  let load =
+  count t "epc.swap_in";
+  count t "fault.page_fault";
+  let swap_in_start = Cycles.now t.clock in
+  let backend =
     match t.swap_backend with
-    | Some (_, load) -> load
+    | Some backend -> backend
     | None -> violation "swap-in: no backend"
   in
   let blob =
-    match load (swap_slot_name enclave.id vpn) with
+    match backend.load (swap_slot_name enclave.id vpn) with
     | Some blob -> blob
     | None -> violation "swap-in: enclave %d page 0x%x blob missing" enclave.id vpn
   in
@@ -546,9 +626,24 @@ let swap_in_page t (enclave : Enclave.t) ~vpn =
   in
   Phys_mem.write_page t.mem ~frame content;
   install_mapping enclave ~vpn ~frame ~perms;
+  (* The vpn's translation may still be cached from before the eviction
+     (it was only shot down on the evicting CPU's view at evict time, and
+     the page may now live in a different frame): a stale entry would
+     read the old frame.  Shoot it down like ELDU's required ETRACK. *)
+  Tlb.invalidate (Mmu.tlb t.cpu) ~vpn;
+  count t "tlb.invlpg";
   Hashtbl.remove t.swapped (enclave.id, vpn);
+  (* The blob is single-use (ELDU consumes the version-array slot): once
+     the page is resident again, leaving the ciphertext around only
+     litters the backend and widens the replay surface. *)
+  backend.delete (swap_slot_name enclave.id vpn);
   enclave.stats.page_faults <- enclave.stats.page_faults + 1;
-  Cycles.tick t.clock (t.cost.vmexit + t.cost.epc_swap_page + t.cost.vminject)
+  Cycles.tick t.clock (t.cost.vmexit + t.cost.epc_swap_page + t.cost.vminject);
+  Telemetry.observe t.telemetry "cycles.swap_in"
+    (Cycles.now t.clock - swap_in_start);
+  Telemetry.trace t.telemetry ~at:(Cycles.now t.clock)
+    ~detail:(Printf.sprintf "enclave %d vpn 0x%x" enclave.id vpn)
+    "epc.swap_in"
 
 (* Permission faults are redelivered to a registered in-enclave #PF
    handler: locally for P-Enclaves, via a monitor round trip for GU/HU
@@ -557,6 +652,7 @@ let deliver_pf t (enclave : Enclave.t) ~va ~write =
   match Enclave.find_handler enclave ~vector:"#PF" with
   | None -> false
   | Some handler ->
+      count t "fault.page_fault";
       enclave.stats.page_faults <- enclave.stats.page_faults + 1;
       (match Enclave.mode enclave with
       | Sgx_types.P ->
@@ -647,20 +743,24 @@ let require_owned t (enclave : Enclave.t) ~vpn op =
 let set_perms_and_shoot t (enclave : Enclave.t) ~vpn ~perms =
   Page_table.protect enclave.gpt ~vpn ~perms;
   Cycles.tick t.clock (t.cost.pte_update + t.cost.tlb_shootdown);
-  Tlb.invalidate (Mmu.tlb t.cpu) ~vpn
+  Tlb.invalidate (Mmu.tlb t.cpu) ~vpn;
+  count t "tlb.invlpg"
 
 let emodpr t enclave ~vpn ~perms =
   ignore (require_owned t enclave ~vpn "emodpr");
+  count t "hypercall.emodpr";
   Cycles.tick t.clock t.cost.hypercall;
   set_perms_and_shoot t enclave ~vpn ~perms
 
 let emodpe t enclave ~vpn ~perms =
   ignore (require_owned t enclave ~vpn "emodpe");
+  count t "hypercall.emodpe";
   Cycles.tick t.clock t.cost.hypercall;
   set_perms_and_shoot t enclave ~vpn ~perms
 
 let eremove_page t (enclave : Enclave.t) ~vpn =
   let entry = require_owned t enclave ~vpn "eremove_page" in
+  count t "hypercall.eremove_page";
   Cycles.tick t.clock t.cost.hypercall;
   let frame = entry.Page_table.frame in
   Page_table.unmap enclave.gpt ~vpn;
@@ -670,6 +770,7 @@ let eremove_page t (enclave : Enclave.t) ~vpn =
   Phys_mem.zero_page t.mem ~frame;
   Epc.free t.epc frame;
   Tlb.invalidate (Mmu.tlb t.cpu) ~vpn;
+  count t "tlb.invlpg";
   Cycles.tick t.clock t.cost.tlb_shootdown
 
 let penclave_set_perms t (enclave : Enclave.t) ~vpn ~perms =
@@ -692,6 +793,7 @@ let deliver_exception t (enclave : Enclave.t) vector =
   | Sgx_types.P, Some handler ->
       (* In-enclave delivery: IDT vectoring, handler, IRET — no world
          switch at all (Table 2's P-Enclave rows). *)
+      count t "exception.in_enclave";
       Cycles.tick t.clock t.cost.idt_dispatch;
       enclave.stats.in_enclave_exceptions <-
         enclave.stats.in_enclave_exceptions + 1;
@@ -699,6 +801,7 @@ let deliver_exception t (enclave : Enclave.t) vector =
       Cycles.tick t.clock t.cost.iret;
       if handled then `Handled_in_enclave
       else begin
+        count t "exception.forwarded";
         Cycles.tick t.clock t.cost.exception_classify;
         aex t enclave;
         `Forwarded_to_os
@@ -706,12 +809,14 @@ let deliver_exception t (enclave : Enclave.t) vector =
   | (Sgx_types.GU | Sgx_types.HU | Sgx_types.P), _ ->
       (* Trap to the monitor, classify, AEX; the primary OS + SDK finish
          with the two-phase flow and ERESUME. *)
+      count t "exception.forwarded";
       Cycles.tick t.clock t.cost.exception_classify;
       aex t enclave;
       `Forwarded_to_os
 
 let deliver_interrupt t (enclave : Enclave.t) =
   require_entered t enclave "deliver_interrupt";
+  count t "interrupt";
   (* An armed P-Enclave takes the interrupt on its own IDT first and
      counts it (Sec. 4.3), then asks the monitor to route it onward. *)
   (match enclave.Enclave.interrupt_guard with

@@ -218,12 +218,21 @@ val gen_quote : t -> Enclave.t -> report_data:bytes -> nonce:bytes -> quote
     substituted blobs are rejected with {!Security_violation}. *)
 
 val set_swap_backend :
-  t -> store:(string -> bytes -> unit) -> load:(string -> bytes option) -> unit
+  t ->
+  store:(string -> bytes -> unit) ->
+  load:(string -> bytes option) ->
+  delete:(string -> unit) ->
+  unit
 (** Registered by the kernel module at load time; the backend is
-    untrusted by construction. *)
+    untrusted by construction.  [delete] lets EREMOVE purge the sealed
+    blobs of pages that were still swapped out at teardown. *)
 
 val epc_swap_count : t -> int
 (** Pages evicted so far. *)
+
+val swapped_out : t -> enclave_id:int -> int
+(** Pages of [enclave_id] currently sealed out on the backend; 0 once the
+    enclave has been EREMOVEd. *)
 
 (** {1 Isolation audit}
 
@@ -251,6 +260,11 @@ val audit : t -> audit_finding list
       SSA indices within bounds. *)
 
 (** {1 Introspection for tests and benches} *)
+
+val telemetry : t -> Hyperenclave_obs.Telemetry.t
+(** The monitor's telemetry sink: hypercall/world-switch counters, cycle
+    histograms, and the recent-event trace ring.  Recording never charges
+    simulated cycles, so reading it is always safe. *)
 
 val epc : t -> Epc.t
 val enclave_count : t -> int

@@ -231,4 +231,5 @@ let deliver_signal t = Cycles.tick t.clock t.cost.os_signal_delivery
 let af_unix_roundtrip t = Cycles.tick t.clock t.cost.os_af_unix
 let disk_store t ~key value = Hashtbl.replace t.disk key value
 let disk_load t ~key = Hashtbl.find_opt t.disk key
+let disk_delete t ~key = Hashtbl.remove t.disk key
 let pf_trace t = t.pf_trace

@@ -113,6 +113,7 @@ val af_unix_roundtrip : t -> unit
 
 val disk_store : t -> key:string -> bytes -> unit
 val disk_load : t -> key:string -> bytes option
+val disk_delete : t -> key:string -> unit
 
 val pf_trace : t -> (int * int) list
 (** (pid, vpn) of every process fault the kernel handled — visible to the

@@ -25,7 +25,8 @@ let load ~kernel ~tpm ~monitor ~monitor_image ~boot_log =
      It also provides the (untrusted) backing store for EPC overcommit. *)
   Monitor.set_swap_backend monitor
     ~store:(fun key blob -> Kernel.disk_store kernel ~key blob)
-    ~load:(fun key -> Kernel.disk_load kernel ~key);
+    ~load:(fun key -> Kernel.disk_load kernel ~key)
+    ~delete:(fun key -> Kernel.disk_delete kernel ~key);
   Kernel.demote kernel ~npt:(Monitor.normal_npt monitor);
   { kernel; monitor }
 

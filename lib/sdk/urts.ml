@@ -59,6 +59,9 @@ let kernel t = Kmod.kernel t.kmod
 let clock t = Kernel.clock (kernel t)
 let cost t = Kernel.cost (kernel t)
 
+let count t name =
+  Hyperenclave_obs.Telemetry.incr (Monitor.telemetry (monitor t)) name
+
 (* Marshalling-buffer regions: [0, 1/2) ECALL inputs, [1/2, 3/4) ECALL
    outputs, [3/4, 1) OCALL allocations (sgx_ocalloc arena). *)
 let ms_out_off t = t.ms_size / 2
@@ -290,6 +293,7 @@ let rec make_tenv t : Tenv.t =
 and do_ocall t ~id ?(data = Bytes.empty) direction =
   let m = monitor t in
   let c = cost t in
+  count t "sdk.ocall";
   Cycles.tick (clock t) (World_switch.sdk_ocall_soft c t.config.mode);
   let handler =
     match Hashtbl.find_opt t.ocalls id with
@@ -311,6 +315,12 @@ and do_ocall t ~id ?(data = Bytes.empty) direction =
   let args = if len > 0 then ms_raw_read t ~off:arg_off ~len else Bytes.empty in
   let reply = handler args in
   let reply_off = arg_off in
+  (* The reply reuses the request's ocalloc slot but may be larger than
+     the request was: bound it against the arena too, or an untrusted
+     handler's oversized reply runs off the end of the pinned buffer. *)
+  if reply_off + Bytes.length reply > t.ms_size then
+    fail "OCALL %d reply (%d bytes) overflows the ocalloc arena" id
+      (Bytes.length reply);
   if Bytes.length reply > 0 then ms_raw_write t ~off:reply_off reply;
   (* Re-enter at the OCALL return stub. *)
   let tcs = take_tcs t in
@@ -336,6 +346,7 @@ and do_ocall t ~id ?(data = Bytes.empty) direction =
 and do_ocall_switchless t ~id ?(data = Bytes.empty) () =
   let m = monitor t in
   let c = cost t in
+  count t "sdk.ocall_switchless";
   let handler =
     match Hashtbl.find_opt t.ocalls id with
     | Some h -> h
@@ -352,6 +363,9 @@ and do_ocall_switchless t ~id ?(data = Bytes.empty) () =
   Cycles.tick (clock t) c.Cost_model.switchless_dispatch;
   let args = if len > 0 then ms_raw_read t ~off:arg_off ~len else Bytes.empty in
   let reply = handler args in
+  if arg_off + Bytes.length reply > t.ms_size then
+    fail "OCALL %d reply (%d bytes) overflows the ocalloc arena" id
+      (Bytes.length reply);
   if Bytes.length reply > 0 then ms_raw_write t ~off:arg_off reply;
   t.enclave.Enclave.stats.Enclave.ocalls <-
     t.enclave.Enclave.stats.Enclave.ocalls + 1;
@@ -421,6 +435,7 @@ let run_ecall t ~id ~data ~direction ~use_ms =
   let m = monitor t in
   let c = cost t in
   let handler = lookup_ecall t id in
+  count t "sdk.ecall";
   Cycles.tick (clock t) (World_switch.sdk_ecall_soft c t.config.mode);
   let len = Bytes.length data in
   let carries_in =
@@ -428,8 +443,13 @@ let run_ecall t ~id ~data ~direction ~use_ms =
     | Edge.In | Edge.In_out -> len > 0
     | Edge.Out | Edge.User_check -> false
   in
-  (* App-side leg: stage the input in the marshalling buffer. *)
+  (* App-side leg: stage the input in the marshalling buffer.  Inputs own
+     only the [0, 1/2) region; anything larger would spill into the
+     output region. *)
   if use_ms && carries_in then begin
+    if len > ms_out_off t then
+      fail "ECALL %d input (%d bytes) exceeds the marshalling input region" id
+        len;
     ms_raw_write t ~off:0 data;
     match direction with
     | Edge.In -> Edge.charge_ms_in c (clock t) ~bytes:len
@@ -471,6 +491,16 @@ let run_ecall t ~id ~data ~direction ~use_ms =
     | Edge.Out | Edge.In_out -> out_len > 0
     | Edge.In | Edge.User_check -> false
   in
+  (* The result owns only the [1/2, 3/4) output region; an oversized one
+     would silently overwrite the ocalloc arena (still inside the
+     marshalling buffer, so R-2 never trips).  The enclave is entered
+     here, so exit cleanly before reporting the error. *)
+  if carries_out && use_ms && out_len > ms_ocall_off t - ms_out_off t then begin
+    Monitor.eexit m t.enclave ~target_va:aep;
+    t.active_tcs <- None;
+    fail "ECALL %d output (%d bytes) exceeds the marshalling output region" id
+      out_len
+  end;
   if carries_out then
     if use_ms then
       Monitor.enclave_write m t.enclave ~va:(t.ms_base + ms_out_off t) result

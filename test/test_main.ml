@@ -7,6 +7,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("tpm", Test_tpm.suite);
       ("monitor", Test_monitor.suite);
+      ("obs", Test_obs.suite);
       ("os", Test_os.suite);
       ("sdk", Test_sdk.suite);
       ("libos", Test_libos.suite);

@@ -692,15 +692,19 @@ let test_epc_swap_tamper_detected () =
     | Some s -> s
     | None -> Alcotest.fail "no swapped blob found on disk"
   in
-  (* 1. Honest reload of an untampered sibling works (pick another slot). *)
+  (* 1. Honest reload of an untampered sibling works (pick another slot).
+     Capture its blob first: the reload consumes it (blobs are
+     single-use), and step 3 replays those bytes. *)
   let sibling = ref None in
   for v = vpn + 1 to (0x1_0000_0000 / 4096) + 2048 do
     if !sibling = None then
       let k = Printf.sprintf "heswap:%d:%x" enclave.Enclave.id v in
-      if Kernel.disk_load kernel ~key:k <> None then sibling := Some v
+      match Kernel.disk_load kernel ~key:k with
+      | Some b -> sibling := Some (v, b)
+      | None -> ()
   done;
   (match !sibling with
-  | Some v ->
+  | Some (v, _) ->
       ignore
         (Urts.ecall handle ~id:2
            ~data:(Bytes.of_string (string_of_int (v * 4096)))
@@ -719,20 +723,165 @@ let test_epc_swap_tamper_detected () =
   (* 3. Substitution: storing another page's valid blob in this slot is a
      replay and must also be rejected (the seal binds the page id). *)
   (match !sibling with
-  | Some v -> (
-      match
-        Kernel.disk_load kernel
-          ~key:(Printf.sprintf "heswap:%d:%x" enclave.Enclave.id v)
-      with
-      | Some other_blob ->
-          Kernel.disk_store kernel ~key other_blob;
-          expect_violation "substituted swap blob" (fun () ->
-              ignore
-                (Urts.ecall handle ~id:2
-                   ~data:(Bytes.of_string (string_of_int (vpn * 4096)))
-                   ~direction:Edge.In_out ()))
-      | None -> ())
+  | Some (_, other_blob) ->
+      Kernel.disk_store kernel ~key other_blob;
+      expect_violation "substituted swap blob" (fun () ->
+          ignore
+            (Urts.ecall handle ~id:2
+               ~data:(Bytes.of_string (string_of_int (vpn * 4096)))
+               ~direction:Edge.In_out ()))
   | None -> ());
+  Urts.destroy handle
+
+let pressure_enclave p =
+  (* ECALL 1 writes a 700-page working set (well past the 512-frame EPC)
+     and verifies every page on the way back; returns the bad-page count. *)
+  Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+    ~signer:p.Platform.signer
+    ~config:{ (Urts.default_config Sgx_types.GU) with Urts.elrange_pages = 2048 }
+    ~ecalls:
+      [
+        ( 1,
+          fun (tenv : Tenv.t) _ ->
+            let pages = 700 in
+            let base = tenv.Tenv.malloc (pages * 4096) in
+            for i = 0 to pages - 1 do
+              tenv.Tenv.write ~va:(base + (i * 4096))
+                (Bytes.of_string (Printf.sprintf "page-%04d" i))
+            done;
+            let bad = ref 0 in
+            for i = 0 to pages - 1 do
+              let got = tenv.Tenv.read ~va:(base + (i * 4096)) ~len:9 in
+              if Bytes.to_string got <> Printf.sprintf "page-%04d" i then incr bad
+            done;
+            Bytes.of_string (string_of_int !bad) );
+      ]
+    ~ocalls:[]
+
+let swap_blobs_on_disk kernel ~enclave_id =
+  let base_vpn = 0x1_0000_0000 / 4096 in
+  let n = ref 0 in
+  for vpn = base_vpn to base_vpn + 2048 do
+    if
+      Kernel.disk_load kernel
+        ~key:(Printf.sprintf "heswap:%d:%x" enclave_id vpn)
+      <> None
+    then incr n
+  done;
+  !n
+
+let test_eremove_purges_swap_residue () =
+  (* EREMOVE used to scrub and free only the resident EPC frames: the
+     (enclave, vpn) swap bookkeeping and the sealed blobs of pages still
+     evicted at teardown survived forever. *)
+  let p = tiny_epc_platform () in
+  let m = p.Platform.monitor in
+  let kernel = p.Platform.kernel in
+  let handle = pressure_enclave p in
+  let id = (Urts.enclave handle).Enclave.id in
+  let bad = Urts.ecall handle ~id:1 ~direction:Edge.Out () in
+  Alcotest.(check string) "working set intact" "0" (Bytes.to_string bad);
+  Alcotest.(check bool)
+    "pages swapped out before teardown" true
+    (Monitor.swapped_out m ~enclave_id:id > 0);
+  Alcotest.(check bool)
+    "sealed blobs on the untrusted disk" true
+    (swap_blobs_on_disk kernel ~enclave_id:id > 0);
+  Urts.destroy handle;
+  Alcotest.(check int)
+    "no swap bookkeeping residue" 0
+    (Monitor.swapped_out m ~enclave_id:id);
+  Alcotest.(check int)
+    "no sealed blobs left on the backend" 0
+    (swap_blobs_on_disk kernel ~enclave_id:id);
+  (* The platform stays healthy: a fresh enclave under the same pressure
+     roundtrips cleanly. *)
+  let handle2 = pressure_enclave p in
+  let bad2 = Urts.ecall handle2 ~id:1 ~direction:Edge.Out () in
+  Alcotest.(check string) "re-created enclave intact" "0" (Bytes.to_string bad2);
+  Alcotest.(check int) "audit clean" 0 (List.length (Monitor.audit m));
+  Urts.destroy handle2
+
+let test_aex_restores_eenter_context () =
+  (* The eventual EEXIT after AEX + ERESUME must restore the normal-world
+     context recorded at EENTER — even if the primary OS ran something
+     else (a CR3 switch) while the enclave thread was parked. *)
+  let p, handle = simple_enclave () in
+  let m = p.Platform.monitor in
+  let cpu = p.Platform.cpu in
+  let enclave = Urts.enclave handle in
+  let tcs = Option.get (Enclave.free_tcs enclave) in
+  let gpt0 = Mmu.gpt cpu and npt0 = Mmu.npt cpu in
+  Monitor.eenter m enclave ~tcs ~return_va:Urts.aep;
+  Monitor.deliver_interrupt m enclave;
+  Alcotest.(check bool) "AEX restored the normal gpt" true (Mmu.gpt cpu == gpt0);
+  (* OS schedules another process while the enclave thread is parked. *)
+  let other_gpt = Page_table.create () in
+  Mmu.switch_context cpu ~gpt:other_gpt ();
+  Monitor.eresume m enclave ~tcs;
+  Monitor.eexit m enclave ~target_va:Urts.aep;
+  Alcotest.(check bool)
+    "EEXIT returned to the context recorded at EENTER" true
+    (Mmu.gpt cpu == gpt0);
+  Alcotest.(check bool)
+    "nested table restored too" true
+    (match (Mmu.npt cpu, npt0) with
+    | None, None -> true
+    | Some a, Some b -> a == b
+    | _ -> false);
+  Urts.destroy handle
+
+let test_swap_in_shoots_down_tlb () =
+  (* A page's translation can outlive its eviction (the evict-time INVLPG
+     covers only the evicting CPU's view), and after swap-in the page may
+     occupy a different frame.  swap_in_page must shoot the vpn down; the
+     telemetry counter makes the INVLPG observable. *)
+  let p = tiny_epc_platform () in
+  let m = p.Platform.monitor in
+  let kernel = p.Platform.kernel in
+  let handle = pressure_enclave p in
+  let enclave = Urts.enclave handle in
+  ignore (Urts.ecall handle ~id:1 ~direction:Edge.Out ());
+  let base_vpn = 0x1_0000_0000 / 4096 in
+  let swapped = ref None and resident = ref [] in
+  for vpn = base_vpn + 64 to base_vpn + 2048 do
+    let on_disk =
+      Kernel.disk_load kernel
+        ~key:(Printf.sprintf "heswap:%d:%x" enclave.Enclave.id vpn)
+      <> None
+    in
+    if on_disk then begin
+      if !swapped = None then swapped := Some vpn
+    end
+    else if
+      List.length !resident < 4
+      && Page_table.lookup enclave.Enclave.gpt ~vpn <> None
+    then resident := vpn :: !resident
+  done;
+  let swapped_vpn =
+    match !swapped with
+    | Some vpn -> vpn
+    | None -> Alcotest.fail "no swapped page found"
+  in
+  (* Free a few frames first so the swap-in below needs no eviction: the
+     measured INVLPG then belongs to the swap-in alone. *)
+  List.iter (fun vpn -> Monitor.eremove_page m enclave ~vpn) !resident;
+  let tcs = Option.get (Enclave.free_tcs enclave) in
+  Monitor.eenter m enclave ~tcs ~return_va:Urts.aep;
+  let before = Telemetry.snapshot (Monitor.telemetry m) in
+  ignore (Monitor.enclave_read m enclave ~va:(swapped_vpn * 4096) ~len:1);
+  let after = Telemetry.snapshot (Monitor.telemetry m) in
+  Monitor.eexit m enclave ~target_va:Urts.aep;
+  let delta name =
+    match List.assoc_opt name (Telemetry.delta_counters ~before ~after) with
+    | Some d -> d
+    | None -> 0
+  in
+  Alcotest.(check int) "one swap-in, no eviction" 1 (delta "epc.swap_in");
+  Alcotest.(check int) "no eviction needed" 0 (delta "epc.evict");
+  Alcotest.(check bool)
+    "swap-in shot down the stale translation" true
+    (delta "tlb.invlpg" >= 1);
   Urts.destroy handle
 
 let test_multi_tcs_threads () =
@@ -780,6 +929,12 @@ let suite =
     Alcotest.test_case "EPC overcommit roundtrip" `Quick
       test_epc_overcommit_roundtrip;
     Alcotest.test_case "EPC swap tamper" `Quick test_epc_swap_tamper_detected;
+    Alcotest.test_case "EREMOVE purges swap residue" `Quick
+      test_eremove_purges_swap_residue;
+    Alcotest.test_case "AEX/ERESUME context restore" `Quick
+      test_aex_restores_eenter_context;
+    Alcotest.test_case "swap-in TLB shootdown" `Quick
+      test_swap_in_shoots_down_tlb;
     Alcotest.test_case "SSA spill/restore" `Quick test_ssa_spill_restore;
     Alcotest.test_case "SSA exhaustion" `Quick test_ssa_exhaustion;
     Alcotest.test_case "hypercall ABI" `Quick test_hypercall_abi;

@@ -477,10 +477,117 @@ let test_versioned_sealing_rollback () =
     (Bytes.to_string (Urts.ecall handle ~id:2 ~data:v2 ~direction:Edge.In_out ()));
   Urts.destroy handle
 
+let expect_enclave_error ~substring f =
+  try
+    ignore (f ());
+    Alcotest.fail
+      (Printf.sprintf "expected Enclave_error mentioning %S" substring)
+  with Urts.Enclave_error m ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" m substring)
+      true (contains m substring)
+
+let test_ocall_reply_overflow () =
+  (* The OCALL request is bounds-checked against the ocalloc arena, but
+     the reply reuses the slot and may be larger: an untrusted handler
+     returning more than the arena holds must be refused, not let run off
+     the end of the pinned buffer. *)
+  let _, handle =
+    fixture
+      ~ecalls:
+        [
+          ( 1,
+            fun (tenv : Tenv.t) input ->
+              tenv.Tenv.ocall ~id:7 ~data:input Edge.In_out );
+          ( 2,
+            fun (tenv : Tenv.t) input ->
+              tenv.Tenv.ocall_switchless ~id:7 ~data:input () );
+        ]
+        (* arena is the top quarter of the 256 KiB buffer = 64 KiB; the
+           handler inflates any request far beyond it *)
+      ~ocalls:[ (7, fun _ -> Bytes.make 66_000 'r') ]
+      ()
+  in
+  expect_enclave_error ~substring:"overflows the ocalloc arena" (fun () ->
+      Urts.ecall handle ~id:1 ~data:(Bytes.of_string "tiny request")
+        ~direction:Edge.In_out ());
+  expect_enclave_error ~substring:"overflows the ocalloc arena" (fun () ->
+      Urts.ecall handle ~id:2 ~data:(Bytes.of_string "tiny request")
+        ~direction:Edge.In_out ());
+  Urts.destroy handle
+
+let test_ocall_reply_larger_than_request_ok () =
+  (* Replies bigger than the request are fine as long as they fit. *)
+  let _, handle =
+    fixture
+      ~ecalls:
+        [ (1, fun (tenv : Tenv.t) input -> tenv.Tenv.ocall ~id:7 ~data:input Edge.In_out) ]
+      ~ocalls:[ (7, fun _ -> Bytes.make 4096 'R') ]
+      ()
+  in
+  let reply =
+    Urts.ecall handle ~id:1 ~data:(Bytes.of_string "x") ~direction:Edge.In_out ()
+  in
+  Alcotest.(check int) "inflated reply intact" 4096 (Bytes.length reply);
+  Alcotest.(check bool) "contents intact" true
+    (Bytes.for_all (fun c -> c = 'R') reply);
+  Urts.destroy handle
+
+let test_ecall_output_overflow () =
+  (* ECALL results own [1/2, 3/4) of the marshalling buffer (64 KiB by
+     default).  A larger result used to be written straight through —
+     still inside the buffer, so R-2 never fired — silently corrupting
+     the ocalloc arena. *)
+  let _, handle =
+    fixture
+      ~ecalls:
+        [
+          (1, fun (_ : Tenv.t) _ -> Bytes.make 66_000 'o');
+          (2, fun (_ : Tenv.t) input -> input);
+        ]
+      ~ocalls:[] ()
+  in
+  expect_enclave_error ~substring:"exceeds the marshalling output region"
+    (fun () -> Urts.ecall handle ~id:1 ~direction:Edge.Out ());
+  (* The failure path must have exited the enclave cleanly: a normal
+     ECALL on the same handle still works. *)
+  let reply =
+    Urts.ecall handle ~id:2 ~data:(Bytes.of_string "still alive")
+      ~direction:Edge.In_out ()
+  in
+  Alcotest.(check string) "enclave usable after refusal" "still alive"
+    (Bytes.to_string reply);
+  Urts.destroy handle
+
+let test_ecall_input_overflow () =
+  (* Symmetric check on the input leg: inputs own [0, 1/2). *)
+  let _, handle =
+    fixture ~ecalls:[ (1, fun (_ : Tenv.t) _ -> Bytes.empty) ] ~ocalls:[] ()
+  in
+  expect_enclave_error ~substring:"exceeds the marshalling input region"
+    (fun () ->
+      Urts.ecall handle ~id:1
+        ~data:(Bytes.make 140_000 'i')
+        ~direction:Edge.In ());
+  Urts.destroy handle
+
 let suite =
   [
     Alcotest.test_case "versioned sealing (anti-rollback)" `Quick
       test_versioned_sealing_rollback;
+    Alcotest.test_case "OCALL reply overflow refused" `Quick
+      test_ocall_reply_overflow;
+    Alcotest.test_case "OCALL reply larger than request" `Quick
+      test_ocall_reply_larger_than_request_ok;
+    Alcotest.test_case "ECALL output overflow refused" `Quick
+      test_ecall_output_overflow;
+    Alcotest.test_case "ECALL input overflow refused" `Quick
+      test_ecall_input_overflow;
     Alcotest.test_case "local attestation" `Quick test_local_attestation;
     Alcotest.test_case "switchless ocall" `Quick test_switchless_ocall;
     Alcotest.test_case "interrupt-frequency guard" `Quick test_interrupt_guard;
