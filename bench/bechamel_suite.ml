@@ -88,6 +88,36 @@ let make_tests () =
       (Staged.stage (fun () ->
            Mem_sim.random_access mem_sim ~base:0 ~working_set:(1 lsl 20)
              ~count:1024 ~write:false));
+    (* Optimized-kernel micro-benchmarks: one entry per hot path touched
+       by the wall-clock fast-path work, so regressions show up here
+       before they show up as minutes on the full harness. *)
+    Test.make ~name:"kernel: sha256 4KB digest"
+      (Staged.stage
+         (let block = Bytes.make 4096 's' in
+          fun () -> ignore (Crypto.Sha256.digest_bytes block)));
+    Test.make ~name:"kernel: aes-xts 4KB"
+      (Staged.stage
+         (let key = Bytes.make 16 'k' and buf = Bytes.make 4096 'p' in
+          fun () -> ignore (Crypto.Aes.xts_encrypt ~key ~tweak:0x40000 buf)));
+    Test.make ~name:"kernel: aes-ctr 4KB"
+      (Staged.stage
+         (let key = Bytes.make 16 'k'
+          and nonce = Bytes.make 12 'n'
+          and buf = Bytes.make 4096 'p' in
+          fun () -> ignore (Crypto.Aes.ctr_transform ~key ~nonce buf)));
+    Test.make ~name:"kernel: hmac 1KB"
+      (Staged.stage
+         (let key = Bytes.make 32 'k' and msg = Bytes.make 1024 'm' in
+          fun () -> ignore (Crypto.Hmac.hmac ~key msg)));
+    Test.make ~name:"kernel: seq_scan 1MB"
+      (Staged.stage (fun () ->
+           Mem_sim.seq_scan mem_sim ~base:0 ~bytes:(1 lsl 20) ~write:false));
+    Test.make ~name:"kernel: mmu warm write"
+      (Staged.stage (fun () ->
+           ignore
+             (Mmu.translate platform.Platform.cpu ~access:Hw.Mmu.Write
+                ~user:true
+                (Hyperenclave_os.Process.mmap_base))));
   ]
 
 let benchmark () =

@@ -1,0 +1,48 @@
+(* Wall-clock regression gate: re-run the deterministic Smoke slice and
+   compare against the "perf_smoke_wall_seconds" committed in the repo's
+   perf baseline (BENCH_PR2.json, produced by `main.exe --perf-json`).
+   Exits non-zero — loudly — if the slice is more than 25% slower than
+   the baseline.
+
+   Run it next to the test suite with `dune build @perf_smoke`.  It is a
+   separate alias rather than part of @runtest on purpose: wall-clock
+   checks are machine-sensitive, and the tier-1 suite must stay
+   deterministic.  Re-baseline with
+   `main.exe --perf-json BENCH_PR2.json table1 fig7 fig11`
+   when hardware or an intentional perf trade-off changes the reference. *)
+
+let tolerance = 1.25
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: perf_smoke.exe BASELINE.json";
+    exit 2
+  end;
+  let baseline_path = Sys.argv.(1) in
+  match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
+  | None ->
+      Printf.eprintf
+        "perf_smoke: no \"perf_smoke_wall_seconds\" in %s — regenerate the \
+         baseline with: main.exe --perf-json %s table1 fig7 fig11\n"
+        baseline_path baseline_path;
+      exit 2
+  | Some baseline ->
+      (* One untimed warm-up pass so allocator/page-cache effects don't
+         count against the budget, then the measured pass. *)
+      Smoke.run ();
+      let wall0 = Unix.gettimeofday () in
+      Smoke.run ();
+      let measured = Unix.gettimeofday () -. wall0 in
+      let ratio = measured /. baseline in
+      Printf.printf "perf_smoke: %.3fs measured vs %.3fs baseline (%.2fx)\n"
+        measured baseline ratio;
+      if ratio > tolerance then begin
+        Printf.eprintf
+          "perf_smoke: FAIL — smoke slice regressed %.0f%% past the %.0f%% \
+           budget.\nEither fix the regression or consciously re-baseline \
+           with: main.exe --perf-json %s table1 fig7 fig11\n"
+          ((ratio -. 1.0) *. 100.0)
+          ((tolerance -. 1.0) *. 100.0)
+          baseline_path;
+        exit 1
+      end

@@ -35,16 +35,6 @@ let xtime b =
   let b = b lsl 1 in
   if b land 0x100 <> 0 then (b lxor 0x1b) land 0xff else b
 
-let mul a b =
-  (* GF(2^8) multiply by repeated xtime. *)
-  let acc = ref 0 and a = ref a and b = ref b in
-  while !b <> 0 do
-    if !b land 1 <> 0 then acc := !acc lxor !a;
-    a := xtime !a;
-    b := !b lsr 1
-  done;
-  !acc
-
 type key = int array array (* 11 round keys of 16 bytes *)
 
 let expand_key raw =
@@ -81,42 +71,68 @@ let expand_key raw =
 
 let add_round_key state rk =
   for i = 0 to 15 do
-    state.(i) <- state.(i) lxor rk.(i)
+    Array.unsafe_set state i
+      (Array.unsafe_get state i lxor Array.unsafe_get rk i)
   done
 
 let sub_bytes state table =
   for i = 0 to 15 do
-    state.(i) <- table.(state.(i))
+    Array.unsafe_set state i (Array.unsafe_get table (Array.unsafe_get state i))
   done
 
 (* State layout: state.(4*c + r) is row r, column c (column-major bytes,
-   matching the order bytes enter the cipher). *)
+   matching the order bytes enter the cipher).  Row r rotates left by r;
+   spelled out as explicit rotation chains so no scratch copy of the
+   state is allocated per round. *)
 let shift_rows state =
-  let copy = Array.copy state in
-  for c = 0 to 3 do
-    for r = 0 to 3 do
-      state.((4 * c) + r) <- copy.((4 * ((c + r) mod 4)) + r)
-    done
-  done
+  let t = state.(1) in
+  state.(1) <- state.(5);
+  state.(5) <- state.(9);
+  state.(9) <- state.(13);
+  state.(13) <- t;
+  let t = state.(2) in
+  state.(2) <- state.(10);
+  state.(10) <- t;
+  let t = state.(6) in
+  state.(6) <- state.(14);
+  state.(14) <- t;
+  let t = state.(15) in
+  state.(15) <- state.(11);
+  state.(11) <- state.(7);
+  state.(7) <- state.(3);
+  state.(3) <- t
 
 let inv_shift_rows state =
-  let copy = Array.copy state in
-  for c = 0 to 3 do
-    for r = 0 to 3 do
-      state.((4 * ((c + r) mod 4)) + r) <- copy.((4 * c) + r)
-    done
-  done
+  let t = state.(13) in
+  state.(13) <- state.(9);
+  state.(9) <- state.(5);
+  state.(5) <- state.(1);
+  state.(1) <- t;
+  let t = state.(2) in
+  state.(2) <- state.(10);
+  state.(10) <- t;
+  let t = state.(6) in
+  state.(6) <- state.(14);
+  state.(14) <- t;
+  let t = state.(3) in
+  state.(3) <- state.(7);
+  state.(7) <- state.(11);
+  state.(11) <- state.(15);
+  state.(15) <- t
 
+(* GF(2^8) multiplies by the MixColumns constants, as xtime chains
+   instead of the generic shift-and-add loop. *)
 let mix_columns state =
   for c = 0 to 3 do
     let a0 = state.(4 * c)
     and a1 = state.((4 * c) + 1)
     and a2 = state.((4 * c) + 2)
     and a3 = state.((4 * c) + 3) in
-    state.(4 * c) <- mul a0 2 lxor mul a1 3 lxor a2 lxor a3;
-    state.((4 * c) + 1) <- a0 lxor mul a1 2 lxor mul a2 3 lxor a3;
-    state.((4 * c) + 2) <- a0 lxor a1 lxor mul a2 2 lxor mul a3 3;
-    state.((4 * c) + 3) <- mul a0 3 lxor a1 lxor a2 lxor mul a3 2
+    let x0 = xtime a0 and x1 = xtime a1 and x2 = xtime a2 and x3 = xtime a3 in
+    state.(4 * c) <- x0 lxor x1 lxor a1 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor x1 lxor x2 lxor a2 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor x2 lxor x3 lxor a3;
+    state.((4 * c) + 3) <- x0 lxor a0 lxor a1 lxor a2 lxor x3
   done
 
 let inv_mix_columns state =
@@ -125,10 +141,35 @@ let inv_mix_columns state =
     and a1 = state.((4 * c) + 1)
     and a2 = state.((4 * c) + 2)
     and a3 = state.((4 * c) + 3) in
-    state.(4 * c) <- mul a0 14 lxor mul a1 11 lxor mul a2 13 lxor mul a3 9;
-    state.((4 * c) + 1) <- mul a0 9 lxor mul a1 14 lxor mul a2 11 lxor mul a3 13;
-    state.((4 * c) + 2) <- mul a0 13 lxor mul a1 9 lxor mul a2 14 lxor mul a3 11;
-    state.((4 * c) + 3) <- mul a0 11 lxor mul a1 13 lxor mul a2 9 lxor mul a3 14
+    (* x9 = 8a^a, x11 = 8a^2a^a, x13 = 8a^4a^a, x14 = 8a^4a^2a. *)
+    let d0 = xtime a0 and d1 = xtime a1 and d2 = xtime a2 and d3 = xtime a3 in
+    let q0 = xtime d0 and q1 = xtime d1 and q2 = xtime d2 and q3 = xtime d3 in
+    let o0 = xtime q0 and o1 = xtime q1 and o2 = xtime q2 and o3 = xtime q3 in
+    state.(4 * c) <-
+      o0 lxor q0 lxor d0
+      lxor (o1 lxor d1 lxor a1)
+      lxor (o2 lxor q2 lxor a2)
+      lxor (o3 lxor a3);
+    state.((4 * c) + 1) <-
+      o0 lxor a0
+      lxor (o1 lxor q1 lxor d1)
+      lxor (o2 lxor d2 lxor a2)
+      lxor (o3 lxor q3 lxor a3);
+    state.((4 * c) + 2) <-
+      o0 lxor q0 lxor a0
+      lxor (o1 lxor a1)
+      lxor (o2 lxor q2 lxor d2)
+      lxor (o3 lxor d3 lxor a3);
+    state.((4 * c) + 3) <-
+      o0 lxor d0 lxor a0
+      lxor (o1 lxor q1 lxor a1)
+      lxor (o2 lxor a2)
+      lxor (o3 lxor q3 lxor d3)
+  done
+
+let load_state state b off =
+  for i = 0 to 15 do
+    state.(i) <- Char.code (Bytes.get b (off + i))
   done
 
 let state_of_bytes b off = Array.init 16 (fun i -> Char.code (Bytes.get b (off + i)))
@@ -181,17 +222,22 @@ let ctr_transform ~key ~nonce data =
   let out = Bytes.create len in
   let counter_block = Bytes.make 16 '\000' in
   Bytes.blit nonce 0 counter_block 0 (Bytes.length nonce);
+  (* One state array reused for every block: the keystream is XORed out
+     of it directly, so the per-block temporaries of the reference code
+     ([state_of_bytes] + a keystream buffer) are gone. *)
+  let state = Array.make 16 0 in
   let nblocks = (len + 15) / 16 in
   for blk = 0 to nblocks - 1 do
     Bytes.set_int32_be counter_block 12 (Int32.of_int blk);
-    let keystream = encrypt_block key counter_block in
+    load_state state counter_block 0;
+    encrypt_state key state;
     let base = blk * 16 in
     let chunk = min 16 (len - base) in
     for i = 0 to chunk - 1 do
-      Bytes.set out (base + i)
-        (Char.chr
-           (Char.code (Bytes.get data (base + i))
-           lxor Char.code (Bytes.get keystream i)))
+      Bytes.unsafe_set out (base + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get data (base + i))
+           lxor Array.unsafe_get state i))
     done
   done;
   out
@@ -203,37 +249,40 @@ let tweak_block key tweak =
   Bytes.set_int64_le t 0 (Int64.of_int tweak);
   encrypt_block key t
 
-let gf_double block =
-  let out = Bytes.create 16 in
+let gf_double_in_place block =
   let carry = ref 0 in
   for i = 0 to 15 do
-    let v = (Char.code (Bytes.get block i) lsl 1) lor !carry in
-    Bytes.set out i (Char.chr (v land 0xff));
+    let v = (Char.code (Bytes.unsafe_get block i) lsl 1) lor !carry in
+    Bytes.unsafe_set block i (Char.unsafe_chr (v land 0xff));
     carry := v lsr 8
   done;
   if !carry <> 0 then
-    Bytes.set out 0 (Char.chr (Char.code (Bytes.get out 0) lxor 0x87));
-  out
-
-let xor16 a b =
-  let out = Bytes.create 16 in
-  for i = 0 to 15 do
-    Bytes.set out i
-      (Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
-  done;
-  out
+    Bytes.unsafe_set block 0
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get block 0) lxor 0x87))
 
 let xts_run ~key ~tweak ~decrypt data =
   if Bytes.length data mod 16 <> 0 then invalid_arg "Aes.xts: length % 16 <> 0";
   let key = expand_key key in
   let out = Bytes.create (Bytes.length data) in
-  let t = ref (tweak_block key tweak) in
+  (* The tweak doubles in place and the whitening XORs happen while
+     loading/storing the reused state array, so the per-block
+     [Bytes.sub]/[xor16] temporaries of the reference code are gone. *)
+  let t = tweak_block key tweak in
+  let state = Array.make 16 0 in
   for blk = 0 to (Bytes.length data / 16) - 1 do
-    let input = Bytes.sub data (blk * 16) 16 in
-    let masked = xor16 input !t in
-    let transformed = if decrypt then decrypt_block key masked else encrypt_block key masked in
-    Bytes.blit (xor16 transformed !t) 0 out (blk * 16) 16;
-    t := gf_double !t
+    let base = blk * 16 in
+    for i = 0 to 15 do
+      state.(i) <-
+        Char.code (Bytes.unsafe_get data (base + i))
+        lxor Char.code (Bytes.unsafe_get t i)
+    done;
+    if decrypt then decrypt_state key state else encrypt_state key state;
+    for i = 0 to 15 do
+      Bytes.unsafe_set out (base + i)
+        (Char.unsafe_chr
+           (Array.unsafe_get state i lxor Char.code (Bytes.unsafe_get t i)))
+    done;
+    gf_double_in_place t
   done;
   out
 

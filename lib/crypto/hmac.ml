@@ -6,25 +6,30 @@ let normalize_key key =
   Bytes.blit key 0 out 0 (Bytes.length key);
   out
 
-let xor_pad key byte =
-  let out = Bytes.create block_size in
+let xor_pad_in_place pad byte =
   for i = 0 to block_size - 1 do
-    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
-  done;
-  out
+    Bytes.unsafe_set pad i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get pad i) lxor byte))
+  done
 
 let hmac ~key msg =
-  let key = normalize_key key in
+  (* [normalize_key] already copies, so the pad mutates that copy:
+     XOR 0x36 makes the inner pad, and re-XORing with 0x36 lxor 0x5c
+     turns it into the outer pad without a second buffer. *)
+  let pad = normalize_key key in
+  xor_pad_in_place pad 0x36;
   let inner = Sha256.init () in
-  Sha256.update inner (xor_pad key 0x36);
+  Sha256.update inner pad;
   Sha256.update inner msg;
   let inner_digest = Sha256.finalize inner in
+  xor_pad_in_place pad (0x36 lxor 0x5c);
   let outer = Sha256.init () in
-  Sha256.update outer (xor_pad key 0x5c);
+  Sha256.update outer pad;
   Sha256.update outer inner_digest;
   Sha256.finalize outer
 
-let hmac_string ~key msg = hmac ~key (Bytes.of_string msg)
+(* [hmac] never mutates [msg], so borrow the string's bytes. *)
+let hmac_string ~key msg = hmac ~key (Bytes.unsafe_of_string msg)
 let verify ~key msg ~tag = Sha256.equal (hmac ~key msg) tag
 
 let hkdf_extract ?salt ~ikm () =

@@ -17,6 +17,7 @@ let k =
 
 type ctx = {
   h : int array; (* 8 state words *)
+  w : int array; (* 64-word message schedule, reused across blocks *)
   buf : Bytes.t; (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int; (* total bytes absorbed *)
@@ -33,6 +34,7 @@ let init () =
         0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
         0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
       |];
+    w = Array.make 64 0;
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
@@ -42,22 +44,18 @@ let init () =
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 let compress ctx block off =
-  let w = Array.make 64 0 in
+  let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code (Bytes.get block (off + (4 * i))) lsl 24)
-      lor (Char.code (Bytes.get block (off + (4 * i) + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (off + (4 * i) + 2)) lsl 8)
-      lor Char.code (Bytes.get block (off + (4 * i) + 3))
+    (* One 32-bit big-endian load per word instead of four byte reads. *)
+    w.(i) <- Int32.to_int (Bytes.get_int32_be block (off + (4 * i))) land mask
   done;
   for i = 16 to 63 do
-    let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
-    in
-    let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
-    in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let a = ref ctx.h.(0)
   and b = ref ctx.h.(1)
@@ -70,7 +68,10 @@ let compress ctx block off =
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = !e land !f lxor (lnot !e land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get ctx.w i)
+      land mask
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask in
@@ -150,12 +151,22 @@ let digest_bytes data =
   update ctx data;
   finalize ctx
 
-let digest_string s = digest_bytes (Bytes.of_string s)
+(* [update] only reads from its input, so the string's bytes can be
+   borrowed without the copy [Bytes.of_string] would make. *)
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)
+
+let hex_digits = "0123456789abcdef"
 
 let to_hex digest =
-  let b = Buffer.create (2 * Bytes.length digest) in
-  Bytes.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) digest;
-  Buffer.contents b
+  let n = Bytes.length digest in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get digest i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1)
+      (String.unsafe_get hex_digits (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 
 let equal a b =
   Bytes.length a = Bytes.length b

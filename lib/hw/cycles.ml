@@ -1,11 +1,17 @@
 type t = { mutable now : int }
 
+(* Process-wide sum of every tick on every clock, for wall-clock-vs-work
+   accounting (the --perf-json baseline).  [reset] deliberately leaves it
+   alone: it counts simulation work performed, not clock positions. *)
+let grand_total = ref 0
+
 let create () = { now = 0 }
 let now clock = clock.now
 
 let tick clock n =
   assert (n >= 0);
-  clock.now <- clock.now + n
+  clock.now <- clock.now + n;
+  grand_total := !grand_total + n
 
 let elapsed clock ~since = clock.now - since
 
@@ -15,3 +21,4 @@ let time clock f =
   (result, clock.now - start)
 
 let reset clock = clock.now <- 0
+let total_ticked () = !grand_total

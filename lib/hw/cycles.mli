@@ -28,3 +28,9 @@ val time : t -> (unit -> 'a) -> 'a * int
 val reset : t -> unit
 (** [reset clock] sets the counter back to 0.  Only used by test fixtures;
     production code treats the clock as monotone. *)
+
+val total_ticked : unit -> int
+(** Process-wide sum of every [tick] on every clock since startup — a
+    measure of simulation work performed, used to pair wall-clock timings
+    with the amount of simulated work they covered (see the benchmark
+    harness's [--perf-json]).  Monotone; unaffected by [reset]. *)

@@ -1,0 +1,28 @@
+(** Open-addressing map from non-negative int keys to ['a], tuned for the
+    simulation hot paths (TLB and EPC residency probes: one per simulated
+    line / touched page).  Flat parallel arrays + linear probing; lookups
+    and mutations never allocate, and [remove] compacts its probe cluster
+    in place (backward-shift deletion) so steady insert/remove churn never
+    accumulates tombstones or forces a rehash.  Drop-in behaviorally
+    equivalent to the [Hashtbl] usage it replaced — only wall-clock speed
+    differs. *)
+
+type 'a t
+
+val create : ?size_hint:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills empty value slots; it is never returned from a live
+    binding. *)
+
+val mem : 'a t -> int -> bool
+val find_opt : 'a t -> int -> 'a option
+
+val set : 'a t -> int -> 'a -> unit
+(** Insert or replace.  Raises [Invalid_argument] on negative keys. *)
+
+val set_if_mem : 'a t -> int -> 'a -> bool
+(** Replace the value only if the key is bound (single probe); returns
+    whether it was. *)
+
+val remove : 'a t -> int -> unit
+val length : 'a t -> int
+val clear : 'a t -> unit

@@ -87,13 +87,20 @@ let translate_page t ~access ~user ~vpn =
       if not (perms_allow e.perms access user) then
         raise (Page_fault { vpn; access; user; present = true });
       (* A write through a clean cached translation still sets the PTE's
-         dirty bit (the walker re-visits the entry in microcode). *)
+         dirty bit (the walker re-visits the entry in microcode).  The
+         walker cached the leaf PTE in the TLB entry, so warm writes stay
+         O(1) instead of re-walking the guest tables per store. *)
       if access = Write then
-        (match Page_table.lookup t.gpt ~vpn with
+        (match e.pte with
         | Some pte ->
             pte.Page_table.accessed <- true;
             pte.Page_table.dirty <- true
-        | None -> ());
+        | None -> (
+            match Page_table.lookup t.gpt ~vpn with
+            | Some pte ->
+                pte.Page_table.accessed <- true;
+                pte.Page_table.dirty <- true
+            | None -> ()));
       e.frame
   | None ->
       (* Guest walk: 4 levels of guest-table loads.  Under nested paging
@@ -128,7 +135,8 @@ let translate_page t ~access ~user ~vpn =
             | None -> e.frame
             | Some npt -> npt_resolve t npt e.frame access
           in
-          Tlb.insert t.tlb ~vpn { Tlb.frame = host_frame; perms = e.perms };
+          Tlb.insert t.tlb ~vpn
+            { Tlb.frame = host_frame; perms = e.perms; pte = Some e };
           host_frame)
 
 let translate t ~access ~user va =

@@ -1,8 +1,15 @@
-type entry = { frame : int; perms : Page_table.perms }
+type entry = {
+  frame : int;
+  perms : Page_table.perms;
+  pte : Page_table.entry option;
+      (* Leaf PTE this translation was filled from, when the walker has
+         one: lets warm write hits set accessed/dirty without re-walking
+         the tables.  [None] for synthetic entries (cost-only sims). *)
+}
 
 type t = {
   capacity : int;
-  table : (int, entry) Hashtbl.t;
+  table : entry Fast_table.t;
   mutable keys : int array; (* resident vpns, for O(1) random eviction *)
   mutable nkeys : int;
   rng : Rng.t;
@@ -10,10 +17,12 @@ type t = {
   mutable hits : int;
 }
 
+let dummy_entry = { frame = 0; perms = Page_table.ro; pte = None }
+
 let create ?(capacity = 1536) rng =
   {
     capacity;
-    table = Hashtbl.create capacity;
+    table = Fast_table.create ~size_hint:capacity ~dummy:dummy_entry ();
     keys = Array.make capacity 0;
     nkeys = 0;
     rng;
@@ -23,11 +32,23 @@ let create ?(capacity = 1536) rng =
 
 let lookup t ~vpn =
   t.lookups <- t.lookups + 1;
-  match Hashtbl.find_opt t.table vpn with
+  match Fast_table.find_opt t.table vpn with
   | Some e ->
       t.hits <- t.hits + 1;
       Some e
   | None -> None
+
+let hit_test t ~vpn =
+  t.lookups <- t.lookups + 1;
+  if Fast_table.mem t.table vpn then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else false
+
+let note_hits t n =
+  t.lookups <- t.lookups + n;
+  t.hits <- t.hits + n
 
 let remove_key t vpn =
   (* Linear scan is acceptable: invalidate is rare (shootdowns only). *)
@@ -41,27 +62,34 @@ let remove_key t vpn =
 let evict_random t =
   let i = Rng.int t.rng t.nkeys in
   let vpn = t.keys.(i) in
-  Hashtbl.remove t.table vpn;
+  Fast_table.remove t.table vpn;
   t.keys.(i) <- t.keys.(t.nkeys - 1);
   t.nkeys <- t.nkeys - 1
 
 let insert t ~vpn e =
-  (match Hashtbl.find_opt t.table vpn with
-  | Some _ -> Hashtbl.replace t.table vpn e
-  | None ->
-      if t.nkeys >= t.capacity then evict_random t;
-      Hashtbl.replace t.table vpn e;
-      t.keys.(t.nkeys) <- vpn;
-      t.nkeys <- t.nkeys + 1)
+  (* Single probe replaces in place; only a genuinely new vpn pays the
+     evict-and-insert path. *)
+  if not (Fast_table.set_if_mem t.table vpn e) then begin
+    if t.nkeys >= t.capacity then evict_random t;
+    Fast_table.set t.table vpn e;
+    t.keys.(t.nkeys) <- vpn;
+    t.nkeys <- t.nkeys + 1
+  end
 
 let invalidate t ~vpn =
-  if Hashtbl.mem t.table vpn then begin
-    Hashtbl.remove t.table vpn;
+  if Fast_table.mem t.table vpn then begin
+    Fast_table.remove t.table vpn;
     remove_key t vpn
   end
 
 let flush t =
-  Hashtbl.reset t.table;
+  (* Remove only the live entries (the keys array knows them all): edge
+     transitions flush per ECALL/OCALL, usually with a handful of live
+     translations, and wiping the whole backing table each time would
+     cost more than the calls themselves. *)
+  for i = 0 to t.nkeys - 1 do
+    Fast_table.remove t.table t.keys.(i)
+  done;
   t.nkeys <- 0
 
 let entries t = t.nkeys

@@ -7,7 +7,14 @@
     replacement policy does not matter for any reproduced result, bounded
     capacity and explicit flushes do. *)
 
-type entry = { frame : int; perms : Page_table.perms }
+type entry = {
+  frame : int;
+  perms : Page_table.perms;
+  pte : Page_table.entry option;
+      (** Leaf PTE this translation was filled from, when known: the MMU
+          uses it to set accessed/dirty bits on warm write hits without
+          re-walking the page tables.  [None] for synthetic entries. *)
+}
 
 type t
 
@@ -16,6 +23,17 @@ val create : ?capacity:int -> Rng.t -> t
 
 val lookup : t -> vpn:int -> entry option
 val insert : t -> vpn:int -> entry -> unit
+
+val hit_test : t -> vpn:int -> bool
+(** [hit_test t ~vpn] is [lookup t ~vpn <> None] with identical stats
+    accounting but no entry allocation — for cost-only callers that never
+    read the translation. *)
+
+val note_hits : t -> int -> unit
+(** [note_hits t n] accounts [n] lookups that are deterministically known
+    to hit without probing the table — the fast-path bookkeeping used by
+    {!Hyperenclave_tee.Mem_sim} when it batches the tail of a page run.
+    Stats-only; the table itself is untouched. *)
 
 val invalidate : t -> vpn:int -> unit
 (** INVLPG: drop one translation. *)

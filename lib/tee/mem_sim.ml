@@ -1,5 +1,36 @@
 open Hyperenclave_hw
 
+(* Growable circular int queue for the EPC CLOCK hand: same FIFO order as
+   [Queue] (including stale entries for already-evicted pages, which the
+   eviction scan skips) but without a cons per enqueue. *)
+module Ring = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 4096 0; head = 0; len = 0 }
+
+  let push t v =
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let buf = Array.make (cap * 2) 0 in
+      for i = 0 to t.len - 1 do
+        buf.(i) <- t.buf.((t.head + i) land (cap - 1))
+      done;
+      t.buf <- buf;
+      t.head <- 0
+    end;
+    t.buf.((t.head + t.len) land (Array.length t.buf - 1)) <- v;
+    t.len <- t.len + 1
+
+  let pop t =
+    if t.len = 0 then -1
+    else begin
+      let v = t.buf.(t.head) in
+      t.head <- (t.head + 1) land (Array.length t.buf - 1);
+      t.len <- t.len - 1;
+      v
+    end
+end
+
 type translation = One_level | Nested
 
 type t = {
@@ -12,15 +43,29 @@ type t = {
   cache : Cache.t;
   llc_bytes : int;
   sample_cap : int;
+  (* Engine/translation-dependent per-line costs, folded at creation so
+     the per-line hot loop never re-matches on the engine. *)
+  seq_miss : int; (* clean prefetched miss (doubled on dirty evict) *)
+  dep_miss : int; (* clean dependent-load miss (doubled on dirty evict) *)
+  tree_extra : int; (* MEE integrity-tree walk, per dependent miss *)
+  walk_cost : int; (* page-table walk on TLB miss *)
   (* EPC residency (Mee only): page-granular CLOCK (approximate LRU),
      like the SGX driver's reclaim scan — hot pages survive, so zipfian
      workloads keep their working set resident (Fig. 8b) while uniform
      scans thrash (Fig. 11). *)
   epc_pages : int option;
-  resident : (int, bool ref) Hashtbl.t; (* page -> referenced bit *)
-  fifo : int Queue.t;
+  (* Byte-per-page residency map, grown on demand: workloads address at
+     most a few GB of simulated memory, so direct indexing beats any hash
+     probe and the whole array stays cache-resident. *)
+  mutable resident : Bytes.t; (* page -> absent / unref / referenced *)
+  mutable nresident : int;
+  fifo : Ring.t;
   mutable swaps : int;
 }
+
+let absent = '\000'
+let unref = '\001'
+let referenced = '\002'
 
 let create ~clock ~cost ~rng ~engine ?(llc_bytes = 8 * 1024 * 1024)
     ?(sample_cap = 262_144) ?(translation = One_level) () =
@@ -34,118 +79,193 @@ let create ~clock ~cost ~rng ~engine ?(llc_bytes = 8 * 1024 * 1024)
     cache = Cache.create ~size_bytes:llc_bytes ();
     llc_bytes;
     sample_cap;
+    seq_miss =
+      (cost.dram_seq_miss
+      +
+      match engine with
+      | Mem_crypto.Plain -> 0
+      | Mem_crypto.Sme -> cost.sme_seq_extra
+      | Mem_crypto.Mee _ -> cost.mee_seq_extra);
+    dep_miss =
+      (cost.cache_miss_dram
+      +
+      match engine with
+      | Mem_crypto.Plain -> 0
+      | Mem_crypto.Sme -> cost.sme_miss_extra
+      | Mem_crypto.Mee _ -> cost.mee_miss_extra);
+    tree_extra =
+      (match engine with
+      | Mem_crypto.Plain | Mem_crypto.Sme -> 0
+      | Mem_crypto.Mee _ -> cost.mee_tree_levels * cost.mee_tree_level);
+    walk_cost =
+      (match translation with
+      | One_level -> 4 * cost.pt_level_access
+      | Nested -> 12 * cost.pt_level_access);
     epc_pages =
       Option.map (fun b -> b / Addr.page_size) (Mem_crypto.epc_limit engine);
-    resident = Hashtbl.create 4096;
-    fifo = Queue.create ();
+    resident = Bytes.make 16_384 absent;
+    nresident = 0;
+    fifo = Ring.create ();
     swaps = 0;
   }
 
 let engine t = t.engine
 
+let resident_state t page =
+  if page < Bytes.length t.resident then Bytes.unsafe_get t.resident page
+  else absent
+
+let ensure_resident_slot t page =
+  let len = Bytes.length t.resident in
+  if page >= len then begin
+    let rec fit n = if n > page then n else fit (n * 2) in
+    let b = Bytes.make (fit len) absent in
+    Bytes.blit t.resident 0 b 0 len;
+    t.resident <- b
+  end
+
 (* EPC paging charge for one touched page; 2x: EWB the victim, ELDU ours.
    Eviction is CLOCK: referenced pages get a second chance. *)
 let evict_one t =
   let rec spin guard =
-    match Queue.take_opt t.fifo with
-    | None -> ()
-    | Some victim -> (
-        match Hashtbl.find_opt t.resident victim with
-        | None -> spin guard
-        | Some referenced ->
-            if !referenced && guard > 0 then begin
-              referenced := false;
-              Queue.add victim t.fifo;
-              spin (guard - 1)
-            end
-            else Hashtbl.remove t.resident victim)
+    match Ring.pop t.fifo with
+    | -1 -> ()
+    | victim ->
+        let s = resident_state t victim in
+        if s = absent then spin guard (* stale queue entry *)
+        else if s = referenced && guard > 0 then begin
+          Bytes.unsafe_set t.resident victim unref;
+          Ring.push t.fifo victim;
+          spin (guard - 1)
+        end
+        else begin
+          Bytes.unsafe_set t.resident victim absent;
+          t.nresident <- t.nresident - 1
+        end
   in
-  spin (Hashtbl.length t.resident)
+  spin t.nresident
 
 let epc_charge t page =
   match t.epc_pages with
   | None -> 0
-  | Some capacity -> (
-      match Hashtbl.find_opt t.resident page with
-      | Some referenced ->
-          referenced := true;
-          0
-      | None ->
-          let swap_cost =
-            if Hashtbl.length t.resident >= capacity then begin
-              evict_one t;
-              t.swaps <- t.swaps + 1;
-              2 * t.cost.epc_swap_page
-            end
-            else 0
-          in
-          Hashtbl.replace t.resident page (ref false);
-          Queue.add page t.fifo;
-          swap_cost)
+  | Some capacity ->
+      if resident_state t page <> absent then begin
+        Bytes.unsafe_set t.resident page referenced;
+        0
+      end
+      else begin
+        let swap_cost =
+          if t.nresident >= capacity then begin
+            evict_one t;
+            t.swaps <- t.swaps + 1;
+            2 * t.cost.epc_swap_page
+          end
+          else 0
+        in
+        ensure_resident_slot t page;
+        Bytes.unsafe_set t.resident page unref;
+        t.nresident <- t.nresident + 1;
+        Ring.push t.fifo page;
+        swap_cost
+      end
+
+(* What lines 2..k of a page-run would do to the EPC state: re-mark the
+   now-resident page referenced.  One byte store replaces the k-1
+   identical probes of the per-line walk. *)
+let epc_rehit t page =
+  match t.epc_pages with
+  | None -> ()
+  | Some _ ->
+      if resident_state t page <> absent then
+        Bytes.unsafe_set t.resident page referenced
 
 (* Data-TLB charge for the page containing [addr]: hit is ~free; a miss
    walks one set of tables natively/HU, or the two-dimensional nested
-   tables for GU/P. *)
+   tables for GU/P.  The sim's TLB is private and cost-only — entries are
+   never read back — so one shared synthetic entry serves every insert
+   instead of allocating a record per miss. *)
+let synthetic_entry = { Tlb.frame = 0; perms = Page_table.rw; pte = None }
+
 let tlb_cost t page =
-  match Tlb.lookup t.tlb ~vpn:page with
-  | Some _ -> t.cost.tlb_hit
-  | None ->
-      Tlb.insert t.tlb ~vpn:page { Tlb.frame = page; perms = Page_table.rw };
-      (match t.translation with
-      | One_level -> 4 * t.cost.pt_level_access
-      | Nested -> 12 * t.cost.pt_level_access)
+  if Tlb.hit_test t.tlb ~vpn:page then t.cost.tlb_hit
+  else begin
+    Tlb.insert t.tlb ~vpn:page synthetic_entry;
+    t.walk_cost
+  end
 
 let tlb_flush t = Tlb.flush t.tlb
 
-(* One line access; [seq] selects the prefetch-friendly cost profile
-   (tree nodes and next lines prefetched) vs. the dependent-load one. *)
-let line_cost t ~seq ~write addr =
-  let page = Addr.page_of addr in
-  let epc = epc_charge t page + tlb_cost t page in
+(* LLC charge for one line; [seq] selects the prefetch-friendly cost
+   profile (tree nodes and next lines prefetched) vs. the dependent-load
+   one. *)
+let cache_cost t ~seq ~write addr =
   match Cache.access t.cache ~write addr with
-  | Cache.Hit -> t.cost.cache_hit + epc
+  | Cache.Hit -> t.cost.cache_hit
   | Cache.Miss { evicted_dirty } ->
       let wb = if evicted_dirty then 2 else 1 in
-      let base =
-        if seq then
-          (t.cost.dram_seq_miss
-          +
-          match t.engine with
-          | Mem_crypto.Plain -> 0
-          | Mem_crypto.Sme -> t.cost.sme_seq_extra
-          | Mem_crypto.Mee _ -> t.cost.mee_seq_extra)
-          * wb
-        else
-          ((t.cost.cache_miss_dram
-           +
-           match t.engine with
-           | Mem_crypto.Plain -> 0
-           | Mem_crypto.Sme -> t.cost.sme_miss_extra
-           | Mem_crypto.Mee _ -> t.cost.mee_miss_extra)
-          * wb)
-          +
-          (match t.engine with
-          | Mem_crypto.Plain | Mem_crypto.Sme -> 0
-          | Mem_crypto.Mee _ -> t.cost.mee_tree_levels * t.cost.mee_tree_level)
-      in
-      base + epc
+      if seq then t.seq_miss * wb else (t.dep_miss * wb) + t.tree_extra
+
+(* One line access, full price: EPC residency + TLB + LLC. *)
+let line_cost t ~seq ~write addr =
+  let page = Addr.page_of addr in
+  let epc = epc_charge t page in
+  let tlb = tlb_cost t page in
+  epc + tlb + cache_cost t ~seq ~write addr
 
 let line = 64
+
+(* Charge [k] consecutive lines starting at [addr], all inside the page
+   numbered [page].  Only the first line pays a real EPC/TLB lookup; the
+   remaining k-1 are deterministic hits (the page was made resident and
+   TLB-inserted by the first line, and nothing between two lines of the
+   same run can evict either), so they are accounted analytically:
+   k-1 TLB-hit charges, stats bumped in bulk, referenced bit set once.
+   TLB hits draw no randomness and the per-line Cache.access below is the
+   only remaining stateful step, so cycles, RNG stream, swap counts and
+   hit statistics are identical to the per-line reference walk.
+   [first_seq] is the cost profile of the leading line ([false] for a
+   dependent pointer chase into an object), [rest_seq] of the others. *)
+let page_run_cost t ~page ~first_seq ~rest_seq ~write addr k =
+  let epc = epc_charge t page in
+  let tlb = tlb_cost t page in
+  let acc = ref (epc + tlb + cache_cost t ~seq:first_seq ~write addr) in
+  if k > 1 then begin
+    epc_rehit t page;
+    Tlb.note_hits t.tlb (k - 1);
+    acc := !acc + ((k - 1) * t.cost.tlb_hit);
+    for j = 1 to k - 1 do
+      acc := !acc + cache_cost t ~seq:rest_seq ~write (addr + (j * line))
+    done
+  end;
+  !acc
+
+(* Number of stride-64 accesses starting at [addr] that stay on its page. *)
+let lines_on_page addr =
+  let to_next = Addr.base_of_page (Addr.page_of addr + 1) - addr in
+  (to_next + line - 1) / line
+
+let scale ~acc ~simulated ~total =
+  if simulated = total then acc
+  else
+    int_of_float
+      (float_of_int acc *. float_of_int total /. float_of_int simulated)
 
 let seq_scan t ~base ~bytes ~write =
   if bytes > 0 then begin
     let lines = (bytes + line - 1) / line in
     let simulated = min lines t.sample_cap in
     let acc = ref 0 in
-    for i = 0 to simulated - 1 do
-      acc := !acc + line_cost t ~seq:true ~write (base + (i * line))
+    let i = ref 0 in
+    while !i < simulated do
+      let addr = base + (!i * line) in
+      let page = Addr.page_of addr in
+      let k = min (lines_on_page addr) (simulated - !i) in
+      acc :=
+        !acc + page_run_cost t ~page ~first_seq:true ~rest_seq:true ~write addr k;
+      i := !i + k
     done;
     (* Scale the sampled window cost up to the full scan. *)
-    let total =
-      if simulated = lines then !acc
-      else int_of_float (float_of_int !acc *. float_of_int lines /. float_of_int simulated)
-    in
-    Cycles.tick t.clock total
+    Cycles.tick t.clock (scale ~acc:!acc ~simulated ~total:lines)
   end
 
 let random_access t ~base ~working_set ~count ~write =
@@ -157,16 +277,61 @@ let random_access t ~base ~working_set ~count ~write =
       let addr = base + (Rng.int t.rng lines_in_ws * line) in
       acc := !acc + line_cost t ~seq:false ~write addr
     done;
-    let total =
-      if simulated = count then !acc
-      else int_of_float (float_of_int !acc *. float_of_int count /. float_of_int simulated)
-    in
-    Cycles.tick t.clock total
+    Cycles.tick t.clock (scale ~acc:!acc ~simulated ~total:count)
   end
 
 let touch_bytes t ~addr ~len ~write =
   (* The first line of an object is a dependent load (pointer chase into
      it); the rest streams under the prefetcher. *)
+  if len > 0 then begin
+    let first = addr / line and last = (addr + len - 1) / line in
+    let acc = ref 0 in
+    let l = ref first in
+    while !l <= last do
+      let a = !l * line in
+      let page = Addr.page_of a in
+      let k = min (lines_on_page a) (last - !l + 1) in
+      let first_seq = !l <> first in
+      acc := !acc + page_run_cost t ~page ~first_seq ~rest_seq:true ~write a k;
+      l := !l + k
+    done;
+    Cycles.tick t.clock !acc
+  end
+
+let touch_dependent t ~addr ~len ~write =
+  if len > 0 then begin
+    let first = addr / line and last = (addr + len - 1) / line in
+    let acc = ref 0 in
+    let l = ref first in
+    while !l <= last do
+      let a = !l * line in
+      let page = Addr.page_of a in
+      let k = min (lines_on_page a) (last - !l + 1) in
+      acc :=
+        !acc + page_run_cost t ~page ~first_seq:false ~rest_seq:false ~write a k;
+      l := !l + k
+    done;
+    Cycles.tick t.clock !acc
+  end
+
+(* --- per-line reference walks ------------------------------------------
+   The naive implementations the fast paths must match bit-for-bit:
+   one EPC probe + one TLB probe + one cache access per line.  Kept as
+   the specification oracle for the randomized equivalence tests; not
+   used on any production path. *)
+
+let seq_scan_reference t ~base ~bytes ~write =
+  if bytes > 0 then begin
+    let lines = (bytes + line - 1) / line in
+    let simulated = min lines t.sample_cap in
+    let acc = ref 0 in
+    for i = 0 to simulated - 1 do
+      acc := !acc + line_cost t ~seq:true ~write (base + (i * line))
+    done;
+    Cycles.tick t.clock (scale ~acc:!acc ~simulated ~total:lines)
+  end
+
+let touch_bytes_reference t ~addr ~len ~write =
   if len > 0 then begin
     let first = addr / line and last = (addr + len - 1) / line in
     let acc = ref (line_cost t ~seq:false ~write (first * line)) in
@@ -176,7 +341,7 @@ let touch_bytes t ~addr ~len ~write =
     Cycles.tick t.clock !acc
   end
 
-let touch_dependent t ~addr ~len ~write =
+let touch_dependent_reference t ~addr ~len ~write =
   if len > 0 then begin
     let first = addr / line and last = (addr + len - 1) / line in
     let acc = ref 0 in
@@ -194,6 +359,9 @@ let flush_range t ~base ~bytes =
 
 let flush_all t = Cache.flush_all t.cache
 let swaps t = t.swaps
+let tlb_stats t = (Tlb.lookups t.tlb, Tlb.hits t.tlb)
+let cache_stats t = (Cache.accesses t.cache, Cache.misses t.cache)
+let resident_pages t = t.nresident
 
 let avg_access_cycles t ~pattern ~working_set =
   (* Private replica so the measurement does not disturb [t].  The scan is

@@ -43,7 +43,17 @@ val tlb_flush : t -> unit
 val engine : t -> Mem_crypto.engine
 
 val seq_scan : t -> base:int -> bytes:int -> write:bool -> unit
-(** Stream through [\[base, base+bytes)] line by line. *)
+(** Stream through [\[base, base+bytes)] line by line.
+
+    Implementation note shared by {!seq_scan}, {!touch_bytes} and
+    {!touch_dependent}: lines are charged per page run — one real
+    EPC-residency probe and TLB lookup-and-insert for the first line of
+    each 4 KiB page, then the remaining (up to 63) lines accounted as
+    deterministic TLB/EPC hits analytically while the stateful LLC model
+    still sees every line.  TLB hits draw no randomness, so simulated
+    cycles, the RNG stream, swap counts and TLB/cache statistics are
+    bit-identical to the per-line reference walk (asserted by the golden
+    and property tests against {!seq_scan_reference}). *)
 
 val random_access : t -> base:int -> working_set:int -> count:int -> write:bool -> unit
 (** [count] uniformly random line accesses within the working set. *)
@@ -56,6 +66,15 @@ val touch_dependent : t -> addr:int -> len:int -> write:bool -> unit
 (** Like {!touch_bytes} but every line is a dependent load (pointer
     chasing inside the object, e.g. a B-tree node binary search). *)
 
+val seq_scan_reference : t -> base:int -> bytes:int -> write:bool -> unit
+
+val touch_bytes_reference : t -> addr:int -> len:int -> write:bool -> unit
+
+val touch_dependent_reference : t -> addr:int -> len:int -> write:bool -> unit
+(** Naive per-line walks (one EPC probe + one TLB probe + one cache access
+    per 64-byte line) — the specification oracles the page-granular fast
+    paths are tested against.  Not used on production paths. *)
+
 val flush_range : t -> base:int -> bytes:int -> unit
 (** CLFLUSH a range (the Fig. 7 methodology). *)
 
@@ -63,6 +82,17 @@ val flush_all : t -> unit
 
 val swaps : t -> int
 (** EPC page swaps incurred so far (Mee engine only). *)
+
+val tlb_stats : t -> int * int
+(** [(lookups, hits)] of the internal data TLB.  Fast-path accounting
+    (see {!seq_scan}) must keep these identical to a per-line walk; the
+    golden regression tests assert exactly that. *)
+
+val cache_stats : t -> int * int
+(** [(accesses, misses)] of the LLC model. *)
+
+val resident_pages : t -> int
+(** EPC-resident page count (Mee engine only; 0 otherwise). *)
 
 val avg_access_cycles : t -> pattern:[ `Seq | `Random ] -> working_set:int -> float
 (** Measured average cycles per access for the pattern at the given

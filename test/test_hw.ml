@@ -172,13 +172,13 @@ let test_page_table_iter () =
 
 let test_tlb () =
   let tlb = Tlb.create ~capacity:4 (Rng.create ~seed:2L) in
-  Tlb.insert tlb ~vpn:1 { Tlb.frame = 10; perms = Page_table.rw };
+  Tlb.insert tlb ~vpn:1 { Tlb.frame = 10; perms = Page_table.rw; pte = None };
   (match Tlb.lookup tlb ~vpn:1 with
   | Some e -> check "hit frame" 10 e.Tlb.frame
   | None -> Alcotest.fail "expected hit");
   check_bool "miss" true (Tlb.lookup tlb ~vpn:2 = None);
   for vpn = 2 to 10 do
-    Tlb.insert tlb ~vpn { Tlb.frame = vpn; perms = Page_table.rw }
+    Tlb.insert tlb ~vpn { Tlb.frame = vpn; perms = Page_table.rw; pte = None }
   done;
   check_bool "bounded" true (Tlb.entries tlb <= 4);
   Tlb.invalidate tlb ~vpn:10;
@@ -219,6 +219,38 @@ let test_mmu_translate () =
   (match Page_table.lookup gpt ~vpn:5 with
   | Some e -> Alcotest.(check bool) "dirty set" true e.Page_table.dirty
   | None -> Alcotest.fail "missing")
+
+(* The TLB caches the leaf PTE so a warm-TLB write sets accessed/dirty
+   through the cached reference instead of re-walking the tables; this
+   pins down that the cached reference IS the live PTE and that the
+   hardware-visible bit semantics survived the optimization. *)
+let test_mmu_cached_pte () =
+  let _clock, gpt, _, mmu = mmu_fixture ~nested:false () in
+  Page_table.map gpt ~vpn:6 ~frame:11 ~perms:Page_table.rw;
+  ignore (Mmu.translate mmu ~access:Mmu.Read ~user:true (6 * 4096));
+  let pte =
+    match Page_table.lookup gpt ~vpn:6 with
+    | Some e -> e
+    | None -> Alcotest.fail "missing pte"
+  in
+  check_bool "accessed after warm-up read" true pte.Page_table.accessed;
+  check_bool "clean after warm-up read" false pte.Page_table.dirty;
+  (* The TLB entry must carry the very PTE record the walker filled from. *)
+  (match Tlb.lookup (Mmu.tlb mmu) ~vpn:6 with
+  | Some { Tlb.pte = Some cached; _ } ->
+      check_bool "TLB caches the live PTE" true (cached == pte)
+  | Some { Tlb.pte = None; _ } -> Alcotest.fail "TLB entry lost its PTE"
+  | None -> Alcotest.fail "translation not cached");
+  (* Warm read hits keep the page clean... *)
+  ignore (Mmu.translate mmu ~access:Mmu.Read ~user:true ((6 * 4096) + 8));
+  check_bool "read hits leave page clean" false pte.Page_table.dirty;
+  (* ...and a warm write dirties it through the cached reference. *)
+  let hits_before = Tlb.hits (Mmu.tlb mmu) in
+  check "warm write translates" ((11 * 4096) + 16)
+    (Mmu.translate mmu ~access:Mmu.Write ~user:true ((6 * 4096) + 16));
+  check_bool "write was a TLB hit" true (Tlb.hits (Mmu.tlb mmu) > hits_before);
+  check_bool "dirty via cached PTE" true pte.Page_table.dirty;
+  check_bool "accessed via cached PTE" true pte.Page_table.accessed
 
 let test_mmu_faults () =
   let _clock, gpt, _, mmu = mmu_fixture ~nested:false () in
@@ -479,6 +511,7 @@ let suite =
       Alcotest.test_case "page_table iter" `Quick test_page_table_iter;
       Alcotest.test_case "tlb" `Quick test_tlb;
       Alcotest.test_case "mmu translate" `Quick test_mmu_translate;
+      Alcotest.test_case "mmu cached PTE semantics" `Quick test_mmu_cached_pte;
       Alcotest.test_case "mmu faults" `Quick test_mmu_faults;
       Alcotest.test_case "mmu nested (R-1)" `Quick test_mmu_nested;
       Alcotest.test_case "mmu switch flushes TLB" `Quick test_mmu_switch_flushes;

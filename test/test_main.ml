@@ -16,5 +16,6 @@ let () =
       ("attestation", Test_attestation.suite);
       ("tee", Test_tee.suite);
       ("workloads", Test_workloads.suite);
+      ("golden", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);
     ]
