@@ -36,6 +36,8 @@ module Workloads = Hyperenclave_workloads
 
 (* Frequently-used modules, re-exported flat. *)
 module Telemetry = Hyperenclave_obs.Telemetry
+module Fault = Hyperenclave_fault.Fault
+module Invariants = Hyperenclave_monitor.Invariants
 module Cycles = Hyperenclave_hw.Cycles
 module Cost_model = Hyperenclave_hw.Cost_model
 module Rng = Hyperenclave_hw.Rng

@@ -40,6 +40,7 @@ let in_pool t frame = Frame_alloc.owns t.alloc frame
 let base_frame t = Frame_alloc.base_frame t.alloc
 let nframes t = Frame_alloc.total t.alloc
 let free_count t = Frame_alloc.free_count t.alloc
+let used_count t = Hashtbl.length t.meta
 
 let find_victim t ~prefer_not =
   let candidate other_ok =

@@ -38,6 +38,12 @@ val in_pool : t -> int -> bool
 val base_frame : t -> int
 val nframes : t -> int
 val free_count : t -> int
+
+val used_count : t -> int
+(** Frames currently allocated (with live metadata); [used_count t +
+    free_count t = nframes t] is an accounting invariant the checker
+    re-validates after injected faults. *)
+
 val used_by : t -> enclave_id:int -> int
 (** Frames currently owned by the enclave. *)
 

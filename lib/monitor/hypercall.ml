@@ -73,6 +73,11 @@ let name = function
   | Gen_quote _ -> "GEN_QUOTE"
 
 let dispatch monitor request =
+  (* Fault site at the trust-boundary entry, before any monitor state is
+     touched: an injected fault here models a VMMCALL that never reached
+     the handler (dropped, truncated, or refused at the gate).  Transient
+     faults are retried by the kernel module's ioctl path. *)
+  Hyperenclave_fault.Fault.point "hypercall.dispatch";
   try
     match request with
     | Ecreate secs -> Enclave_handle (Monitor.ecreate monitor secs)

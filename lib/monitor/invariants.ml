@@ -1,0 +1,74 @@
+open Hyperenclave_hw
+open Hyperenclave_crypto
+
+type finding = Monitor.audit_finding = { invariant : string; detail : string }
+
+let check m =
+  let extra = ref [] in
+  let report invariant fmt =
+    Printf.ksprintf
+      (fun detail -> extra := { invariant; detail } :: !extra)
+      fmt
+  in
+  let res_lo, res_n = Monitor.reserved_range m in
+  (* R-1, direct view: scan the reservation frame-by-frame rather than
+     trusting the table iteration alone. *)
+  for frame = res_lo to res_lo + res_n - 1 do
+    if Monitor.frame_visible_to_normal_vm m ~frame then
+      report "R-1" "reserved frame 0x%x visible to the normal VM" frame
+  done;
+  (* R-3: no device may DMA anywhere into the reservation. *)
+  let iommu = Monitor.iommu m in
+  List.iter
+    (fun device ->
+      let mapped = ref 0 in
+      for frame = res_lo to res_lo + res_n - 1 do
+        if Iommu.allowed iommu ~device ~frame then incr mapped
+      done;
+      if !mapped > 0 then
+        report "R-3" "device %s maps %d reserved frame(s)" device !mapped)
+    (Iommu.devices iommu);
+  (* EPC accounting: the free list and the metadata table must tile the
+     pool exactly, and every owner must be alive. *)
+  let epc = Monitor.epc m in
+  let used = Epc.used_count epc and free = Epc.free_count epc in
+  if used + free <> Epc.nframes epc then
+    report "epc-accounting" "%d used + %d free <> %d pool frames" used free
+      (Epc.nframes epc);
+  let enclaves = Monitor.enclaves m in
+  let live id =
+    List.exists (fun (e : Enclave.t) -> e.Enclave.id = id) enclaves
+  in
+  for frame = Epc.base_frame epc to Epc.base_frame epc + Epc.nframes epc - 1 do
+    match Epc.info epc frame with
+    | Some { Epc.owner = Epc.Enclave id; _ } when not (live id) ->
+        report "epc-accounting" "frame 0x%x owned by dead enclave %d" frame id
+    | Some _ | None -> ()
+  done;
+  (* Measurement consistency: EINIT freezes a digest-sized MRENCLAVE and
+     registered enclaves are never left in the Dead state. *)
+  List.iter
+    (fun (e : Enclave.t) ->
+      match e.Enclave.lifecycle with
+      | Enclave.Initialized ->
+          if Bytes.length e.Enclave.mrenclave <> Sha256.digest_size then
+            report "measurement" "enclave %d initialized with a %d-byte MRENCLAVE"
+              e.Enclave.id
+              (Bytes.length e.Enclave.mrenclave)
+      | Enclave.Dead ->
+          report "measurement" "dead enclave %d still registered" e.Enclave.id
+      | Enclave.Uninitialized -> ())
+    enclaves;
+  Monitor.audit m @ List.rev !extra
+
+let ok m = check m = []
+
+let pp_finding fmt f = Format.fprintf fmt "[%s] %s" f.invariant f.detail
+
+let summary = function
+  | [] -> "ok"
+  | findings ->
+      String.concat "; "
+        (List.map
+           (fun f -> Printf.sprintf "[%s] %s" f.invariant f.detail)
+           findings)

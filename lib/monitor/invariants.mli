@@ -1,0 +1,31 @@
+(** Monitor invariant checker: R-1..R-3 re-validated from live state.
+
+    {!Monitor.audit} walks the page tables for the mapping-level
+    invariants.  This module composes that walk with the platform-wide
+    checks an injected fault could silently break — the IOMMU tables
+    (R-3), the normal VM's direct view of the reservation (R-1), EPC
+    free-list accounting, and enclave measurement consistency — into one
+    verdict the chaos harness runs after {e every} injected fault.
+
+    Checking never charges simulated cycles and never draws randomness,
+    so it can run at any fault site without perturbing the run. *)
+
+type finding = Monitor.audit_finding = { invariant : string; detail : string }
+
+val check : Monitor.t -> finding list
+(** All violations found; [[]] means every invariant holds.  On top of
+    {!Monitor.audit}:
+    - R-1: no reserved frame is reachable through the normal VM's nested
+      table (scanned frame-by-frame, not just by table iteration);
+    - R-3: no attached device's IOMMU table maps any reserved frame;
+    - EPC accounting: allocated + free frames = pool size, and every
+      allocated frame's owner is a live enclave or the monitor;
+    - measurement: every initialized enclave carries a finalized,
+      digest-sized MRENCLAVE, and no dead enclave remains registered. *)
+
+val ok : Monitor.t -> bool
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val summary : finding list -> string
+(** ["ok"] or a compact one-line list for failure reports. *)

@@ -3,6 +3,7 @@ open Hyperenclave_crypto
 module Tpm = Hyperenclave_tpm.Tpm
 module Pcr = Hyperenclave_tpm.Pcr
 module Telemetry = Hyperenclave_obs.Telemetry
+module Fault = Hyperenclave_fault.Fault
 
 exception Security_violation of string
 
@@ -263,9 +264,25 @@ let evict_one_epc t ~prefer_not =
       Log.debug (fun k ->
           k "EPC eviction: enclave %d page 0x%x sealed out" owner_id vpn)
 
-(* Allocate an EPC frame, evicting if the pool is dry. *)
+(* Allocate an EPC frame, evicting if the pool is dry.  The fault site
+   fires before the allocation mutates anything: injected transient
+   pressure behaves exactly like an exhausted pool — evict and retry —
+   so chaos runs exercise the EWB path even while frames remain; a
+   permanent fault unwinds as a typed error with the pool untouched. *)
 let alloc_epc t ~owner ~page_type ~vpn ~prefer_not =
   count t "epc.alloc";
+  (match Fault.check "epc.alloc" with
+  | None -> ()
+  | Some Fault.Transient ->
+      (* Simulated EPC pressure: absorb it the way real exhaustion is
+         absorbed, by writing back a victim page (EWB).  With nothing
+         evictable yet the pool has free frames, so the pressure is
+         vacuous and the allocation below just proceeds. *)
+      if t.swap_backend <> None && Epc.find_victim t.epc ~prefer_not <> None
+      then evict_one_epc t ~prefer_not;
+      Fault.survived "epc.alloc"
+  | Some (Fault.Permanent as kind) ->
+      raise (Fault.Injected { site = "epc.alloc"; kind }));
   match Epc.alloc t.epc ~owner ~page_type ~vpn with
   | frame -> frame
   | exception Epc.Epc_exhausted ->
@@ -501,6 +518,11 @@ let aex t (enclave : Enclave.t) =
   (match t.current with
   | Some running when running.id = enclave.id -> ()
   | Some _ | None -> violation "aex: enclave %d is not running" enclave.id);
+  (* Fault site before the SSA spill: an injected fault models AEX
+     delivery failing at the trap gate.  The enclave is still entered and
+     current, so the caller's cleanup path (a clean EEXIT) restores the
+     normal context without leaving a half-spilled SSA frame. *)
+  Fault.point "switch.aex";
   count t "switch.aex";
   trace_switch t "aex" enclave;
   let aex_start = Cycles.now t.clock in
@@ -539,6 +561,10 @@ let eresume t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) =
   | Some running -> violation "eresume: enclave %d already running" running.id
   | None -> ());
   if tcs.current_ssa = 0 then violation "eresume: no interrupted state to resume";
+  (* Fault site before the SSA pop: the interrupted state stays intact on
+     its SSA frame, so the SDK's bounded-retry path can re-issue the
+     ERESUME and land in the same saved context. *)
+  Fault.point "switch.eresume";
   count t "switch.eresume";
   trace_switch t "eresume" enclave;
   let eresume_start = Cycles.now t.clock in
@@ -588,6 +614,10 @@ let commit_page t (enclave : Enclave.t) ~vpn =
 (* Fault on a page the monitor previously evicted: reload and unseal it
    (ELDU), verifying integrity and freshness of the untrusted blob. *)
 let swap_in_page t (enclave : Enclave.t) ~vpn =
+  (* Pre-mutation fault site: the page is still recorded as swapped out
+     and the blob is still on the backend, so a retried access simply
+     faults and re-attempts the reload. *)
+  Fault.point "epc.swap_in";
   count t "epc.swap_in";
   count t "fault.page_fault";
   let swap_in_start = Cycles.now t.clock in
@@ -1028,8 +1058,11 @@ let audit t =
 (* --- introspection -------------------------------------------------------- *)
 
 let epc t = t.epc
+let iommu t = t.iommu
 let enclave_count t = Hashtbl.length t.enclaves
+let enclaves t = Hashtbl.fold (fun _ e acc -> e :: acc) t.enclaves []
 let reserved_range t = (t.config.reserved_base_frame, t.config.reserved_nframes)
+let monitor_private_frames t = t.config.monitor_private_frames
 
 let frame_visible_to_normal_vm t ~frame =
   Page_table.lookup t.normal_npt ~vpn:frame <> None

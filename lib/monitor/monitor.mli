@@ -267,8 +267,21 @@ val telemetry : t -> Hyperenclave_obs.Telemetry.t
     simulated cycles, so reading it is always safe. *)
 
 val epc : t -> Epc.t
+
+val iommu : t -> Iommu.t
+(** The platform IOMMU the monitor configured at launch; the invariant
+    checker rescans it for R-3 after injected faults. *)
+
 val enclave_count : t -> int
+
+val enclaves : t -> Enclave.t list
+(** Every live enclave, in no particular order. *)
+
 val reserved_range : t -> int * int
 (** [(base_frame, nframes)]. *)
+
+val monitor_private_frames : t -> int
+(** Frames at the bottom of the reservation holding the monitor
+    image/heap (never part of the EPC pool). *)
 
 val frame_visible_to_normal_vm : t -> frame:int -> bool

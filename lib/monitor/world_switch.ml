@@ -37,3 +37,10 @@ let sdk_ocall_soft (m : Cost_model.t) = function
   | GU -> m.sdk_ocall_soft_gu
   | HU -> m.sdk_ocall_soft_hu
   | P -> m.sdk_ocall_soft_p
+
+(* Backoff charged between retry attempts on transient faults (EPC
+   pressure, TPM busy, interrupted world switches): an OS context switch
+   doubling per attempt, capped so a hostile schedule cannot stall the
+   simulated clock unboundedly. *)
+let retry_backoff_cost (m : Cost_model.t) ~attempt =
+  m.os_ctxsw * (1 lsl min (max attempt 0) 6)

@@ -29,3 +29,8 @@ val sdk_ecall_soft : Cost_model.t -> Sgx_types.operation_mode -> int
     transitions. *)
 
 val sdk_ocall_soft : Cost_model.t -> Sgx_types.operation_mode -> int
+
+val retry_backoff_cost : Cost_model.t -> attempt:int -> int
+(** Simulated cycles the SDK/kernel module charge before retry attempt
+    [attempt] (numbered from 1) after a transient fault: exponential in
+    the attempt, capped at 64 context switches. *)

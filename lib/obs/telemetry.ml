@@ -38,6 +38,20 @@ let incr t name = add t name 1
 let counter t name =
   match Hashtbl.find_opt t.tbl_counters name with Some cell -> !cell | None -> 0
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let counters_with_prefix t prefix =
+  Hashtbl.fold
+    (fun name cell acc ->
+      if starts_with ~prefix name then (name, !cell) :: acc else acc)
+    t.tbl_counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sum_prefix t prefix =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (counters_with_prefix t prefix)
+
 (* Bucket index: 0 for sample 0, otherwise 1 + floor(log2 sample), so
    bucket i >= 1 covers [2^(i-1), 2^i). *)
 let bucket_bits = 63

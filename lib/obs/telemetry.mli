@@ -33,6 +33,14 @@ val add : t -> string -> int -> unit
 val counter : t -> string -> int
 (** Current value; 0 for a counter never touched. *)
 
+val counters_with_prefix : t -> string -> (string * int) list
+(** All counters whose name starts with the given prefix, sorted by
+    name.  The fault plane's per-site counters ([fault.injected.<site>])
+    are the motivating consumer. *)
+
+val sum_prefix : t -> string -> int
+(** Sum of {!counters_with_prefix}. *)
+
 val observe : t -> string -> int -> unit
 (** Record one sample (in cycles) into a histogram. *)
 

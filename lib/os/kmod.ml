@@ -1,5 +1,6 @@
 open Hyperenclave_hw
 open Hyperenclave_monitor
+module Fault = Hyperenclave_fault.Fault
 
 type t = { kernel : Kernel.t; monitor : Monitor.t }
 
@@ -33,14 +34,28 @@ let load ~kernel ~tpm ~monitor ~monitor_image ~boot_log =
 let monitor t = t.monitor
 let kernel t = t.kernel
 
-let ioctl_enter t = Kernel.null_syscall t.kernel
+let backoff t attempt =
+  Cycles.tick (Kernel.clock t.kernel)
+    (World_switch.retry_backoff_cost (Kernel.cost t.kernel) ~attempt)
+
+let ioctl_enter t =
+  (* Fault site at the device-node boundary: an ioctl that never reached
+     the kernel module (EINTR, dropped request).  It fires before the
+     syscall is charged, so a transient fault is absorbed by reissuing
+     the crossing, exactly like userspace retrying on EINTR. *)
+  Fault.with_retries ~backoff:(backoff t) (fun () -> Fault.point "os.ioctl");
+  Kernel.null_syscall t.kernel
 
 (* Every privileged operation crosses the explicit hypercall ABI; a
-   Fault result is re-raised so callers see the monitor's refusal. *)
+   Fault result is re-raised so callers see the monitor's refusal.
+   Transient injected faults at the dispatch gate are retried with
+   backoff, like the real driver reissuing an interrupted VMMCALL —
+   safe because the gate fires before the monitor mutates anything. *)
 let hypercall t request =
-  match Hypercall.dispatch t.monitor request with
-  | Hypercall.Fault message -> raise (Monitor.Security_violation message)
-  | result -> result
+  Fault.with_retries ~backoff:(backoff t) (fun () ->
+      match Hypercall.dispatch t.monitor request with
+      | Hypercall.Fault message -> raise (Monitor.Security_violation message)
+      | result -> result)
 
 let expect_ok t request =
   match hypercall t request with

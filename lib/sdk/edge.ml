@@ -1,4 +1,5 @@
 open Hyperenclave_hw
+module Fault = Hyperenclave_fault.Fault
 
 type direction = In | Out | In_out | User_check
 
@@ -10,12 +11,23 @@ let direction_name = function
 
 let kib bytes = (bytes + 1023) / 1024
 
+(* Marshalling-copy fault sites.  They fire before the copy's cycles are
+   charged, modelling a truncated or interrupted transfer across the
+   pinned buffer; the uRTS absorbs transient ones by re-staging the whole
+   edge call (the buffer regions are write-before-read, so replays are
+   idempotent). *)
+let fault_site_in = "sdk.ms_copy_in"
+let fault_site_out = "sdk.ms_copy_out"
+
 let charge_ms_in (m : Cost_model.t) clock ~bytes =
+  Fault.point fault_site_in;
   Cycles.tick clock (kib bytes * m.ms_copy_in_per_kb)
 
 let charge_ms_out (m : Cost_model.t) clock ~bytes =
+  Fault.point fault_site_out;
   Cycles.tick clock (kib bytes * m.ms_copy_out_per_kb)
 
 let charge_ms_in_out (m : Cost_model.t) clock ~bytes =
+  Fault.point fault_site_in;
   let base = kib bytes * (m.ms_copy_in_per_kb + m.ms_copy_out_per_kb) in
   Cycles.tick clock (base * 3 / 2)

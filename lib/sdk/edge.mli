@@ -29,3 +29,10 @@ val charge_ms_out : Cost_model.t -> Cycles.t -> bytes:int -> unit
 val charge_ms_in_out : Cost_model.t -> Cycles.t -> bytes:int -> unit
 (** Both legs; slightly superlinear (the second traversal of the buffer
     misses in cache after the first evicted it). *)
+
+val fault_site_in : string
+(** Fault-injection site name for app->enclave marshalling copies
+    (["sdk.ms_copy_in"]); fires before any bytes move. *)
+
+val fault_site_out : string
+(** Enclave->app direction (["sdk.ms_copy_out"]). *)

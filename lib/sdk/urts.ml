@@ -62,6 +62,11 @@ let cost t = Kernel.cost (kernel t)
 let count t name =
   Hyperenclave_obs.Telemetry.incr (Monitor.telemetry (monitor t)) name
 
+module Fault = Hyperenclave_fault.Fault
+
+let backoff t attempt =
+  Cycles.tick (clock t) (World_switch.retry_backoff_cost (cost t) ~attempt)
+
 (* Marshalling-buffer regions: [0, 1/2) ECALL inputs, [1/2, 3/4) ECALL
    outputs, [3/4, 1) OCALL allocations (sgx_ocalloc arena). *)
 let ms_out_off t = t.ms_size / 2
@@ -70,6 +75,11 @@ let ms_ocall_off t = t.ms_size * 3 / 4
 (* Raw app-side access to the pinned marshalling buffer through the
    process mapping; cycle cost is charged explicitly by the Edge rates. *)
 let ms_raw rw t ~off data_or_len =
+  (* Fault site before the copy touches the buffer: a fault here is a
+     transfer that never started, so re-running the edge call re-stages
+     the same bytes. *)
+  Fault.point
+    (match rw with `Write -> Edge.fault_site_in | `Read -> Edge.fault_site_out);
   let mem = Kernel.mem (kernel t) in
   let run ~va ~len ~f =
     let pos = ref 0 in
@@ -401,8 +411,12 @@ and simulate_exception t vector =
           let handled = handler vector in
           Monitor.eexit m t.enclave ~target_va:aep;
           if not handled then fail "in-enclave handler refused %s" vector_name;
-          (* ERESUME back into the interrupted computation. *)
-          Monitor.eresume m t.enclave ~tcs:interrupted_tcs)
+          (* ERESUME back into the interrupted computation.  A transient
+             fault leaves the SSA frame intact, so the uRTS re-issues the
+             ERESUME after backoff, like the AEP retry loop in the real
+             runtime. *)
+          Fault.with_retries ~backoff:(backoff t) (fun () ->
+              Monitor.eresume m t.enclave ~tcs:interrupted_tcs))
 
 and simulate_interrupt t =
   let m = monitor t in
@@ -412,7 +426,8 @@ and simulate_interrupt t =
       Monitor.deliver_interrupt m t.enclave;
       (* The primary OS services the interrupt and schedules us back. *)
       Cycles.tick (clock t) (1_800 + (cost t).Cost_model.os_ctxsw);
-      Monitor.eresume m t.enclave ~tcs
+      Fault.with_retries ~backoff:(backoff t) (fun () ->
+          Monitor.eresume m t.enclave ~tcs)
 
 (* --- ECALL ------------------------------------------------------------------ *)
 
@@ -476,7 +491,22 @@ let run_ecall t ~id ~data ~direction ~use_ms =
      cleanly (freeing the TCS and restoring the normal context) before
      propagating, as the real uRTS does for enclave crashes. *)
   let result =
-    try handler tenv input
+    try
+      (* Injected AEX storm: a burst of device interrupts lands right
+         after EENTER; each one AEXes to the primary OS and is ERESUMEd
+         before trusted code makes progress.  Nested injections at the
+         switch sites unwind through the cleanup below. *)
+      (match Fault.check "sdk.aex_storm" with
+      | None -> ()
+      | Some kind ->
+          let bursts =
+            match kind with Fault.Transient -> 2 | Fault.Permanent -> 6
+          in
+          for _ = 1 to bursts do
+            simulate_interrupt t
+          done;
+          Fault.survived "sdk.aex_storm");
+      handler tenv input
     with exn ->
       (match Monitor.current m with
       | Some running when running.Enclave.id = t.enclave.Enclave.id ->
@@ -517,11 +547,20 @@ let run_ecall t ~id ~data ~direction ~use_ms =
   end
   else result
 
+(* Bounded retry on transient injected faults.  Every fault site fires
+   before its guarded operation mutates state and [run_ecall] exits the
+   enclave cleanly on any escaping exception, so re-running the whole
+   ECALL from the top is safe: inputs are re-staged, a fresh TCS is
+   taken, and the EDMM/swap machinery re-faults pages on demand.
+   Permanent faults and exhausted retries surface as the typed
+   [Fault.Injected] error. *)
 let ecall t ~id ?(data = Bytes.empty) ~direction () =
-  run_ecall t ~id ~data ~direction ~use_ms:true
+  Fault.with_retries ~backoff:(backoff t) (fun () ->
+      run_ecall t ~id ~data ~direction ~use_ms:true)
 
 let ecall_no_ms t ~id ?(data = Bytes.empty) ~direction () =
-  run_ecall t ~id ~data ~direction ~use_ms:false
+  Fault.with_retries ~backoff:(backoff t) (fun () ->
+      run_ecall t ~id ~data ~direction ~use_ms:false)
 
 let destroy t =
   for vpn = Addr.page_of t.ms_base to Addr.page_of (t.ms_base + t.ms_size - 1) do
@@ -535,5 +574,9 @@ let mode t = t.config.mode
 let stats t = t.enclave.Enclave.stats
 let config t = t.config
 
+(* Quote generation crosses into the TPM; transient TPM faults are
+   retried with backoff (the chip keeps no partial state across an
+   aborted command). *)
 let gen_quote t ~report_data ~nonce =
-  Monitor.gen_quote (monitor t) t.enclave ~report_data ~nonce
+  Fault.with_retries ~backoff:(backoff t) (fun () ->
+      Monitor.gen_quote (monitor t) t.enclave ~report_data ~nonce)

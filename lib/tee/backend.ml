@@ -9,6 +9,8 @@ type env = {
   mem : Mem_sim.t;
   ocall : id:int -> ?data:bytes -> unit -> bytes;
   interrupt : unit -> unit;
+  heap_write : off:int -> bytes -> unit;
+  heap_read : off:int -> len:int -> bytes;
   backend_name : string;
 }
 
@@ -30,12 +32,37 @@ type t = {
   destroy : unit -> unit;
 }
 
+(* Backends without a demand-paged enclave heap (native, the SGX model)
+   still expose [heap_write]/[heap_read] so heap-walking workloads run
+   unmodified everywhere; a growable scratch buffer stands in for it. *)
+let scratch_heap () =
+  let buf = ref (Bytes.create 4096) in
+  let ensure n =
+    if Bytes.length !buf < n then begin
+      let grown = Bytes.make (max n (2 * Bytes.length !buf)) '\000' in
+      Bytes.blit !buf 0 grown 0 (Bytes.length !buf);
+      buf := grown
+    end
+  in
+  let write ~off data =
+    if off < 0 then invalid_arg "heap_write: negative offset";
+    ensure (off + Bytes.length data);
+    Bytes.blit data 0 !buf off (Bytes.length data)
+  in
+  let read ~off ~len =
+    if off < 0 || len < 0 then invalid_arg "heap_read: negative range";
+    ensure (off + len);
+    Bytes.sub !buf off len
+  in
+  (write, read)
+
 let native ~clock ~cost ~rng ~handlers ~ocalls =
   let mem =
     Mem_sim.create ~clock ~cost ~rng:(Rng.split rng) ~engine:Mem_crypto.Plain ()
   in
   let ocall_tbl = Hashtbl.create 16 in
   List.iter (fun (id, h) -> Hashtbl.replace ocall_tbl id h) ocalls;
+  let heap = scratch_heap () in
   let env =
     {
       clock;
@@ -49,6 +76,8 @@ let native ~clock ~cost ~rng ~handlers ~ocalls =
       (* Native code takes timer interrupts too: handler plus scheduler
          work, without any enclave exit on top. *)
       interrupt = (fun () -> Cycles.tick clock (1_800 + cost.Cost_model.os_ctxsw));
+      heap_write = (let w, _ = heap in w);
+      heap_read = (let _, r = heap in r);
       backend_name = "native";
     }
   in
@@ -91,6 +120,14 @@ let hyperenclave (platform : Platform.t) ~mode ?(tweak = fun c -> c) ~handlers
           Mem_sim.tlb_flush mem;
           reply);
       interrupt = tenv.Tenv.interrupt_now;
+      (* Real demand-paged enclave heap: touching a wide offset range
+         commits EPC frames and, on small platforms, forces EWB/ELDU —
+         which is how the chaos suite creates EPC pressure through the
+         backend-neutral interface. *)
+      heap_write =
+        (fun ~off data -> tenv.Tenv.write ~va:(tenv.Tenv.heap_base + off) data);
+      heap_read =
+        (fun ~off ~len -> tenv.Tenv.read ~va:(tenv.Tenv.heap_base + off) ~len);
       backend_name = Sgx_types.mode_name mode;
     }
   in
@@ -127,6 +164,7 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
   let sgx_platform =
     Sgx_model.create_platform ~clock ~cost ~rng:(Rng.split rng) ~epc_bytes
   in
+  let heap = scratch_heap () in
   let env_of_enclave enclave =
     {
       clock;
@@ -138,6 +176,8 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
           Mem_sim.tlb_flush mem;
           reply);
       interrupt = (fun () -> Sgx_model.interrupt enclave);
+      heap_write = (let w, _ = heap in w);
+      heap_read = (let _, r = heap in r);
       backend_name = "Intel SGX";
     }
   in
@@ -162,3 +202,38 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
         Sgx_model.ecall enclave ~id ~data ());
     destroy = (fun () -> ());
   }
+
+(* -------------------------------------------------------------------- *)
+(* Trichotomy oracle                                                    *)
+
+type outcome =
+  | Success of bytes
+  | Typed_error of string
+  | Violation of string
+
+let outcome_name = function
+  | Success _ -> "success"
+  | Typed_error _ -> "typed-error"
+  | Violation _ -> "violation"
+
+let pp_outcome fmt = function
+  | Success reply -> Format.fprintf fmt "success (%d bytes)" (Bytes.length reply)
+  | Typed_error msg -> Format.fprintf fmt "typed-error: %s" msg
+  | Violation msg -> Format.fprintf fmt "violation: %s" msg
+
+(* The only acceptable endings of a call under fault injection.  A clean
+   reply, a typed refusal the application can act on, or the monitor
+   detecting tampering — anything else (an unexpected exception, silent
+   corruption checked by the caller against the reply) is a bug in the
+   fault handling, not in the workload. *)
+let protected_call t ~id ?(data = Bytes.empty) ~direction () =
+  match t.call ~id ~data ~direction () with
+  | reply -> Success reply
+  | exception Monitor.Security_violation msg -> Violation msg
+  | exception Hyperenclave_fault.Fault.Injected { site; kind } ->
+      Typed_error
+        (Printf.sprintf "injected %s fault at %s"
+           (Hyperenclave_fault.Fault.kind_name kind)
+           site)
+  | exception Urts.Enclave_error msg -> Typed_error ("enclave: " ^ msg)
+  | exception Invalid_argument msg -> Typed_error ("invalid-argument: " ^ msg)

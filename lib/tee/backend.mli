@@ -23,6 +23,13 @@ type env = {
   mem : Mem_sim.t;  (** memory-system behaviour *)
   ocall : id:int -> ?data:bytes -> unit -> bytes;
   interrupt : unit -> unit;  (** a timer tick lands now *)
+  heap_write : off:int -> bytes -> unit;
+      (** write at a byte offset into the workload's heap.  On the
+          HyperEnclave backends this is real demand-paged enclave memory
+          (committing frames, forcing EWB/ELDU under pressure); native
+          and SGX back it with a scratch buffer so workloads stay
+          backend-neutral. *)
+  heap_read : off:int -> len:int -> bytes;
   backend_name : string;
 }
 
@@ -69,3 +76,27 @@ val sgx :
   unit ->
   t
 (** The Intel baseline; default EPC 93 MB. *)
+
+(** {1 Trichotomy oracle}
+
+    Under fault injection every call must end in exactly one of three
+    ways; the chaos suite (and any resilience-minded application) uses
+    {!protected_call} to classify. *)
+
+type outcome =
+  | Success of bytes  (** clean reply *)
+  | Typed_error of string
+      (** a clean, typed refusal: an injected fault that exhausted its
+          retries, an [Urts.Enclave_error], or a rejected argument *)
+  | Violation of string
+      (** the monitor detected tampering ([Monitor.Security_violation]) —
+          a deliberate refusal, never an accident *)
+
+val outcome_name : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val protected_call :
+  t -> id:int -> ?data:bytes -> direction:Edge.direction -> unit -> outcome
+(** Run [t.call] and map its ending onto {!outcome}.  Any exception
+    outside the trichotomy escapes — escaping is precisely the signal
+    the chaos suite treats as a fault-handling bug. *)

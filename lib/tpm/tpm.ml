@@ -76,7 +76,11 @@ let quote_body ~pcr_digest ~nonce =
   Buffer.add_bytes buf nonce;
   Buffer.to_bytes buf
 
+(* TPM commands travel over a slow, lossy bus in real deployments; the
+   fault sites fire before the chip mutates anything, so a retried
+   command observes the same PCR state. *)
 let quote t ~nonce ~pcr_selection =
+  Hyperenclave_fault.Fault.point "tpm.quote";
   charge t;
   let pcr_digest = Pcr.selection_digest t.pcrs ~indices:pcr_selection in
   let signature = Signature.sign t.aik_private (quote_body ~pcr_digest ~nonce) in
@@ -122,6 +126,7 @@ let decode_policy aad =
   (selection, digest)
 
 let seal t ~pcr_selection data =
+  Hyperenclave_fault.Fault.point "tpm.seal";
   charge t;
   let policy_digest = Pcr.selection_digest t.pcrs ~indices:pcr_selection in
   let aad = encode_policy ~pcr_selection ~policy_digest in
@@ -129,6 +134,7 @@ let seal t ~pcr_selection data =
   Authenc.encode (Authenc.seal ~key:t.storage_key ~aad ~nonce data)
 
 let unseal t blob =
+  Hyperenclave_fault.Fault.point "tpm.unseal";
   charge t;
   let sealed =
     try Authenc.decode blob

@@ -8,7 +8,11 @@ module W = Hyperenclave.Workloads
 
 let never_crashes name f =
   QCheck.Test.make ~name ~count:300 QCheck.string (fun s ->
-      match f s with _ -> true | exception _ -> false)
+      match f s with
+      | _ -> true
+      | exception exn ->
+          QCheck.Test.fail_reportf "input %S raised %s" s
+            (Printexc.to_string exn))
 
 (* --- generators ------------------------------------------------------------- *)
 
@@ -123,6 +127,95 @@ let wire_total =
       | Result.Ok _ | Result.Error _ -> true
       | exception _ -> false)
 
+(* --- vCPU SSA frames --------------------------------------------------------------- *)
+
+let vcpu_roundtrip =
+  QCheck.Test.make ~name:"vCPU SSA serialize/deserialize inverse" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      (* Arbitrary in-enclave execution state, as an AEX would spill it. *)
+      let rng = Rng.create ~seed:(Int64.of_int (77_000 + seed)) in
+      let regs = Vcpu.fresh ~entry:0x1000 in
+      Vcpu.scramble rng regs;
+      let frame = Vcpu.serialize regs in
+      if Bytes.length frame <> Vcpu.ssa_frame_bytes then
+        QCheck.Test.fail_reportf "frame is %d bytes, expected %d"
+          (Bytes.length frame) Vcpu.ssa_frame_bytes
+      else
+        Vcpu.equal regs (Vcpu.deserialize frame)
+        || QCheck.Test.fail_reportf "round-trip lost register state (seed %d)"
+             seed)
+
+let vcpu_malformed_rejected =
+  QCheck.Test.make ~name:"vCPU malformed SSA frame rejected" ~count:200
+    QCheck.(int_bound 400)
+    (fun len ->
+      if len = Vcpu.ssa_frame_bytes then true
+      else
+        match Vcpu.deserialize (Bytes.make len '\x7f') with
+        | _ -> QCheck.Test.fail_reportf "frame of %d bytes accepted" len
+        | exception Invalid_argument _ -> true)
+
+(* --- quote wire format: inverse + truncation --------------------------------------- *)
+
+(* One real platform+enclave shared by the quote properties; the
+   generator varies the report data and nonce, which reach every
+   length-framed field of the wire format. *)
+let quote_fixture =
+  lazy
+    (let p = Platform.create ~seed:8100L () in
+     Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc
+       ~rng:p.Platform.rng ~signer:p.Platform.signer
+       ~config:(Urts.default_config Sgx_types.GU)
+       ~ecalls:[ (1, fun _tenv input -> input) ]
+       ~ocalls:[])
+
+let quote_wire_roundtrip =
+  QCheck.Test.make ~name:"quote wire encode/decode inverse" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (string_size (int_range 0 32))
+           (string_size (int_range 1 24))))
+    (fun (rd, nonce) ->
+      let handle = Lazy.force quote_fixture in
+      let quote =
+        Urts.gen_quote handle ~report_data:(Bytes.of_string rd)
+          ~nonce:(Bytes.of_string nonce)
+      in
+      match Quote_wire.decode (Quote_wire.encode quote) with
+      | Result.Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Result.Ok decoded ->
+          decoded = quote
+          || QCheck.Test.fail_reportf
+               "decode . encode <> id (report_data=%S nonce=%S)" rd nonce)
+
+let quote_wire_truncation =
+  QCheck.Test.make ~name:"quote wire truncation rejected" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun salt ->
+      let handle = Lazy.force quote_fixture in
+      let quote =
+        Urts.gen_quote handle
+          ~report_data:(Bytes.of_string (string_of_int salt))
+          ~nonce:(Bytes.of_string "trunc")
+      in
+      let encoded = Quote_wire.encode quote in
+      let ok = ref true in
+      for len = 0 to Bytes.length encoded - 1 do
+        match Quote_wire.decode (Bytes.sub encoded 0 len) with
+        | Result.Error _ -> ()
+        | Result.Ok _ ->
+            Printf.eprintf "prefix of %d/%d bytes accepted\n" len
+              (Bytes.length encoded);
+            ok := false
+        | exception exn ->
+            Printf.eprintf "prefix of %d bytes raised %s\n" len
+              (Printexc.to_string exn);
+            ok := false
+      done;
+      !ok)
+
 (* --- libOS fd layer ---------------------------------------------------------------- *)
 
 let libos_fd_invariants =
@@ -221,6 +314,10 @@ let suite =
       sql_total;
       sql_store_consistency;
       wire_total;
+      vcpu_roundtrip;
+      vcpu_malformed_rejected;
+      quote_wire_roundtrip;
+      quote_wire_truncation;
       libos_fd_invariants;
       platform_cycle_determinism;
     ]

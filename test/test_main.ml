@@ -18,4 +18,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("golden", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);
+      ("fault", Test_fault.suite);
+      ("chaos", Test_chaos.suite);
     ]
