@@ -11,7 +11,11 @@
        side-channel-attack territory.
    A5. The price of fault tolerance: ECALL latency with a transient
        injected fault absorbed by the SDK's retry/backoff path, vs the
-       clean call, per mode. *)
+       clean call, per mode.
+   A6. The switchless call ring vs individual ECALLs, per mode: how much
+       of the batching win survives when the world switch being
+       amortized is a GU/P VMRUN round trip vs HU's cheaper SYSCALL
+       path. *)
 
 open Hyperenclave
 module Nbench = Hyperenclave_workloads.Nbench
@@ -303,9 +307,62 @@ let ablation_fault_retry () =
     "  The delta is one aborted marshalling leg + backoff + a full re-run:\n\
     \  bounded, typed, and invisible to the caller.\n"
 
+(* --- A6: the switchless call ring, per operation mode ----------------------- *)
+
+let ablation_batching () =
+  Util.banner "Ablation A6"
+    "Switchless ECALL ring vs individual calls at K = 8, per mode: the \
+     ring amortizes one world switch over the batch, so the win tracks \
+     how expensive that switch is (GU/P: VMRUN round trip; HU: SYSCALL).";
+  let measure mode =
+    let p = Platform.create ~seed:806L () in
+    let backend =
+      Backend.hyperenclave p ~mode
+        ~handlers:[ (1, fun (_ : Backend.env) input -> input) ]
+        ~ocalls:[] ()
+    in
+    let reqs = List.init 8 (fun i -> (1, Bytes.of_string (string_of_int i))) in
+    (* Warm call so both columns start from identical paging state. *)
+    ignore
+      (backend.Backend.call ~id:1 ~data:Bytes.empty ~direction:Edge.In_out ());
+    let _, batched =
+      Cycles.time backend.Backend.clock (fun () ->
+          ignore (backend.Backend.call_batch ~reqs ()))
+    in
+    let _, unbatched =
+      Cycles.time backend.Backend.clock (fun () ->
+          List.iter
+            (fun (id, data) ->
+              ignore
+                (backend.Backend.call ~id ~data ~direction:Edge.In_out ()))
+            reqs)
+    in
+    backend.Backend.destroy ();
+    (batched, unbatched)
+  in
+  let rows =
+    List.map
+      (fun mode ->
+        let batched, unbatched = measure mode in
+        [
+          Sgx_types.mode_name mode;
+          string_of_int batched;
+          string_of_int unbatched;
+          string_of_int (batched / 8);
+          string_of_int (unbatched / 8);
+          Printf.sprintf "%.2fx" (float_of_int unbatched /. float_of_int batched);
+        ])
+      Sgx_types.all_modes
+  in
+  Util.print_table
+    ~columns:
+      [ "mode"; "K=8 batched"; "8 single"; "cyc/req ring"; "cyc/req single"; "win" ]
+    rows
+
 let run () =
   ablation_edmm ();
   ablation_switchless ();
   ablation_gc_modes ();
   ablation_timer_rate ();
-  ablation_fault_retry ()
+  ablation_fault_retry ();
+  ablation_batching ()

@@ -18,6 +18,9 @@ let experiments =
     ("fig10", ("SPEC CPU 2017 virtualization overhead", Bench_fig10.run));
     ("fig11", ("memory-encryption latency scan", Bench_fig11.run));
     ("ablation", ("design-choice ablations (not in the paper)", Bench_ablation.run));
+    ( "throughput",
+      ("SMP scheduler req/s scaling + switchless ring (PR 4)", Bench_throughput.run)
+    );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
   ]
 

@@ -15,9 +15,23 @@ let tolerance = 1.25
 
 let () =
   if Array.length Sys.argv < 2 then begin
-    prerr_endline "usage: perf_smoke.exe BASELINE.json";
+    prerr_endline
+      "usage: perf_smoke.exe BASELINE.json [THROUGHPUT_BASELINE.json]\n\
+      \       perf_smoke.exe --write-throughput FILE";
     exit 2
   end;
+  (* Baseline (re)generation for the throughput gate. *)
+  if Sys.argv.(1) = "--write-throughput" then begin
+    if Array.length Sys.argv < 3 then begin
+      prerr_endline "usage: perf_smoke.exe --write-throughput FILE";
+      exit 2
+    end;
+    Bench_throughput.write_baseline Sys.argv.(2);
+    exit 0
+  end;
+  (* Deterministic simulated-cycle gate first (PR 4): scheduler
+     throughput scaling and ring amortization vs BENCH_PR4.json. *)
+  if Array.length Sys.argv > 2 then Bench_throughput.check_baseline Sys.argv.(2);
   let baseline_path = Sys.argv.(1) in
   match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
   | None ->

@@ -71,3 +71,4 @@ module Vfs = Hyperenclave_libos.Vfs
 module Platform = Hyperenclave_tee.Platform
 module Backend = Hyperenclave_tee.Backend
 module Mem_sim = Hyperenclave_tee.Mem_sim
+module Sched = Hyperenclave_sched.Sched

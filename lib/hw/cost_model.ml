@@ -59,6 +59,7 @@ type t = {
   switchless_post : int;
   switchless_wait : int;
   switchless_dispatch : int;
+  batch_item_dispatch : int;
   sha256_per_block : int;
   aes_per_block : int;
   tpm_command : int;
@@ -142,6 +143,9 @@ let default =
     switchless_post = 260;
     switchless_wait = 1_450;
     switchless_dispatch = 420;
+    (* Batched call ring: per-slot in-enclave dispatch past the first —
+       bounds-check + table lookup + frame walk, no world switch. *)
+    batch_item_dispatch = 350;
     sha256_per_block = 1200;
     aes_per_block = 60;
     tpm_command = 50_000;
@@ -178,4 +182,5 @@ let no_overhead =
     sgx_eexit = 0;
     sgx_aex = 0;
     sgx_eresume = 0;
+    batch_item_dispatch = 0;
   }

@@ -20,5 +20,10 @@ let time clock f =
   let result = f () in
   (result, clock.now - start)
 
+(* Idle advance: drag a lagging clock forward (a per-core clock waiting
+   for stealable work) without counting the skipped span as simulation
+   work — grand_total measures work performed, not waiting. *)
+let advance_to clock ~at = if at > clock.now then clock.now <- at
+
 let reset clock = clock.now <- 0
 let total_ticked () = !grand_total

@@ -47,7 +47,21 @@ val used_count : t -> int
 val used_by : t -> enclave_id:int -> int
 (** Frames currently owned by the enclave. *)
 
-val find_victim : t -> prefer_not:int option -> (int * frame_info) option
-(** A regular (Pt_reg) enclave frame suitable for eviction, preferring
-    enclaves other than [prefer_not]; control structures (SECS/TCS/SSA)
-    are never evicted. *)
+val mark_referenced : t -> int -> unit
+(** Give the frame a second chance: set its reference bit so the clock
+    hand skips it once before considering it for eviction.  Called on
+    allocation and whenever the monitor touches a page (commit, swap-in). *)
+
+val find_victim :
+  ?in_use:(int -> frame_info -> bool) ->
+  t ->
+  prefer_not:int option ->
+  (int * frame_info) option
+(** A regular (Pt_reg) enclave frame suitable for eviction, chosen by a
+    clock-hand (second-chance) cursor over the frame range rather than
+    hash-table insertion order, so multi-enclave pressure spreads
+    evictions instead of repeatedly draining the oldest enclave.
+    Frames for which [in_use] holds (e.g. SSA of a running vCPU, TCS
+    with an active thread) and frames of [prefer_not] are skipped when
+    possible, relaxing in that order if nothing else is evictable;
+    control structures (SECS/TCS/SSA page types) are never evicted. *)

@@ -209,6 +209,34 @@ let parse_perms s : Page_table.perms =
     user = s.[3] = 'u';
   }
 
+(* A frame the running machinery is actively relying on: any page of the
+   enclave currently on the vCPU (mid-ECALL state the monitor would fault
+   on immediately), or a page inside the SSA window of a TCS with a live
+   thread (entered, or parked mid-AEX with spilled register state).
+   [Epc.find_victim] treats this as a preference, not a hard ban, so a
+   pool that is entirely in use still yields a victim rather than a
+   spurious exhaustion violation. *)
+let frame_in_active_use t _frame (info : Epc.frame_info) =
+  match info.Epc.owner with
+  | Epc.Monitor -> true
+  | Epc.Enclave id -> (
+      (match t.current with
+      | Some running when running.Enclave.id = id -> true
+      | Some _ | None -> false)
+      ||
+      match Hashtbl.find_opt t.enclaves id with
+      | None -> false
+      | Some enclave ->
+          List.exists
+            (fun (tcs : Sgx_types.tcs) ->
+              (tcs.Sgx_types.busy || tcs.Sgx_types.current_ssa > 0)
+              && info.Epc.vpn >= tcs.Sgx_types.ssa_base_vpn
+              && info.Epc.vpn < tcs.Sgx_types.ssa_base_vpn + tcs.Sgx_types.nssa)
+            enclave.Enclave.tcs_list)
+
+let epc_victim t ~prefer_not =
+  Epc.find_victim ~in_use:(frame_in_active_use t) t.epc ~prefer_not
+
 (* Evict one regular enclave page: seal it (confidentiality + integrity,
    like EWB's AES-GMAC'd version-tracked write-back), hand the ciphertext
    to untrusted storage, and reclaim the frame. *)
@@ -218,7 +246,7 @@ let evict_one_epc t ~prefer_not =
     | Some backend -> backend.store
     | None -> violation "EPC exhausted and no swap backend registered"
   in
-  match Epc.find_victim t.epc ~prefer_not with
+  match epc_victim t ~prefer_not with
   | None -> violation "EPC exhausted: no evictable page"
   | Some (frame, { Epc.owner; vpn; _ }) ->
       let owner_id =
@@ -278,7 +306,7 @@ let alloc_epc t ~owner ~page_type ~vpn ~prefer_not =
          absorbed, by writing back a victim page (EWB).  With nothing
          evictable yet the pool has free frames, so the pressure is
          vacuous and the allocation below just proceeds. *)
-      if t.swap_backend <> None && Epc.find_victim t.epc ~prefer_not <> None
+      if t.swap_backend <> None && epc_victim t ~prefer_not <> None
       then evict_one_epc t ~prefer_not;
       Fault.survived "epc.alloc"
   | Some (Fault.Permanent as kind) ->
@@ -733,6 +761,7 @@ let enclave_read t enclave ~va ~len =
     let a = va + !pos in
     let chunk = min (len - !pos) (Addr.page_size - Addr.offset a) in
     let pa = access_loop t enclave ~access:Mmu.Read ~va:a ~attempts:0 in
+    Epc.mark_referenced t.epc (Addr.page_of pa);
     Bytes.blit (Phys_mem.read_bytes t.mem pa chunk) 0 out !pos chunk;
     pos := !pos + chunk
   done;
@@ -747,6 +776,7 @@ let enclave_write t enclave ~va data =
     let a = va + !pos in
     let chunk = min (len - !pos) (Addr.page_size - Addr.offset a) in
     let pa = access_loop t enclave ~access:Mmu.Write ~va:a ~attempts:0 in
+    Epc.mark_referenced t.epc (Addr.page_of pa);
     Phys_mem.write_bytes t.mem pa (Bytes.sub data !pos chunk);
     pos := !pos + chunk
   done;

@@ -61,9 +61,15 @@ let expect_ok t request =
   match hypercall t request with
   | Hypercall.Ok -> ()
   | Hypercall.Enclave_handle _ | Hypercall.Key _ | Hypercall.Report _
-  | Hypercall.Quote _ ->
+  | Hypercall.Quote _ | Hypercall.Batch _ ->
       invalid_arg ("Kmod: unexpected result for " ^ Hypercall.name request)
   | Hypercall.Fault _ -> assert false (* re-raised in [hypercall] *)
+
+let ioctl_batch t reqs =
+  ioctl_enter t;
+  match hypercall t (Hypercall.Ebatch reqs) with
+  | Hypercall.Batch results -> results
+  | _ -> invalid_arg "Kmod: EBATCH returned no batch result"
 
 let ioctl_create_enclave t secs =
   ioctl_enter t;
@@ -87,8 +93,19 @@ let ioctl_pin_range t proc ~va ~len =
     match Kernel.resolve_frame t.kernel proc ~vpn with
     | Some _ -> Process.pin proc ~vpn
     | None ->
+        (* A failed ioctl must leave the process as it found it: unwind
+           every pin this call took, or the pages stay unreclaimable for
+           the life of the process. *)
+        for unpin = first to vpn - 1 do
+          Process.unpin proc ~vpn:unpin
+        done;
         invalid_arg
           (Printf.sprintf "ioctl_pin_range: page 0x%x not resident" vpn)
+  done
+
+let unpin_range proc ~va ~len =
+  for vpn = Addr.page_of va to Addr.page_of (va + len - 1) do
+    Process.unpin proc ~vpn
   done
 
 let ioctl_init_enclave t proc enclave ~sigstruct ~ms_base ~ms_size =
@@ -110,6 +127,13 @@ let ioctl_init_enclave t proc enclave ~sigstruct ~ms_base ~ms_size =
     (Hypercall.Einit
        { enclave; sigstruct; marshalling = (ms_base, ms_size, !pages) })
 
-let ioctl_destroy_enclave t enclave =
+let ioctl_destroy_enclave t proc enclave =
   ioctl_enter t;
-  expect_ok t (Hypercall.Eremove enclave)
+  (* The pins taken for the marshalling buffer share the enclave's
+     lifetime: EREMOVE is where the module must release them, otherwise
+     every create/destroy cycle leaks pinned pages. *)
+  let marshalling = enclave.Enclave.marshalling in
+  expect_ok t (Hypercall.Eremove enclave);
+  match marshalling with
+  | None -> ()
+  | Some (ms_base, ms_size) -> unpin_range proc ~va:ms_base ~len:ms_size

@@ -29,6 +29,11 @@ val kernel : t -> Kernel.t
 
 val ioctl_create_enclave : t -> Sgx_types.secs -> Enclave.t
 
+val ioctl_batch : t -> Hypercall.request list -> Hypercall.result list
+(** Forward a batch of requests under a single ioctl + VMMCALL
+    ([Hypercall.Ebatch]): the crossing and the dispatch gate are paid
+    once; per-slot results come back in order. *)
+
 val ioctl_add_page :
   t ->
   Enclave.t ->
@@ -45,7 +50,8 @@ val ioctl_pin_range : t -> Process.t -> va:int -> len:int -> unit
 (** The Sec. 5.3 pinning request: the named pages will never be swapped
     out or compacted for the life of the enclave.
     @raise Invalid_argument if any page is not resident (the uRTS mmaps
-    with MAP_POPULATE first). *)
+    with MAP_POPULATE first); in that case every pin taken by this call
+    has been unwound — a failed ioctl does not leak pinned pages. *)
 
 val ioctl_init_enclave :
   t ->
@@ -57,4 +63,6 @@ val ioctl_init_enclave :
   unit
 (** Resolve the pinned marshalling pages to frames and forward EINIT. *)
 
-val ioctl_destroy_enclave : t -> Enclave.t -> unit
+val ioctl_destroy_enclave : t -> Process.t -> Enclave.t -> unit
+(** Forward EREMOVE and release the marshalling-buffer pins the module
+    took at creation — their lifetime is the enclave's lifetime. *)

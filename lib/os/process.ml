@@ -23,3 +23,4 @@ let make ~pid =
 let pin t ~vpn = Hashtbl.replace t.pinned vpn ()
 let unpin t ~vpn = Hashtbl.remove t.pinned vpn
 let is_pinned t ~vpn = Hashtbl.mem t.pinned vpn
+let pinned_count t = Hashtbl.length t.pinned

@@ -25,3 +25,7 @@ val heap_base : int
 val pin : t -> vpn:int -> unit
 val unpin : t -> vpn:int -> unit
 val is_pinned : t -> vpn:int -> bool
+
+val pinned_count : t -> int
+(** Number of pinned pages; a process with no live enclaves should be
+    back at zero (pin-leak regression checks). *)

@@ -1,0 +1,303 @@
+open Hyperenclave_hw
+open Hyperenclave_sdk
+module Telemetry = Hyperenclave_obs.Telemetry
+module Fault = Hyperenclave_fault.Fault
+
+type config = {
+  cores : int;
+  quantum : int;
+  work_stealing : bool;
+  batch : int;
+  steal_penalty : int;
+  drop_on_error : bool;
+}
+
+let default_config =
+  {
+    cores = 2;
+    quantum = 250_000;
+    work_stealing = true;
+    batch = 1;
+    (* Migrating a job pulls its working set cold on the thief: charge
+       one OS context switch worth of cache/TLB refill. *)
+    steal_penalty = 6_886;
+    drop_on_error = false;
+  }
+
+type job = {
+  job_id : int;
+  urts : Urts.t;
+  mutable pending : (int * bytes) list;
+  mutable completed : int;
+  mutable failed : int;
+}
+
+type core = {
+  core_id : int;
+  clock : Cycles.t;
+  mutable queue : job list;  (* front = next to run *)
+  mutable busy : int;
+  mutable steals : int;
+  mutable preempts : int;
+  mutable completed : int;
+}
+
+type core_stats = {
+  core_id : int;
+  cycles : int;
+  busy : int;
+  steals : int;
+  preempts : int;
+  completed : int;
+}
+
+type stats = {
+  total_requests : int;
+  failed_requests : int;
+  makespan : int;
+  per_core : core_stats array;
+  steals : int;
+  preempts : int;
+  aex_preempts : int;
+}
+
+type t = {
+  shared_clock : Cycles.t;
+  telemetry : Telemetry.t;
+  config : config;
+  cores : core array;
+  on_preempt : (core_id:int -> unit) option;
+  mutable jobs : job list;  (* reverse submission order *)
+  mutable next_job : int;
+  mutable aex_preempts : int;
+}
+
+let create ?on_preempt ~shared_clock ~telemetry (config : config) =
+  if config.cores <= 0 then invalid_arg "Sched.create: cores must be positive";
+  if config.quantum <= 0 then invalid_arg "Sched.create: quantum must be positive";
+  if config.batch <= 0 || config.batch > Urts.max_batch then
+    invalid_arg
+      (Printf.sprintf "Sched.create: batch must be in [1, %d]" Urts.max_batch);
+  {
+    shared_clock;
+    telemetry;
+    config;
+    cores =
+      Array.init config.cores (fun core_id ->
+          {
+            core_id;
+            clock = Cycles.create ();
+            queue = [];
+            busy = 0;
+            steals = 0;
+            preempts = 0;
+            completed = 0;
+          });
+    on_preempt;
+    jobs = [];
+    next_job = 0;
+    aex_preempts = 0;
+  }
+
+let submit t ?core ~urts requests =
+  let job_id = t.next_job in
+  t.next_job <- job_id + 1;
+  let home =
+    match core with
+    | Some c ->
+        if c < 0 || c >= t.config.cores then
+          invalid_arg "Sched.submit: core out of range";
+        c
+    | None -> job_id mod t.config.cores
+  in
+  let job = { job_id; urts; pending = requests; completed = 0; failed = 0 } in
+  t.jobs <- job :: t.jobs;
+  let target = t.cores.(home) in
+  target.queue <- target.queue @ [ job ]
+
+(* Discrete-event pick: the candidate core with the earliest local clock
+   runs next; ties break to the lowest core id so runs are reproducible
+   bit for bit. *)
+let earliest t pred =
+  Array.fold_left
+    (fun acc (core : core) ->
+      if not (pred core) then acc
+      else
+        match acc with
+        | Some (best : core)
+          when Cycles.now best.clock < Cycles.now core.clock
+               || (Cycles.now best.clock = Cycles.now core.clock
+                  && best.core_id < core.core_id) ->
+            acc
+        | Some _ | None -> Some core)
+    None t.cores
+
+(* Steal from the richest queue (most waiting jobs; ties to the lowest
+   core id), taking from the BACK — the job the victim would reach
+   last, so the victim's own order is disturbed least. *)
+let steal t (thief : core) =
+  let victim =
+    Array.fold_left
+      (fun acc (core : core) ->
+        if core.core_id = thief.core_id || core.queue = [] then acc
+        else
+          match acc with
+          | Some (v : core) when List.length v.queue >= List.length core.queue
+            ->
+              acc
+          | Some _ | None -> Some core)
+      None t.cores
+  in
+  match victim with
+  | None -> None
+  | Some v -> (
+      match List.rev v.queue with
+      | [] -> None
+      | last :: rev_front ->
+          v.queue <- List.rev rev_front;
+          thief.steals <- thief.steals + 1;
+          Telemetry.incr t.telemetry "sched.steal";
+          Cycles.tick thief.clock t.config.steal_penalty;
+          Some last)
+
+(* Run one request (or one ring batch) of [job].  Typed failures — an
+   injected permanent fault or an SDK refusal — optionally drop the
+   request so chaos schedules drain to completion; monitor violations
+   always propagate. *)
+let run_requests t (job : job) =
+  let n = min t.config.batch (List.length job.pending) in
+  let rec split k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | r :: rest ->
+        let taken, left = split (k - 1) rest in
+        (r :: taken, left)
+  in
+  let taken, rest = split n job.pending in
+  job.pending <- rest;
+  let count = List.length taken in
+  match
+    if t.config.batch > 1 then ignore (Urts.ecall_batch job.urts ~reqs:taken ())
+    else
+      List.iter
+        (fun (id, data) ->
+          ignore (Urts.ecall job.urts ~id ~data ~direction:Edge.In_out ()))
+        taken
+  with
+  | () ->
+      job.completed <- job.completed + count;
+      count
+  | exception (Urts.Enclave_error _ | Fault.Injected _)
+    when t.config.drop_on_error ->
+      job.failed <- job.failed + count;
+      Telemetry.add t.telemetry "sched.request_failed" count;
+      count
+
+(* One scheduling slice: execute requests on the shared platform clock
+   until the quantum is consumed or the job drains, then charge the
+   elapsed delta to the core-local clock.  The job's AEX timer is armed
+   for the duration, so a single long request still gets sheared into
+   quantum-sized chunks by genuine AEX/ERESUME round trips. *)
+let run_slice t (core : core) (job : job) =
+  let start = Cycles.now t.shared_clock in
+  let consumed () = Cycles.now t.shared_clock - start in
+  Urts.arm_timer job.urts ~quantum:t.config.quantum
+    ?on_preempt:
+      (Some
+         (fun () ->
+           t.aex_preempts <- t.aex_preempts + 1;
+           match t.on_preempt with
+           | Some f -> f ~core_id:core.core_id
+           | None -> ()))
+    ();
+  let finish () = Urts.disarm_timer job.urts in
+  (try
+     while job.pending <> [] && consumed () < t.config.quantum do
+       core.completed <- core.completed + run_requests t job
+     done
+   with exn ->
+     finish ();
+     let delta = consumed () in
+     Cycles.tick core.clock delta;
+     core.busy <- core.busy + delta;
+     raise exn);
+  finish ();
+  let delta = consumed () in
+  Cycles.tick core.clock delta;
+  core.busy <- core.busy + delta;
+  Telemetry.observe t.telemetry "sched.slice_cycles" (max 1 delta);
+  if job.pending <> [] then begin
+    (* Quantum expired with work left: requeue at the back. *)
+    core.preempts <- core.preempts + 1;
+    Telemetry.incr t.telemetry "sched.preempt";
+    (match t.on_preempt with Some f -> f ~core_id:core.core_id | None -> ());
+    core.queue <- core.queue @ [ job ]
+  end
+
+let run t =
+  let has_work (core : core) = core.queue <> [] in
+  let any_work () = Array.exists has_work t.cores in
+  while any_work () do
+    let candidate =
+      earliest t (fun core ->
+          has_work core || (t.config.work_stealing && any_work ()))
+    in
+    match candidate with
+    | None -> ()
+    | Some core -> (
+        match core.queue with
+        | job :: rest ->
+            core.queue <- rest;
+            run_slice t core job
+        | [] -> (
+            match steal t core with
+            | Some job -> run_slice t core job
+            | None ->
+                (* Nothing stealable right now: park this core just past
+                   the busiest working core so it stops being the
+                   earliest until the queues have moved on. *)
+                let horizon =
+                  Array.fold_left
+                    (fun acc c ->
+                      if has_work c then max acc (Cycles.now c.clock) else acc)
+                    (Cycles.now core.clock) t.cores
+                in
+                Cycles.advance_to core.clock ~at:(horizon + 1)))
+  done;
+  let per_core =
+    Array.map
+      (fun (core : core) ->
+        {
+          core_id = core.core_id;
+          cycles = Cycles.now core.clock;
+          busy = core.busy;
+          steals = core.steals;
+          preempts = core.preempts;
+          completed = core.completed;
+        })
+      t.cores
+  in
+  {
+    total_requests =
+      List.fold_left (fun acc (j : job) -> acc + j.completed) 0 t.jobs;
+    failed_requests =
+      List.fold_left (fun acc (j : job) -> acc + j.failed) 0 t.jobs;
+    makespan =
+      Array.fold_left (fun acc (c : core_stats) -> max acc c.cycles) 0 per_core;
+    per_core;
+    steals = Array.fold_left (fun acc (c : core) -> acc + c.steals) 0 t.cores;
+    preempts = Array.fold_left (fun acc (c : core) -> acc + c.preempts) 0 t.cores;
+    aex_preempts = t.aex_preempts;
+  }
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "@[<v>%d requests (%d failed), makespan %d cycles, %d steals, %d preempts, %d AEX preempts"
+    s.total_requests s.failed_requests s.makespan s.steals s.preempts
+    s.aex_preempts;
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "@,  core %d: clock %d, busy %d, %d done, %d stolen, %d preempted"
+        c.core_id c.cycles c.busy c.completed c.steals c.preempts)
+    s.per_core;
+  Format.fprintf fmt "@]"

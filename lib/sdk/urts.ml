@@ -38,6 +38,15 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Enclave_error m)) fmt
 let elbase = 0x1_0000_0000
 let aep = 0x40_1000
 
+(* AEX preemption timer, armed by the scheduler for the duration of a
+   slice: once the shared clock passes [deadline] mid-ECALL, the next
+   compute step AEXes out (SSA spill), lets the OS run, and ERESUMEs. *)
+type timer = {
+  quantum : int;
+  mutable deadline : int;
+  on_preempt : (unit -> unit) option;
+}
+
 type t = {
   kmod : Kmod.t;
   proc : Process.t;
@@ -46,12 +55,19 @@ type t = {
   config : config;
   ms_base : int;
   ms_size : int;
+  ms_out_region : int;  (** page-aligned start of the ECALL-output region *)
+  ms_ocall_region : int;  (** page-aligned start of the ocalloc arena *)
   ecalls : (int, Tenv.handler) Hashtbl.t;
   ocalls : (int, bytes -> bytes) Hashtbl.t;
   heap_base_va : int;
   mutable heap_cursor : int;
   mutable ocalloc_cursor : int;
   mutable active_tcs : Sgx_types.tcs option;
+  reserved_tcs : (int, unit) Hashtbl.t;
+      (** TCSs parked on an in-flight OCALL, keyed by [tcs_vpn]: not busy
+          monitor-side (the thread EEXITed) but owed an ORET re-entry, so
+          no other entry may take them. *)
+  mutable timer : timer option;
 }
 
 let monitor t = Kmod.monitor t.kmod
@@ -68,9 +84,12 @@ let backoff t attempt =
   Cycles.tick (clock t) (World_switch.retry_backoff_cost (cost t) ~attempt)
 
 (* Marshalling-buffer regions: [0, 1/2) ECALL inputs, [1/2, 3/4) ECALL
-   outputs, [3/4, 1) OCALL allocations (sgx_ocalloc arena). *)
-let ms_out_off t = t.ms_size / 2
-let ms_ocall_off t = t.ms_size * 3 / 4
+   outputs, [3/4, 1) OCALL allocations (sgx_ocalloc arena).  The splits
+   are fixed at build time, rounded UP to page boundaries — computing
+   them per call with truncating division let odd sizes overlap the
+   output region with the ocalloc arena's boundary check. *)
+let ms_out_off t = t.ms_out_region
+let ms_ocall_off t = t.ms_ocall_region
 
 (* Raw app-side access to the pinned marshalling buffer through the
    process mapping; cycle cost is charged explicitly by the Edge rates. *)
@@ -190,8 +209,16 @@ let create ~kmod ~proc ~rng ~signer ~config ~ecalls ~ocalls =
     Sgx_types.make_sigstruct ~vendor:signer ~enclave_hash:expected
       ~isv_prod_id:config.isv_prod_id ~isv_svn:config.isv_svn
   in
-  (* Marshalling buffer: mmap + MAP_POPULATE, then the pin ioctl. *)
-  let ms_size = Addr.align_up config.ms_bytes in
+  (* Marshalling buffer: mmap + MAP_POPULATE, then the pin ioctl.  The
+     size must be page-aligned and large enough to split into the three
+     page-rounded regions (inputs / outputs / ocalloc arena). *)
+  if config.ms_bytes <= 0 || not (Addr.is_aligned config.ms_bytes) then
+    fail "create: ms_bytes (%d) must be a positive multiple of the page size"
+      config.ms_bytes;
+  if config.ms_bytes < 4 * Addr.page_size then
+    fail "create: ms_bytes (%d) too small to split into regions (< 4 pages)"
+      config.ms_bytes;
+  let ms_size = config.ms_bytes in
   let ms_base = Kernel.mmap (Kmod.kernel kmod) proc ~len:ms_size ~populate:true in
   Kmod.ioctl_pin_range kmod proc ~va:ms_base ~len:ms_size;
   Kmod.ioctl_init_enclave kmod proc enclave ~sigstruct ~ms_base ~ms_size;
@@ -204,12 +231,16 @@ let create ~kmod ~proc ~rng ~signer ~config ~ecalls ~ocalls =
       config;
       ms_base;
       ms_size;
+      ms_out_region = Addr.align_up (ms_size / 2);
+      ms_ocall_region = Addr.align_up (ms_size * 3 / 4);
       ecalls = Hashtbl.create 16;
       ocalls = Hashtbl.create 16;
       heap_base_va = elbase + (heap_first * Addr.page_size);
       heap_cursor = elbase + (heap_first * Addr.page_size);
       ocalloc_cursor = 0;
       active_tcs = None;
+      reserved_tcs = Hashtbl.create 4;
+      timer = None;
     }
   in
   List.iter (fun (id, h) -> Hashtbl.replace t.ecalls id h) ecalls;
@@ -218,10 +249,23 @@ let create ~kmod ~proc ~rng ~signer ~config ~ecalls ~ocalls =
 
 (* --- trusted environment --------------------------------------------------- *)
 
+(* SGX "TCS busy" semantics: an entry may only take a TCS that is
+   neither entered (busy monitor-side) nor parked on an in-flight OCALL
+   awaiting its ORET.  When the pool is exhausted the entry is refused
+   with a typed error — silently reusing a busy TCS would clobber its
+   SSA state.  The pool walk is deterministic (creation order). *)
+let tcs_available t (tcs : Sgx_types.tcs) =
+  (not tcs.Sgx_types.busy) && not (Hashtbl.mem t.reserved_tcs tcs.Sgx_types.tcs_vpn)
+
+let free_tcs_count t =
+  List.length (List.filter (tcs_available t) t.enclave.Enclave.tcs_list)
+
 let take_tcs t =
-  match Enclave.free_tcs t.enclave with
+  match List.find_opt (tcs_available t) t.enclave.Enclave.tcs_list with
   | Some tcs -> tcs
-  | None -> fail "no free TCS"
+  | None ->
+      fail "TCS busy: no free TCS in enclave %d (%d total, all entered or parked on an OCALL)"
+        t.enclave.Enclave.id (List.length t.enclave.Enclave.tcs_list)
 
 let rec make_tenv t : Tenv.t =
   let m = monitor t in
@@ -244,7 +288,10 @@ let rec make_tenv t : Tenv.t =
     heap_base = t.heap_base_va;
     ocall = (fun ~id ?data direction -> do_ocall t ~id ?data direction);
     ocall_switchless = (fun ~id ?data () -> do_ocall_switchless t ~id ?data ());
-    compute = (fun cycles -> Cycles.tick (clock t) cycles);
+    compute =
+      (fun cycles ->
+        Cycles.tick (clock t) cycles;
+        poll_timer t);
     getkey = (fun name -> Monitor.egetkey m enc name);
     report = (fun ~report_data -> Monitor.ereport m enc ~report_data);
     verify_report = (fun report -> Monitor.verify_report m report);
@@ -319,25 +366,41 @@ and do_ocall t ~id ?(data = Bytes.empty) direction =
     Monitor.enclave_write m t.enclave ~va:(t.ms_base + arg_off) data
   end;
   t.ocalloc_cursor <- t.ocalloc_cursor + ((len + 15) land lnot 15);
+  (* The OCALL parks its TCS: sgx_ocall keeps the thread bound to the
+     TCS across the exit, and ORET must re-enter on that same one.
+     Reserving it for the duration of the untrusted handler is what
+     gives a re-entrant ECALL issued from the handler the SGX "TCS
+     busy" semantics (it must take a different TCS or fail typed)
+     instead of silently clobbering the parked SSA state. *)
+  let parked_tcs =
+    match t.active_tcs with
+    | Some tcs -> tcs
+    | None -> fail "OCALL outside an ECALL"
+  in
   Monitor.eexit m t.enclave ~target_va:aep;
+  t.active_tcs <- None;
+  Hashtbl.replace t.reserved_tcs parked_tcs.Sgx_types.tcs_vpn ();
+  let unpark () = Hashtbl.remove t.reserved_tcs parked_tcs.Sgx_types.tcs_vpn in
   t.enclave.Enclave.stats.Enclave.ocalls <-
     t.enclave.Enclave.stats.Enclave.ocalls + 1;
   let args = if len > 0 then ms_raw_read t ~off:arg_off ~len else Bytes.empty in
-  let reply = handler args in
+  let reply = try handler args with exn -> unpark (); raise exn in
   let reply_off = arg_off in
   (* The reply reuses the request's ocalloc slot but may be larger than
      the request was: bound it against the arena too, or an untrusted
      handler's oversized reply runs off the end of the pinned buffer. *)
-  if reply_off + Bytes.length reply > t.ms_size then
+  if reply_off + Bytes.length reply > t.ms_size then begin
+    unpark ();
     fail "OCALL %d reply (%d bytes) overflows the ocalloc arena" id
-      (Bytes.length reply);
+      (Bytes.length reply)
+  end;
   if Bytes.length reply > 0 then ms_raw_write t ~off:reply_off reply;
-  (* Re-enter at the OCALL return stub. *)
-  let tcs = take_tcs t in
-  Monitor.eenter m t.enclave ~tcs ~return_va:aep;
+  (* ORET: re-enter at the OCALL return stub on the parked TCS. *)
+  unpark ();
+  Monitor.eenter m t.enclave ~tcs:parked_tcs ~return_va:aep;
   t.enclave.Enclave.stats.Enclave.ecalls <-
     t.enclave.Enclave.stats.Enclave.ecalls - 1;
-  t.active_tcs <- Some tcs;
+  t.active_tcs <- Some parked_tcs;
   let out =
     if Bytes.length reply > 0 then
       Monitor.enclave_read m t.enclave ~va:(t.ms_base + reply_off)
@@ -428,6 +491,28 @@ and simulate_interrupt t =
       Cycles.tick (clock t) (1_800 + (cost t).Cost_model.os_ctxsw);
       Fault.with_retries ~backoff:(backoff t) (fun () ->
           Monitor.eresume m t.enclave ~tcs)
+
+(* Scheduler preemption: when the armed quantum expires mid-ECALL, the
+   next trusted compute step takes a timer interrupt — a genuine AEX
+   (SSA spill) + OS service + ERESUME through the monitor — and the
+   deadline advances by one quantum.  Disarmed, this is one field read
+   per compute call, so non-scheduled runs stay cycle-identical. *)
+and poll_timer t =
+  match t.timer with
+  | None -> ()
+  | Some timer ->
+      if Cycles.now (clock t) >= timer.deadline && t.active_tcs <> None then begin
+        count t "sched.aex_preempt";
+        simulate_interrupt t;
+        (match timer.on_preempt with Some f -> f () | None -> ());
+        timer.deadline <- Cycles.now (clock t) + timer.quantum
+      end
+
+let arm_timer t ~quantum ?on_preempt () =
+  if quantum <= 0 then fail "arm_timer: quantum must be positive";
+  t.timer <- Some { quantum; deadline = Cycles.now (clock t) + quantum; on_preempt }
+
+let disarm_timer t = t.timer <- None
 
 (* --- ECALL ------------------------------------------------------------------ *)
 
@@ -562,11 +647,126 @@ let ecall_no_ms t ~id ?(data = Bytes.empty) ~direction () =
   Fault.with_retries ~backoff:(backoff t) (fun () ->
       run_ecall t ~id ~data ~direction ~use_ms:false)
 
-let destroy t =
-  for vpn = Addr.page_of t.ms_base to Addr.page_of (t.ms_base + t.ms_size - 1) do
-    Process.unpin t.proc ~vpn
-  done;
-  Kmod.ioctl_destroy_enclave t.kmod t.enclave
+(* --- switchless call ring: batched ECALLs ---------------------------------- *)
+
+(* Ring slot framing in the marshalling buffer.  Requests are staged
+   back-to-back in the input region as [count][id, len, payload]*; the
+   trusted drain loop writes replies back-to-back into the output region
+   as [count][len, payload]*.  Everything is length-prefixed with 8-byte
+   little-endian words so the enclave side can validate bounds before
+   touching a slot. *)
+let max_batch = 16
+
+let frame_requests reqs =
+  let buf = Buffer.create 256 in
+  Buffer.add_int64_le buf (Int64.of_int (List.length reqs));
+  List.iter
+    (fun (id, data) ->
+      Buffer.add_int64_le buf (Int64.of_int id);
+      Buffer.add_int64_le buf (Int64.of_int (Bytes.length data));
+      Buffer.add_bytes buf data)
+    reqs;
+  Buffer.to_bytes buf
+
+(* Replies use the same framing, echoing the request id in each slot. *)
+let frame_replies = frame_requests
+
+let parse_frames ~what raw =
+  let len = Bytes.length raw in
+  let word off =
+    if off + 8 > len then fail "%s: truncated ring frame at %d" what off;
+    Int64.to_int (Bytes.get_int64_le raw off)
+  in
+  let count = word 0 in
+  if count < 0 || count > max_batch then
+    fail "%s: ring frame count %d out of range" what count;
+  let off = ref 8 in
+  List.init count (fun _ ->
+      let id = word !off in
+      let body_len = word (!off + 8) in
+      if body_len < 0 || !off + 16 + body_len > len then
+        fail "%s: ring slot overruns the frame" what;
+      let body = Bytes.sub raw (!off + 16) body_len in
+      off := !off + 16 + body_len;
+      (id, body))
+
+(* One world switch serves the whole batch (the paper's motivation for
+   cheap HU switches, taken one step further): the SDK soft path and the
+   EENTER/EEXIT pair are paid once, and each ring slot past the first
+   costs only the in-enclave dispatch.  Inputs are staged before entry,
+   replies drained after exit, so the enclave crosses the boundary
+   exactly twice regardless of K. *)
+let run_ecall_batch t reqs =
+  let m = monitor t in
+  let c = cost t in
+  let k = List.length reqs in
+  if k = 0 then []
+  else if k > max_batch then
+    fail "ecall_batch: %d requests exceed the ring capacity (%d)" k max_batch
+  else begin
+    List.iter (fun (id, _) -> ignore (lookup_ecall t id : Tenv.handler)) reqs;
+    count t "sdk.ecall_batch";
+    Hyperenclave_obs.Telemetry.add
+      (Monitor.telemetry m)
+      "sdk.ecall_batched" k;
+    Hyperenclave_obs.Telemetry.observe
+      (Monitor.telemetry m)
+      "ring.batch_occupancy" k;
+    Cycles.tick (clock t)
+      (World_switch.sdk_ecall_soft c t.config.mode
+      + World_switch.batch_dispatch_cost c ~k);
+    let staged = frame_requests reqs in
+    if Bytes.length staged > ms_out_off t then
+      fail "ecall_batch: %d bytes of requests exceed the marshalling input region"
+        (Bytes.length staged);
+    ms_raw_write t ~off:0 staged;
+    Edge.charge_ms_in c (clock t) ~bytes:(Bytes.length staged);
+    let tcs = take_tcs t in
+    Monitor.eenter m t.enclave ~tcs ~return_va:aep;
+    t.active_tcs <- Some tcs;
+    let tenv = make_tenv t in
+    let cleanup_exit () =
+      (match Monitor.current m with
+      | Some running when running.Enclave.id = t.enclave.Enclave.id ->
+          Monitor.eexit m t.enclave ~target_va:aep
+      | Some _ | None -> ());
+      t.active_tcs <- None
+    in
+    let replies =
+      try
+        (* Trusted drain loop: re-read the staged ring through the
+           enclave mapping, dispatch each slot in order. *)
+        let slots =
+          parse_frames ~what:"ecall_batch(trusted)"
+            (Monitor.enclave_read m t.enclave ~va:t.ms_base
+               ~len:(Bytes.length staged))
+        in
+        List.map (fun (id, body) -> (id, (lookup_ecall t id) tenv body)) slots
+      with exn ->
+        cleanup_exit ();
+        raise exn
+    in
+    let framed = frame_replies replies in
+    if Bytes.length framed > ms_ocall_off t - ms_out_off t then begin
+      cleanup_exit ();
+      fail "ecall_batch: %d bytes of replies exceed the marshalling output region"
+        (Bytes.length framed)
+    end;
+    Monitor.enclave_write m t.enclave ~va:(t.ms_base + ms_out_off t) framed;
+    Monitor.eexit m t.enclave ~target_va:aep;
+    t.active_tcs <- None;
+    Edge.charge_ms_out c (clock t) ~bytes:(Bytes.length framed);
+    let drained =
+      parse_frames ~what:"ecall_batch(untrusted)"
+        (ms_raw_read t ~off:(ms_out_off t) ~len:(Bytes.length framed))
+    in
+    List.map snd drained
+  end
+
+let ecall_batch t ~reqs () =
+  Fault.with_retries ~backoff:(backoff t) (fun () -> run_ecall_batch t reqs)
+
+let destroy t = Kmod.ioctl_destroy_enclave t.kmod t.proc t.enclave
 
 let enclave t = t.enclave
 let mrenclave t = t.enclave.Enclave.mrenclave

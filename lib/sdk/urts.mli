@@ -58,7 +58,36 @@ val ecall_no_ms :
 (** Fig. 7's baseline variant: the same call without the marshalling
     buffer legs (direct-copy semantics, as plain SGX would do). *)
 
+val max_batch : int
+(** Ring capacity: the most requests one batched world switch carries. *)
+
+val ecall_batch : t -> reqs:(int * bytes) list -> unit -> bytes list
+(** Switchless call ring: stage up to {!max_batch} ECALL requests in the
+    marshalling buffer and serve them all under a single world switch —
+    one SDK soft path + one EENTER/EEXIT pair, with each slot past the
+    first paying only the in-enclave ring dispatch cost.  Replies come
+    back in request order.  All slots use [In_out] marshalling
+    semantics.
+    @raise Enclave_error on unknown id, oversized batch, or ring frames
+    exceeding their marshalling region. *)
+
+val arm_timer : t -> quantum:int -> ?on_preempt:(unit -> unit) -> unit -> unit
+(** Arm the scheduler's AEX preemption timer: once the clock passes the
+    armed deadline mid-ECALL, the next trusted compute step takes a full
+    AEX (SSA spill) + ERESUME round trip through the monitor, invokes
+    [on_preempt] (after the ERESUME, with the enclave re-entered), and
+    re-arms one quantum later.  Disarmed runs pay one field read per
+    compute call, keeping unscheduled executions cycle-identical. *)
+
+val disarm_timer : t -> unit
+
+val free_tcs_count : t -> int
+(** TCSs currently available for entry (neither busy nor parked on an
+    in-flight OCALL awaiting ORET). *)
+
 val destroy : t -> unit
+(** EREMOVE via the kernel module, which also releases the
+    marshalling-buffer pins it took at creation. *)
 
 val enclave : t -> Enclave.t
 val mrenclave : t -> bytes

@@ -29,6 +29,13 @@ type t = {
   clock : Cycles.t;
   mem : Mem_sim.t;
   call : id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes;
+  call_batch : reqs:(int * bytes) list -> unit -> bytes list;
+      (** Serve several ECALLs under one boundary crossing where the
+          backend supports it (the HyperEnclave call ring); backends
+          without a ring dispatch sequentially. *)
+  urts : Urts.t option;
+      (** The SDK handle behind a HyperEnclave backend ([None] for native
+          and the SGX model): what a scheduler submits jobs against. *)
   destroy : unit -> unit;
 }
 
@@ -93,6 +100,15 @@ let native ~clock ~cost ~rng ~handlers ~ocalls =
         match Hashtbl.find_opt ecall_tbl id with
         | Some h -> h env data
         | None -> invalid_arg (Printf.sprintf "native: unknown ECALL %d" id));
+    call_batch =
+      (fun ~reqs () ->
+        List.map
+          (fun (id, data) ->
+            match Hashtbl.find_opt ecall_tbl id with
+            | Some h -> h env data
+            | None -> invalid_arg (Printf.sprintf "native: unknown ECALL %d" id))
+          reqs);
+    urts = None;
     destroy = (fun () -> ());
   }
 
@@ -151,6 +167,12 @@ let hyperenclave (platform : Platform.t) ~mode ?(tweak = fun c -> c) ~handlers
       (fun ~id ?(data = Bytes.empty) ~direction () ->
         Mem_sim.tlb_flush mem;
         Urts.ecall urts ~id ~data ~direction ());
+    call_batch =
+      (fun ~reqs () ->
+        (* One crossing, one TLB flush — K requests through the ring. *)
+        Mem_sim.tlb_flush mem;
+        Urts.ecall_batch urts ~reqs ());
+    urts = Some urts;
     destroy = (fun () -> Urts.destroy urts);
   }
 
@@ -200,6 +222,17 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
       (fun ~id ?(data = Bytes.empty) ~direction:_ () ->
         Mem_sim.tlb_flush mem;
         Sgx_model.ecall enclave ~id ~data ());
+    call_batch =
+      (fun ~reqs () ->
+        (* The SGX model has no call ring: every request pays its own
+           world switch, which is exactly the baseline the batched path
+           is measured against. *)
+        List.map
+          (fun (id, data) ->
+            Mem_sim.tlb_flush mem;
+            Sgx_model.ecall enclave ~id ~data ())
+          reqs);
+    urts = None;
     destroy = (fun () -> ());
   }
 

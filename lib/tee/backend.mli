@@ -45,6 +45,16 @@ type t = {
   clock : Cycles.t;
   mem : Mem_sim.t;
   call : id:int -> ?data:bytes -> direction:Edge.direction -> unit -> bytes;
+  call_batch : reqs:(int * bytes) list -> unit -> bytes list;
+      (** Serve several ECALLs under one boundary crossing where the
+          backend supports it (the HyperEnclave switchless call ring,
+          [In_out] semantics per slot); native and the SGX model have no
+          ring and dispatch sequentially — the baseline the ring is
+          measured against. *)
+  urts : Urts.t option;
+      (** The SDK handle behind a HyperEnclave backend ([None] for native
+          and the SGX model): what {!Hyperenclave_sched.Sched.submit}
+          takes to schedule this enclave's requests. *)
   destroy : unit -> unit;
 }
 

@@ -10,6 +10,7 @@ let () =
       ("obs", Test_obs.suite);
       ("os", Test_os.suite);
       ("sdk", Test_sdk.suite);
+      ("sched", Test_sched.suite);
       ("libos", Test_libos.suite);
       ("edl", Test_edl.suite);
       ("sgx", Test_sgx.suite);

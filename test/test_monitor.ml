@@ -922,9 +922,170 @@ let test_multi_tcs_threads () =
   Alcotest.(check int) "audit clean" 0 (List.length (Monitor.audit m));
   Urts.destroy handle
 
+(* --- clock-hand victim selection (PR 4 regression) ----------------------- *)
+
+(* The old [find_victim] walked [Hashtbl.fold] order, so whichever
+   enclave's frames hashed first absorbed every eviction.  The
+   clock-hand cursor must rotate across the pool: thrash a tiny pool
+   shared by two enclaves and demand both get victimised. *)
+let test_clock_hand_spreads_victims () =
+  let epc = Epc.create ~base_frame:100 ~nframes:8 in
+  for i = 0 to 3 do
+    ignore
+      (Epc.alloc epc ~owner:(Epc.Enclave 1) ~page_type:Sgx_types.Pt_reg
+         ~vpn:(0x5000 + i))
+  done;
+  for i = 4 to 7 do
+    ignore
+      (Epc.alloc epc ~owner:(Epc.Enclave 2) ~page_type:Sgx_types.Pt_reg
+         ~vpn:(0x5000 + i))
+  done;
+  let victims = ref [] in
+  for _ = 1 to 8 do
+    match Epc.find_victim epc ~prefer_not:None with
+    | None -> Alcotest.fail "full pool but no victim"
+    | Some (frame, info) ->
+        let owner_id =
+          match info.Epc.owner with Epc.Enclave id -> id | Epc.Monitor -> -1
+        in
+        victims := owner_id :: !victims;
+        (* Evict-and-refault: the frame comes straight back for the same
+           owner, freshly referenced — exactly the thrashing pattern. *)
+        Epc.free epc frame;
+        ignore
+          (Epc.alloc epc ~owner:info.Epc.owner ~page_type:Sgx_types.Pt_reg
+             ~vpn:info.Epc.vpn)
+  done;
+  Alcotest.(check bool) "enclave 1 evicted" true (List.mem 1 !victims);
+  Alcotest.(check bool) "enclave 2 evicted" true (List.mem 2 !victims)
+
+let test_find_victim_respects_in_use () =
+  let epc = Epc.create ~base_frame:0 ~nframes:6 in
+  let frames =
+    List.init 6 (fun i ->
+        Epc.alloc epc
+          ~owner:(Epc.Enclave (if i < 3 then 1 else 2))
+          ~page_type:Sgx_types.Pt_reg ~vpn:(0x9000 + i))
+  in
+  ignore frames;
+  (* Enclave 1's frames are "in active use" (say, SSA of a running
+     vCPU): every pick must land on enclave 2. *)
+  let in_use _frame (info : Epc.frame_info) = info.Epc.owner = Epc.Enclave 1 in
+  for _ = 1 to 4 do
+    match Epc.find_victim ~in_use epc ~prefer_not:None with
+    | None -> Alcotest.fail "no victim despite evictable frames"
+    | Some (_, info) ->
+        Alcotest.(check bool)
+          "in-use frames skipped" true
+          (info.Epc.owner = Epc.Enclave 2)
+  done;
+  (* prefer_not steers away from enclave 2 when alternatives exist. *)
+  (match Epc.find_victim epc ~prefer_not:(Some 2) with
+  | Some (_, info) ->
+      Alcotest.(check bool)
+        "prefer_not honoured" true
+        (info.Epc.owner = Epc.Enclave 1)
+  | None -> Alcotest.fail "no victim with prefer_not");
+  (* If everything is nominally in use the relaxing passes still find a
+     victim — refusing entirely would deadlock the allocator. *)
+  (match Epc.find_victim ~in_use:(fun _ _ -> true) epc ~prefer_not:None with
+  | Some _ -> ()
+  | None -> Alcotest.fail "relaxing fallback must still evict");
+  (* Control structures are never victims even under full relaxation. *)
+  let epc2 = Epc.create ~base_frame:0 ~nframes:2 in
+  ignore
+    (Epc.alloc epc2 ~owner:(Epc.Enclave 1) ~page_type:Sgx_types.Pt_tcs ~vpn:1);
+  ignore
+    (Epc.alloc epc2 ~owner:(Epc.Enclave 1) ~page_type:Sgx_types.Pt_ssa ~vpn:2);
+  Alcotest.(check bool)
+    "TCS/SSA never evictable" true
+    (Epc.find_victim epc2 ~prefer_not:None = None)
+
+(* Two enclaves thrashing a small EPC together: both must survive with
+   their contents intact, and the eviction traffic must touch both
+   (the old insertion-order scan drained one enclave exclusively). *)
+let test_two_enclaves_thrash_small_epc () =
+  let p = tiny_epc_platform () in
+  let m = p.Platform.monitor in
+  let pages = 400 in
+  let mk tag =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:
+        {
+          (Urts.default_config Sgx_types.GU) with
+          Urts.code_seed = tag;
+          elrange_pages = 2048;
+        }
+      ~ecalls:
+        [
+          ( 1,
+            (* write phase: touch [pages] pages with recognizable bytes *)
+            fun (tenv : Tenv.t) _ ->
+              let base = tenv.Tenv.malloc (pages * 4096) in
+              for i = 0 to pages - 1 do
+                tenv.Tenv.write ~va:(base + (i * 4096))
+                  (Bytes.of_string (Printf.sprintf "%s-%04d" tag i))
+              done;
+              Bytes.of_string (string_of_int base) );
+          ( 2,
+            (* verify phase: count corrupted pages *)
+            fun (tenv : Tenv.t) input ->
+              let base = int_of_string (Bytes.to_string input) in
+              let bad = ref 0 in
+              for i = 0 to pages - 1 do
+                let want = Printf.sprintf "%s-%04d" tag i in
+                let got =
+                  tenv.Tenv.read ~va:(base + (i * 4096))
+                    ~len:(String.length want)
+                in
+                if Bytes.to_string got <> want then incr bad
+              done;
+              Bytes.of_string (string_of_int !bad) );
+        ]
+      ~ocalls:[]
+  in
+  let a = mk "thrash-A" and b = mk "thrash-B" in
+  let base_a = Urts.ecall a ~id:1 ~direction:Edge.Out () in
+  let base_b = Urts.ecall b ~id:1 ~direction:Edge.Out () in
+  let id_a = (Urts.enclave a).Enclave.id
+  and id_b = (Urts.enclave b).Enclave.id in
+  (* Both write phases overflow the ~512-frame EPC, so eviction ran; the
+     clock hand must have spread it over both enclaves. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions happened (%d)" (Monitor.epc_swap_count m))
+    true
+    (Monitor.epc_swap_count m > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "enclave A saw eviction (%d out)"
+       (Monitor.swapped_out m ~enclave_id:id_a))
+    true
+    (Monitor.swapped_out m ~enclave_id:id_a > 0);
+  let bad_a = Urts.ecall a ~id:2 ~data:base_a ~direction:Edge.In_out () in
+  (* A's read-back faulted its pages in again, which must have pushed
+     the hand into B's frames — eviction rotates, it doesn't keep
+     draining A. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enclave B saw eviction (%d out)"
+       (Monitor.swapped_out m ~enclave_id:id_b))
+    true
+    (Monitor.swapped_out m ~enclave_id:id_b > 0);
+  let bad_b = Urts.ecall b ~id:2 ~data:base_b ~direction:Edge.In_out () in
+  Alcotest.(check string) "A intact" "0" (Bytes.to_string bad_a);
+  Alcotest.(check string) "B intact" "0" (Bytes.to_string bad_b);
+  Alcotest.(check int) "audit clean" 0 (List.length (Monitor.audit m));
+  Urts.destroy a;
+  Urts.destroy b
+
 let suite =
   [
     QCheck_alcotest.to_alcotest audit_qcheck;
+    Alcotest.test_case "clock-hand spreads victims" `Quick
+      test_clock_hand_spreads_victims;
+    Alcotest.test_case "find_victim skips in-use frames" `Quick
+      test_find_victim_respects_in_use;
+    Alcotest.test_case "two enclaves thrash small EPC" `Quick
+      test_two_enclaves_thrash_small_epc;
     Alcotest.test_case "multi-TCS threads" `Quick test_multi_tcs_threads;
     Alcotest.test_case "EPC overcommit roundtrip" `Quick
       test_epc_overcommit_roundtrip;

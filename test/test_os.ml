@@ -127,6 +127,94 @@ let test_marshalling_buffer_pinned_by_loader () =
   | None -> Alcotest.fail "no pinned page");
   Urts.destroy handle
 
+(* A failed pin ioctl must unwind every pin it already took (PR 4
+   regression: the old code returned with the prefix still pinned, so
+   those pages stayed unreclaimable for the life of the process). *)
+let test_pin_range_unwinds_on_failure () =
+  let p = platform () in
+  let proc = p.Platform.proc in
+  let before = Process.pinned_count proc in
+  (* Three resident pages, then swap the third out so it is no longer
+     resident: the pin walk succeeds twice, then fails on page 3. *)
+  let va = Kernel.mmap p.Platform.kernel proc ~len:(3 * 4096) ~populate:true in
+  (match Kernel.swap_out p.Platform.kernel proc ~vpn:((va / 4096) + 2) with
+  | Kernel.Swapped -> ()
+  | Kernel.Pinned_refused -> Alcotest.fail "fresh page refused swap");
+  (try
+     Kmod.ioctl_pin_range p.Platform.kmod proc ~va ~len:(3 * 4096);
+     Alcotest.fail "pin over a non-resident page must fail"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int)
+    "failed pin left no residue" before
+    (Process.pinned_count proc);
+  (* The unwound pages are still swappable — nothing leaked a pin. *)
+  (match Kernel.swap_out p.Platform.kernel proc ~vpn:(va / 4096) with
+  | Kernel.Swapped -> ()
+  | Kernel.Pinned_refused -> Alcotest.fail "unwound page still pinned")
+
+(* Destroying an enclave must unpin its marshalling buffer (PR 4
+   regression: EREMOVE freed the EPC but the ms pins leaked, pinning a
+   256 KB region per destroyed enclave forever). *)
+let test_destroy_unpins_marshalling_buffer () =
+  let p = platform () in
+  let proc = p.Platform.proc in
+  let before = Process.pinned_count proc in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config Sgx_types.GU)
+      ~ecalls:[ (1, fun _ input -> input) ]
+      ~ocalls:[]
+  in
+  Alcotest.(check bool)
+    "loader pinned the ms buffer" true
+    (Process.pinned_count proc > before);
+  ignore (Urts.ecall handle ~id:1 ~data:(Bytes.of_string "x") ~direction:Edge.In_out ());
+  Urts.destroy handle;
+  Alcotest.(check int)
+    "destroy unpinned everything" before
+    (Process.pinned_count proc);
+  (* Repeat to show it holds across create/destroy cycles. *)
+  let handle2 =
+    Urts.create ~kmod:p.Platform.kmod ~proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:{ (Urts.default_config Sgx_types.GU) with Urts.code_seed = "pin2" }
+      ~ecalls:[ (1, fun _ input -> input) ]
+      ~ocalls:[]
+  in
+  Urts.destroy handle2;
+  Alcotest.(check int)
+    "second cycle also clean" before
+    (Process.pinned_count proc)
+
+(* The batched hypercall: one EBATCH carries several requests and the
+   results come back slot for slot, in order. *)
+let test_ioctl_batch () =
+  let p = platform () in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config Sgx_types.GU)
+      ~ecalls:[ (1, fun _ input -> input) ]
+      ~ocalls:[]
+  in
+  let enclave = Urts.enclave handle in
+  let results =
+    Kmod.ioctl_batch p.Platform.kmod
+      [
+        Hypercall.Ereport { enclave; report_data = Bytes.of_string "batch" };
+        Hypercall.Egetkey { enclave; name = Sgx_types.Seal_key_mrenclave };
+      ]
+  in
+  (match results with
+  | [ Hypercall.Report r; Hypercall.Key k ] ->
+      Alcotest.(check bool)
+        "report verifies" true
+        (Monitor.verify_report p.Platform.monitor r);
+      Alcotest.(check bool) "key non-empty" true (Bytes.length k > 0)
+  | _ -> Alcotest.fail "batch results out of shape");
+  Urts.destroy handle
+
 let test_fork_exit_frees_frames () =
   let p = platform () in
   let k = p.Platform.kernel in
@@ -225,6 +313,11 @@ let suite =
     Alcotest.test_case "pin requires residency" `Quick test_pin_requires_resident;
     Alcotest.test_case "ms buffer pinned by loader" `Quick
       test_marshalling_buffer_pinned_by_loader;
+    Alcotest.test_case "failed pin_range unwinds" `Quick
+      test_pin_range_unwinds_on_failure;
+    Alcotest.test_case "destroy unpins ms buffer" `Quick
+      test_destroy_unpins_marshalling_buffer;
+    Alcotest.test_case "EBATCH ioctl" `Quick test_ioctl_batch;
     Alcotest.test_case "fork/exit frames" `Quick test_fork_exit_frees_frames;
     Alcotest.test_case "with_translation toggle" `Quick test_with_translation;
     Alcotest.test_case "no controlled channel on enclaves" `Quick

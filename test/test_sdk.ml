@@ -259,10 +259,166 @@ let test_no_free_tcs () =
      ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
      Alcotest.fail "expected no-free-TCS failure"
    with Urts.Enclave_error m ->
-     Alcotest.(check string) "message" "no free TCS" m);
+     Alcotest.(check bool) "typed TCS-busy error"
+       true
+       (String.length m >= 8 && String.sub m 0 8 = "TCS busy"));
   List.iter (fun (tcs : Sgx_types.tcs) -> tcs.Sgx_types.busy <- false)
     enclave.Enclave.tcs_list;
   ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
+  Urts.destroy handle
+
+(* --- ms-region split offsets (PR 4 regression) --------------------------- *)
+
+(* The input/output/ocalloc split used to be recomputed per call with
+   truncating division, so an ms_bytes that doesn't divide evenly put
+   the boundaries mid-page and the regions disagreed call to call.  Now
+   the splits are rounded up to page boundaries once at build time:
+   with ms_bytes = 5 pages the input region is exactly 3 pages (12288
+   bytes), not the truncated 10240. *)
+let test_ms_split_page_aligned () =
+  let p = Platform.create ~seed:3010L () in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:
+        { (Urts.default_config Sgx_types.GU) with Urts.ms_bytes = 5 * 4096 }
+      ~ecalls:
+        [
+          (1, fun (_ : Tenv.t) input -> Bytes.of_string
+                 (string_of_int (Bytes.length input)));
+          (2, fun (_ : Tenv.t) input ->
+                 (* reply sized by the caller: output-boundary probe *)
+                 Bytes.make (int_of_string (Bytes.to_string input)) 'o');
+        ]
+      ~ocalls:[]
+  in
+  (* Exactly at the aligned input boundary: 3 pages fits... *)
+  let at_boundary =
+    Urts.ecall handle ~id:1 ~data:(Bytes.make 12288 'i') ~direction:Edge.In ()
+  in
+  Alcotest.(check string) "input of exactly 3 pages accepted" "12288"
+    (Bytes.to_string at_boundary);
+  (* ...and one byte past is a typed refusal, not a silent spill into
+     the output region. *)
+  (try
+     ignore
+       (Urts.ecall handle ~id:1 ~data:(Bytes.make 12289 'i') ~direction:Edge.In ());
+     Alcotest.fail "input past the split accepted"
+   with Urts.Enclave_error _ -> ());
+  (* Output region is one page (pages 3..4): exactly 4096 fits, 4097
+     refused. *)
+  let out =
+    Urts.ecall handle ~id:2 ~data:(Bytes.of_string "4096") ~direction:Edge.In_out ()
+  in
+  Alcotest.(check int) "output of exactly one page" 4096 (Bytes.length out);
+  (try
+     ignore
+       (Urts.ecall handle ~id:2 ~data:(Bytes.of_string "4097")
+          ~direction:Edge.In_out ());
+     Alcotest.fail "output past the split accepted"
+   with Urts.Enclave_error _ -> ());
+  Urts.destroy handle
+
+let test_ms_bytes_validated () =
+  let p = Platform.create ~seed:3011L () in
+  let make ms_bytes =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:{ (Urts.default_config Sgx_types.GU) with Urts.ms_bytes }
+      ~ecalls:[ (1, fun _ input -> input) ]
+      ~ocalls:[]
+  in
+  (try
+     ignore (make (4 * 4096 + 100));
+     Alcotest.fail "unaligned ms_bytes accepted"
+   with Urts.Enclave_error _ -> ());
+  (try
+     ignore (make (2 * 4096));
+     Alcotest.fail "too-small ms_bytes accepted"
+   with Urts.Enclave_error _ -> ());
+  let ok = make (4 * 4096) in
+  ignore (Urts.ecall ok ~id:1 ~data:(Bytes.of_string "x") ~direction:Edge.In_out ());
+  Urts.destroy ok
+
+(* --- re-entrant ECALL from an OCALL handler (PR 4 regression) ------------ *)
+
+(* The old path re-entered on whatever TCS was "free", which could be
+   the parked one — clobbering the suspended thread's SSA.  Now the TCS
+   parked on an OCALL is reserved: a nested ECALL takes a different TCS
+   or gets a typed TCS-busy refusal. *)
+let test_nested_ecall_in_ocall () =
+  let handle_ref = ref None in
+  let _, handle =
+    fixture
+      ~ecalls:
+        [
+          ( 1,
+            fun (tenv : Tenv.t) input ->
+              (* Outer ECALL: go out through an OCALL and come back. *)
+              let nested = tenv.Tenv.ocall ~id:9 ~data:input Edge.In_out in
+              Bytes.cat (Bytes.of_string "outer:") nested );
+          (2, fun (_ : Tenv.t) input -> Bytes.cat (Bytes.of_string "inner:") input);
+        ]
+      ~ocalls:
+        [
+          ( 9,
+            fun data ->
+              (* Re-entrant ECALL from inside the OCALL handler: must run
+                 on a TCS other than the parked one. *)
+              let h = Option.get !handle_ref in
+              Urts.ecall h ~id:2 ~data ~direction:Edge.In_out () );
+        ]
+      ()
+  in
+  handle_ref := Some handle;
+  let reply =
+    Urts.ecall handle ~id:1 ~data:(Bytes.of_string "go") ~direction:Edge.In_out ()
+  in
+  Alcotest.(check string)
+    "nested ECALL ran on a second TCS" "outer:inner:go" (Bytes.to_string reply);
+  (* All TCSs released afterwards. *)
+  Alcotest.(check int) "both TCS free again" 2 (Urts.free_tcs_count handle);
+  Urts.destroy handle
+
+let test_nested_ecall_exhaustion_is_typed () =
+  (* Depth 2 of nesting on a 2-TCS enclave: the innermost re-entry finds
+     the pool exhausted (one TCS parked on each OCALL frame) and must be
+     refused with a typed TCS-busy error — while the outer call still
+     completes once the handler turns that refusal into a reply. *)
+  let handle_ref = ref None in
+  let ocall_9 _ =
+    (* depth 1: the nested ECALL takes the second (last free) TCS *)
+    Urts.ecall (Option.get !handle_ref) ~id:2 ~direction:Edge.Out ()
+  in
+  let ocall_10 _ =
+    (* depth 2: no TCS left — expect the typed refusal right here *)
+    try
+      ignore (Urts.ecall (Option.get !handle_ref) ~id:3 ~direction:Edge.Out ());
+      Bytes.of_string "UNEXPECTED-ENTRY"
+    with Urts.Enclave_error m
+      when String.length m >= 8 && String.sub m 0 8 = "TCS busy" ->
+        Bytes.of_string "refused"
+  in
+  let _, handle =
+    fixture ~seed:3012L
+      ~ecalls:
+        [
+          ( 1,
+            fun (tenv : Tenv.t) _ ->
+              tenv.Tenv.ocall ~id:9 ~data:(Bytes.of_string "d1") Edge.In_out );
+          ( 2,
+            fun (tenv : Tenv.t) _ ->
+              tenv.Tenv.ocall ~id:10 ~data:(Bytes.of_string "d2") Edge.In_out );
+          (3, fun (_ : Tenv.t) _ -> Bytes.of_string "deepest");
+        ]
+      ~ocalls:[ (9, ocall_9); (10, ocall_10) ]
+      ()
+  in
+  handle_ref := Some handle;
+  let reply = Urts.ecall handle ~id:1 ~direction:Edge.Out () in
+  Alcotest.(check string)
+    "inner refusal typed, outer completed" "refused" (Bytes.to_string reply);
+  Alcotest.(check int) "all TCS released" 2 (Urts.free_tcs_count handle);
   Urts.destroy handle
 
 let test_code_identity_changes_measurement () =
@@ -605,6 +761,11 @@ let suite =
     Alcotest.test_case "ms window (user_check)" `Quick test_ms_window_user_check;
     Alcotest.test_case "report/quote API" `Quick test_report_quote_api;
     Alcotest.test_case "TCS exhaustion" `Quick test_no_free_tcs;
+    Alcotest.test_case "ms split page-aligned" `Quick test_ms_split_page_aligned;
+    Alcotest.test_case "ms_bytes validated" `Quick test_ms_bytes_validated;
+    Alcotest.test_case "nested ECALL in OCALL" `Quick test_nested_ecall_in_ocall;
+    Alcotest.test_case "nested ECALL exhaustion typed" `Quick
+      test_nested_ecall_exhaustion_is_typed;
     Alcotest.test_case "code identity in measurement" `Quick
       test_code_identity_changes_measurement;
   ]
