@@ -1,0 +1,254 @@
+(* PR 5 tentpole bench: attested end-to-end serving throughput of the
+   multi-tenant plane (lib/serve) — SIGMA handshake bound to the
+   attestation chain, AEAD request channels, batched dispatch through
+   the SMP scheduler — over 1/2/4/8 simulated cores.
+
+   Headline numbers (see BENCH_PR5.json and perf_smoke.ml): attested
+   req/s at 2 cores must stay within 25% of the committed baseline, and
+   the 1 -> 2 core speedup must hold at >= 1.5x.  Both are
+   simulated-cycle quantities, so the gate is deterministic.  The
+   one-time handshake cost (quote generation + verification + key
+   agreement) is reported alongside so the amortization argument —
+   attest once, serve thousands — stays visible. *)
+
+open Hyperenclave
+
+let clock_hz = 2.2e9 (* the paper's 2.2 GHz EPYC, as elsewhere *)
+let tenants = 4
+let rounds = 3
+let reqs_per_client_round = 8
+let value_bytes = 96
+
+let handlers =
+  [
+    (1, fun _env input -> input);
+    (2, fun (env : Backend.env) input ->
+        (* A small stand-in for request work: charge compute
+           proportional to the payload and echo it back transformed. *)
+        env.Backend.compute (50 * Bytes.length input);
+        Bytes.of_string (String.uppercase_ascii (Bytes.to_string input)));
+  ]
+
+let golden_of (p : Platform.t) =
+  Verifier.golden_of_boot_log
+    ~ek_public:(Tpm.ek_public p.Platform.tpm)
+    (Monitor.boot_log p.Platform.monitor)
+
+let payload seed i =
+  Bytes.init value_bytes (fun j -> Char.chr (97 + ((seed + i + j) mod 26)))
+
+type run = {
+  cores : int;
+  rps : float;
+  served : int;
+  makespan : int;
+  handshake_cycles : int;
+}
+
+let measure ~cores =
+  let p = Platform.create ~seed:951L () in
+  let plane =
+    Serve.create ~platform:p
+      {
+        Serve.default_config with
+        Serve.sched =
+          {
+            Sched.default_config with
+            Sched.cores;
+            batch = 4;
+            drop_on_error = true;
+          };
+        max_queue = 256;
+      }
+  in
+  let golden = golden_of p in
+  let clients =
+    List.init tenants (fun i ->
+        let name = Printf.sprintf "tenant-%d" i in
+        let backend =
+          Serve.add_tenant plane ~name
+            {
+              (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+              Backend.handlers;
+              code_seed = Some name;
+            }
+        in
+        let identity = Option.get backend.Backend.identity in
+        let client =
+          Serve.Client.create
+            ~rng:(Rng.create ~seed:(Int64.of_int (3000 + i)))
+            ~golden
+            ~policy:
+              {
+                Verifier.expected_mrenclave = Some identity;
+                expected_mrsigner = None;
+                allow_debug = false;
+              }
+            ~expected_tenant:identity ()
+        in
+        (name, backend, client))
+  in
+  (* Handshakes: attest each tenant once, timing the first end to end
+     (quote generation, wire encode/decode, verification, key
+     agreement) on the shared platform clock. *)
+  let handshake_cycles = ref 0 in
+  List.iteri
+    (fun i (name, _, client) ->
+      let before = Cycles.now p.Platform.clock in
+      (match Serve.handshake plane ~tenant:name (Serve.Client.hello client) with
+      | Ok accept -> (
+          match Serve.Client.establish client accept with
+          | Ok () -> ()
+          | Error r ->
+              Format.eprintf "bench_serve: establish failed: %a@." Serve.pp_reject r;
+              exit 2)
+      | Error r ->
+          Format.eprintf "bench_serve: handshake failed: %a@." Serve.pp_reject r;
+          exit 2);
+      if i = 0 then handshake_cycles := Cycles.now p.Platform.clock - before)
+    clients;
+  (* Serving: every client stages a sealed batch, one flush serves all
+     tenants concurrently across the scheduler's cores. *)
+  let served = ref 0 in
+  for round = 0 to rounds - 1 do
+    List.iteri
+      (fun ci (_, _, client) ->
+        for i = 0 to reqs_per_client_round - 1 do
+          let req =
+            Serve.Client.request client
+              ~ecall:(1 + ((round + i) mod 2))
+              (payload ((ci * 131) + round) i)
+          in
+          match Serve.submit plane req with
+          | Ok () -> ()
+          | Error r ->
+              Format.eprintf "bench_serve: submit rejected: %a@." Serve.pp_reject r;
+              exit 2
+        done)
+      clients;
+    let replies = Serve.flush plane in
+    List.iter
+      (function
+        | { Serve.r_result = Ok _; _ } -> incr served
+        | { Serve.r_result = Error r; _ } ->
+            Format.eprintf "bench_serve: request failed: %a@." Serve.pp_reject r;
+            exit 2)
+      replies
+  done;
+  let stats = Serve.sched_stats plane in
+  Serve.destroy plane;
+  List.iter (fun (_, (b : Backend.t), _) -> b.Backend.destroy ()) clients;
+  {
+    cores;
+    rps =
+      float_of_int stats.Sched.total_requests
+      *. clock_hz
+      /. float_of_int (max 1 stats.Sched.makespan);
+    served = !served;
+    makespan = stats.Sched.makespan;
+    handshake_cycles = !handshake_cycles;
+  }
+
+type summary = { runs : run list; speedup_2core : float }
+
+let summarize () =
+  let runs = List.map (fun cores -> measure ~cores) [ 1; 2; 4; 8 ] in
+  let rps_of n = (List.find (fun r -> r.cores = n) runs).rps in
+  { runs; speedup_2core = rps_of 2 /. rps_of 1 }
+
+let run () =
+  Util.set_experiment "serve";
+  Util.banner "Serve"
+    "Attested serving plane: end-to-end req/s (handshake-keyed AEAD \
+     channels, batched ECALL dispatch) vs simulated cores, 4 tenants.";
+  let s = summarize () in
+  Util.print_table
+    ~columns:
+      [ "cores"; "served"; "makespan (Mcyc)"; "attested req/s"; "handshake (cyc)" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.cores;
+           string_of_int r.served;
+           Printf.sprintf "%.2f" (float_of_int r.makespan /. 1e6);
+           Printf.sprintf "%.0f" r.rps;
+           string_of_int r.handshake_cycles;
+         ])
+       s.runs);
+  Printf.printf "\n  1 -> 2 core speedup: %.2fx (gate: >= 1.5x)\n" s.speedup_2core;
+  let h = (List.hd s.runs).handshake_cycles in
+  let per_req =
+    (List.find (fun r -> r.cores = 2) s.runs).makespan
+    / max 1 (List.find (fun r -> r.cores = 2) s.runs).served
+  in
+  Printf.printf
+    "  handshake amortization: one attestation costs ~%d served requests.\n"
+    (h / max 1 per_req)
+
+(* --- smoke + baseline file + regression gate -------------------------- *)
+
+(* Fast 1-core sanity pass (`dune build @serve_smoke`): one tenant, one
+   attested session, a handful of requests — fails loudly if the
+   attested path breaks. *)
+let smoke () =
+  let r = measure ~cores:1 in
+  if r.served <> tenants * rounds * reqs_per_client_round then begin
+    Printf.eprintf "serve_smoke: FAIL — served %d of %d requests\n" r.served
+      (tenants * rounds * reqs_per_client_round);
+    exit 1
+  end;
+  Printf.printf
+    "serve_smoke: OK — %d attested requests served at %.0f req/s (1 core), \
+     handshake %d cycles\n"
+    r.served r.rps r.handshake_cycles
+
+let write_baseline path =
+  let s = summarize () in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"hyperenclave-perf/1\",\n";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "  \"attested_rps_%dcore\": %.1f,\n" r.cores r.rps)
+    s.runs;
+  Printf.fprintf oc "  \"serve_speedup_2core\": %.3f,\n" s.speedup_2core;
+  Printf.fprintf oc "  \"handshake_cycles\": %d\n}\n"
+    (List.hd s.runs).handshake_cycles;
+  close_out oc;
+  Printf.printf "serve baseline written to %s\n" path
+
+(* Deterministic regression gate: recompute the 2-core attested
+   throughput and fail on a >25% regression against the committed
+   baseline, or if the scaling acceptance bar no longer holds. *)
+let check_baseline path =
+  let tolerance = 1.25 in
+  let s = summarize () in
+  let rps2 = (List.find (fun r -> r.cores = 2) s.runs).rps in
+  match Util.perf_json_number ~path ~key:"attested_rps_2core" with
+  | None ->
+      Printf.eprintf
+        "serve gate: no \"attested_rps_2core\" in %s — regenerate with: \
+         perf_smoke.exe --write-serve %s\n"
+        path path;
+      exit 2
+  | Some baseline ->
+      let ratio = baseline /. rps2 in
+      Printf.printf
+        "serve gate: %.0f attested req/s at 2 cores vs %.0f baseline (%.2fx), \
+         speedup %.2fx\n"
+        rps2 baseline ratio s.speedup_2core;
+      if ratio > tolerance then begin
+        Printf.eprintf
+          "serve gate: FAIL — attested req/s regressed %.0f%% past the 25%% \
+           budget.\nFix the regression or consciously re-baseline with: \
+           perf_smoke.exe --write-serve %s\n"
+          ((ratio -. 1.0) *. 100.0)
+          path;
+        exit 1
+      end;
+      if s.speedup_2core < 1.5 then begin
+        Printf.eprintf
+          "serve gate: FAIL — 1->2 core speedup %.2fx below the 1.5x \
+           acceptance bar\n"
+          s.speedup_2core;
+        exit 1
+      end

@@ -21,6 +21,8 @@ let experiments =
     ( "throughput",
       ("SMP scheduler req/s scaling + switchless ring (PR 4)", Bench_throughput.run)
     );
+    ( "serve",
+      ("attested serving plane end-to-end req/s (PR 5)", Bench_serve.run) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
   ]
 

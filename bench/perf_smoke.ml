@@ -16,11 +16,14 @@ let tolerance = 1.25
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline
-      "usage: perf_smoke.exe BASELINE.json [THROUGHPUT_BASELINE.json]\n\
-      \       perf_smoke.exe --write-throughput FILE";
+      "usage: perf_smoke.exe BASELINE.json [THROUGHPUT_BASELINE.json] \
+       [SERVE_BASELINE.json]\n\
+      \       perf_smoke.exe --write-throughput FILE\n\
+      \       perf_smoke.exe --write-serve FILE\n\
+      \       perf_smoke.exe --serve-smoke";
     exit 2
   end;
-  (* Baseline (re)generation for the throughput gate. *)
+  (* Baseline (re)generation for the deterministic gates. *)
   if Sys.argv.(1) = "--write-throughput" then begin
     if Array.length Sys.argv < 3 then begin
       prerr_endline "usage: perf_smoke.exe --write-throughput FILE";
@@ -29,9 +32,24 @@ let () =
     Bench_throughput.write_baseline Sys.argv.(2);
     exit 0
   end;
-  (* Deterministic simulated-cycle gate first (PR 4): scheduler
-     throughput scaling and ring amortization vs BENCH_PR4.json. *)
+  if Sys.argv.(1) = "--write-serve" then begin
+    if Array.length Sys.argv < 3 then begin
+      prerr_endline "usage: perf_smoke.exe --write-serve FILE";
+      exit 2
+    end;
+    Bench_serve.write_baseline Sys.argv.(2);
+    exit 0
+  end;
+  (* Fast 1-core attested-path sanity run (`dune build @serve_smoke`). *)
+  if Sys.argv.(1) = "--serve-smoke" then begin
+    Bench_serve.smoke ();
+    exit 0
+  end;
+  (* Deterministic simulated-cycle gates first: scheduler throughput
+     scaling + ring amortization vs BENCH_PR4.json (PR 4), then attested
+     serving throughput vs BENCH_PR5.json (PR 5). *)
   if Array.length Sys.argv > 2 then Bench_throughput.check_baseline Sys.argv.(2);
+  if Array.length Sys.argv > 3 then Bench_serve.check_baseline Sys.argv.(3);
   let baseline_path = Sys.argv.(1) in
   match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
   | None ->

@@ -72,3 +72,5 @@ module Platform = Hyperenclave_tee.Platform
 module Backend = Hyperenclave_tee.Backend
 module Mem_sim = Hyperenclave_tee.Mem_sim
 module Sched = Hyperenclave_sched.Sched
+module Serve = Hyperenclave_serve.Serve
+module Kx = Hyperenclave_crypto.Kx

@@ -23,6 +23,7 @@ let sites =
     "sdk.ms_copy_out";
     "sdk.aex_storm";
     "os.ioctl";
+    "serve.session";
   ]
 
 (* A private splitmix64 keeps plan derivation independent of the

@@ -52,7 +52,9 @@ val sites : string list
     ["switch.aex"] / ["switch.eresume"] (AEX delivery / ERESUME),
     ["sdk.ms_copy_in"] / ["sdk.ms_copy_out"] (marshalling-buffer copies),
     ["sdk.aex_storm"] (interrupt burst right after EENTER),
-    ["os.ioctl"] (kernel-module ioctl forwarding). *)
+    ["os.ioctl"] (kernel-module ioctl forwarding),
+    ["serve.session"] (serving-plane session work: handshake acceptance
+    and per-session dispatch staging). *)
 
 (** {1 Plans} *)
 

@@ -30,6 +30,9 @@ type job = {
   mutable pending : (int * bytes) list;
   mutable completed : int;
   mutable failed : int;
+  mutable next_index : int;  (* submission index of the head of [pending] *)
+  on_result : (index:int -> (bytes, string) result -> unit) option;
+  on_slice : (cycles:int -> unit) option;
 }
 
 type core = {
@@ -99,7 +102,7 @@ let create ?on_preempt ~shared_clock ~telemetry (config : config) =
     aex_preempts = 0;
   }
 
-let submit t ?core ~urts requests =
+let submit t ?core ?on_result ?on_slice ~urts requests =
   let job_id = t.next_job in
   t.next_job <- job_id + 1;
   let home =
@@ -110,7 +113,18 @@ let submit t ?core ~urts requests =
         c
     | None -> job_id mod t.config.cores
   in
-  let job = { job_id; urts; pending = requests; completed = 0; failed = 0 } in
+  let job =
+    {
+      job_id;
+      urts;
+      pending = requests;
+      completed = 0;
+      failed = 0;
+      next_index = 0;
+      on_result;
+      on_slice;
+    }
+  in
   t.jobs <- job :: t.jobs;
   let target = t.cores.(home) in
   target.queue <- target.queue @ [ job ]
@@ -176,19 +190,36 @@ let run_requests t (job : job) =
   let taken, rest = split n job.pending in
   job.pending <- rest;
   let count = List.length taken in
+  let base_index = job.next_index in
+  job.next_index <- base_index + count;
+  let deliver i result =
+    match job.on_result with
+    | Some f -> f ~index:(base_index + i) result
+    | None -> ()
+  in
   match
-    if t.config.batch > 1 then ignore (Urts.ecall_batch job.urts ~reqs:taken ())
+    if t.config.batch > 1 then Urts.ecall_batch job.urts ~reqs:taken ()
     else
-      List.iter
-        (fun (id, data) ->
-          ignore (Urts.ecall job.urts ~id ~data ~direction:Edge.In_out ()))
+      List.map
+        (fun (id, data) -> Urts.ecall job.urts ~id ~data ~direction:Edge.In_out ())
         taken
   with
-  | () ->
+  | replies ->
+      List.iteri (fun i reply -> deliver i (Ok reply)) replies;
       job.completed <- job.completed + count;
       count
-  | exception (Urts.Enclave_error _ | Fault.Injected _)
+  | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
     when t.config.drop_on_error ->
+      (* The ring is all-or-nothing: every request of the dispatch gets
+         the same typed failure. *)
+      let msg =
+        match exn with
+        | Urts.Enclave_error m -> "enclave: " ^ m
+        | Fault.Injected { site; kind } ->
+            Printf.sprintf "injected %s fault at %s" (Fault.kind_name kind) site
+        | _ -> Printexc.to_string exn
+      in
+      List.iteri (fun i _ -> deliver i (Error msg)) taken;
       job.failed <- job.failed + count;
       Telemetry.add t.telemetry "sched.request_failed" count;
       count
@@ -220,11 +251,13 @@ let run_slice t (core : core) (job : job) =
      let delta = consumed () in
      Cycles.tick core.clock delta;
      core.busy <- core.busy + delta;
+     (match job.on_slice with Some f -> f ~cycles:delta | None -> ());
      raise exn);
   finish ();
   let delta = consumed () in
   Cycles.tick core.clock delta;
   core.busy <- core.busy + delta;
+  (match job.on_slice with Some f -> f ~cycles:delta | None -> ());
   Telemetry.observe t.telemetry "sched.slice_cycles" (max 1 delta);
   if job.pending <> [] then begin
     (* Quantum expired with work left: requeue at the back. *)

@@ -71,10 +71,24 @@ val create :
     state settled) — the hook the chaos suite uses to run
     [Invariants.check] at each one. *)
 
-val submit : t -> ?core:int -> urts:Urts.t -> (int * bytes) list -> unit
+val submit :
+  t ->
+  ?core:int ->
+  ?on_result:(index:int -> (bytes, string) result -> unit) ->
+  ?on_slice:(cycles:int -> unit) ->
+  urts:Urts.t ->
+  (int * bytes) list ->
+  unit
 (** Queue a job: a list of [(ecall_id, payload)] requests against one
     enclave.  Jobs land on [core] when given, else round-robin by
-    submission order.  All requests use [In_out] marshalling. *)
+    submission order.  All requests use [In_out] marshalling.
+
+    [on_result] receives every request's ending keyed by its submission
+    index: [Ok reply] on completion, or [Error msg] when [drop_on_error]
+    dropped it (an injected permanent fault or SDK refusal; a batched
+    ring dispatch fails all-or-nothing).  [on_slice] receives every
+    scheduling slice's consumed cycle delta — the accounting hook the
+    serving plane charges per-tenant quotas from. *)
 
 val run : t -> stats
 (** Drain every queue to completion and return the run's statistics.

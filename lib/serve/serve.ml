@@ -1,0 +1,753 @@
+open Hyperenclave_hw
+open Hyperenclave_tee
+module Sched = Hyperenclave_sched.Sched
+module Urts = Hyperenclave_sdk.Urts
+module Edge = Hyperenclave_sdk.Edge
+module Monitor = Hyperenclave_monitor.Monitor
+module World_switch = Hyperenclave_monitor.World_switch
+module Sgx_types = Hyperenclave_monitor.Sgx_types
+module Verifier = Hyperenclave_attestation.Verifier
+module Wire = Hyperenclave_attestation.Wire
+module Kx = Hyperenclave_crypto.Kx
+module Authenc = Hyperenclave_crypto.Authenc
+module Sha256 = Hyperenclave_crypto.Sha256
+module Fault = Hyperenclave_fault.Fault
+module Telemetry = Hyperenclave_obs.Telemetry
+
+(* ---------------------------------------------------------------------- *)
+(* Typed rejections                                                       *)
+
+type reject =
+  | Handshake_failed of Verifier.failure
+  | Channel_binding_mismatch
+  | Bad_wire of string
+  | Unknown_key_share
+  | Replayed_nonce
+  | Unknown_tenant of string
+  | Unknown_session of int
+  | Unsupported of string
+  | Bad_auth
+  | Bad_sequence of { expected : int; got : int }
+  | Backpressure of { tenant : string; queued : int; limit : int }
+  | Quota_exhausted of { tenant : string; spent : int; quota : int }
+  | Session_fault of string
+
+let reject_name = function
+  | Handshake_failed _ -> "handshake-failed"
+  | Channel_binding_mismatch -> "channel-binding"
+  | Bad_wire _ -> "bad-wire"
+  | Unknown_key_share -> "unknown-key-share"
+  | Replayed_nonce -> "replayed-nonce"
+  | Unknown_tenant _ -> "unknown-tenant"
+  | Unknown_session _ -> "unknown-session"
+  | Unsupported _ -> "unsupported"
+  | Bad_auth -> "bad-auth"
+  | Bad_sequence _ -> "bad-sequence"
+  | Backpressure _ -> "backpressure"
+  | Quota_exhausted _ -> "quota-exhausted"
+  | Session_fault _ -> "session-fault"
+
+let pp_reject fmt = function
+  | Handshake_failed f ->
+      Format.fprintf fmt "handshake failed: %a" Verifier.pp_failure f
+  | Channel_binding_mismatch ->
+      Format.pp_print_string fmt "quote does not bind this transcript"
+  | Bad_wire m -> Format.fprintf fmt "malformed quote wire: %s" m
+  | Unknown_key_share -> Format.pp_print_string fmt "unknown key-exchange share"
+  | Replayed_nonce -> Format.pp_print_string fmt "handshake nonce replayed"
+  | Unknown_tenant n -> Format.fprintf fmt "unknown tenant %s" n
+  | Unknown_session id -> Format.fprintf fmt "unknown session %d" id
+  | Unsupported m -> Format.fprintf fmt "unsupported: %s" m
+  | Bad_auth -> Format.pp_print_string fmt "request authentication failed"
+  | Bad_sequence { expected; got } ->
+      Format.fprintf fmt "bad sequence number: expected %d, got %d" expected got
+  | Backpressure { tenant; queued; limit } ->
+      Format.fprintf fmt "tenant %s queue full (%d/%d)" tenant queued limit
+  | Quota_exhausted { tenant; spent; quota } ->
+      Format.fprintf fmt "tenant %s cycle quota exhausted (%d/%d)" tenant spent
+        quota
+  | Session_fault m -> Format.fprintf fmt "session fault: %s" m
+
+(* ---------------------------------------------------------------------- *)
+(* Plane state                                                            *)
+
+type config = {
+  sched : Sched.config;
+  max_queue : int;
+  cycle_quota : int option;
+  state_stride_pages : int;
+}
+
+let default_config =
+  {
+    sched = { Sched.default_config with Sched.drop_on_error = true };
+    max_queue = 64;
+    cycle_quota = None;
+    state_stride_pages = 16;
+  }
+
+type tenant = {
+  t_name : string;
+  backend : Backend.t;
+  mutable queued : int;
+  mutable spent : int;
+  mutable budget : int;  (* max_int when unmetered *)
+  mutable next_slot : int;
+}
+
+type session = {
+  s_id : int;
+  tenant : tenant;
+  key : bytes;
+  state_slot : int;
+  mutable recv_seq : int;
+  mutable pending : (int * int * bytes) list;  (* rev (seq, ecall, plaintext) *)
+}
+
+type t = {
+  platform : Platform.t;
+  config : config;
+  rng : Rng.t;
+  telemetry : Telemetry.t;
+  sched : Sched.t;
+  tenants : (string, tenant) Hashtbl.t;
+  mutable tenant_order : string list;  (* reverse insertion order *)
+  sessions : (int, session) Hashtbl.t;
+  seen_nonces : (string, unit) Hashtbl.t;
+  mutable next_session : int;
+  mutable qe : Urts.t option;  (* lazily-built quoting enclave *)
+}
+
+let fault_site = "serve.session"
+
+let create ~platform (config : config) =
+  let config =
+    { config with sched = { config.sched with Sched.drop_on_error = true } }
+  in
+  if config.max_queue <= 0 then
+    invalid_arg "Serve.create: max_queue must be positive";
+  if config.state_stride_pages <= 0 then
+    invalid_arg "Serve.create: state_stride_pages must be positive";
+  (match config.cycle_quota with
+  | Some q when q <= 0 -> invalid_arg "Serve.create: cycle_quota must be positive"
+  | _ -> ());
+  let telemetry = Monitor.telemetry platform.Platform.monitor in
+  {
+    platform;
+    config;
+    rng = Rng.split platform.Platform.rng;
+    telemetry;
+    sched =
+      Sched.create ~shared_clock:platform.Platform.clock ~telemetry config.sched;
+    tenants = Hashtbl.create 8;
+    tenant_order = [];
+    sessions = Hashtbl.create 16;
+    seen_nonces = Hashtbl.create 64;
+    next_session = 0;
+    qe = None;
+  }
+
+let reject t r =
+  Telemetry.incr t.telemetry ("serve.reject." ^ reject_name r);
+  Error r
+
+let backoff t attempt =
+  Cycles.tick t.platform.Platform.clock
+    (World_switch.retry_backoff_cost t.platform.Platform.cost ~attempt)
+
+(* Channel crypto cost: the plane's AEAD (AES-CTR + HMAC) runs at a few
+   cycles per byte with a fixed setup — a stand-in charge, since the
+   byte-level kernels are not threaded through the serving hot path. *)
+let aead_cycles ~bytes = 2_000 + (3 * bytes)
+
+let charge_aead t ~bytes =
+  Cycles.tick t.platform.Platform.clock (aead_cycles ~bytes)
+
+(* ---------------------------------------------------------------------- *)
+(* Session state ECALL (EDMM-backed elastic per-session state)            *)
+
+let state_ecall = 0x5e55
+
+(* Touch [pages] heap pages starting at byte [off]: on the HyperEnclave
+   backends each first touch demand-commits an EPC page through the
+   monitor's EDMM path; native backs it with scratch memory. *)
+let state_handler (env : Backend.env) input =
+  if Bytes.length input <> 16 then
+    invalid_arg "serve: malformed session-state request";
+  let off = Int64.to_int (Bytes.get_int64_le input 0) in
+  let pages = Int64.to_int (Bytes.get_int64_le input 8) in
+  if off < 0 || pages < 0 then invalid_arg "serve: negative session-state range";
+  for i = 0 to pages - 1 do
+    env.Backend.heap_write ~off:(off + (i * Addr.page_size)) (Bytes.make 1 '\001')
+  done;
+  let reply = Bytes.create 8 in
+  Bytes.set_int64_le reply 0 (Int64.of_int pages);
+  reply
+
+let add_tenant t ~name (bc : Backend.config) =
+  if Hashtbl.mem t.tenants name then
+    invalid_arg (Printf.sprintf "Serve.add_tenant: duplicate tenant %s" name);
+  if List.mem_assoc state_ecall bc.Backend.handlers then
+    invalid_arg
+      (Printf.sprintf "Serve.add_tenant: ECALL %#x is reserved for session state"
+         state_ecall);
+  let bc =
+    {
+      bc with
+      Backend.handlers = bc.Backend.handlers @ [ (state_ecall, state_handler) ];
+    }
+  in
+  let backend = Backend.create t.platform bc in
+  let tenant =
+    {
+      t_name = name;
+      backend;
+      queued = 0;
+      spent = 0;
+      budget = (match t.config.cycle_quota with Some q -> q | None -> max_int);
+      next_slot = 0;
+    }
+  in
+  Hashtbl.replace t.tenants name tenant;
+  t.tenant_order <- name :: t.tenant_order;
+  backend
+
+let quoting_urts t =
+  match t.qe with
+  | Some u -> u
+  | None ->
+      let u =
+        Urts.create ~kmod:t.platform.Platform.kmod ~proc:t.platform.Platform.proc
+          ~rng:t.platform.Platform.rng ~signer:t.platform.Platform.signer
+          ~config:
+            {
+              (Urts.default_config Sgx_types.GU) with
+              Urts.code_seed = "serve-quoting-enclave";
+            }
+          ~ecalls:[] ~ocalls:[]
+      in
+      t.qe <- Some u;
+      u
+
+let quoting_identity t = Urts.mrenclave (quoting_urts t)
+
+(* ---------------------------------------------------------------------- *)
+(* Handshake                                                              *)
+
+type hello = { nonce : bytes; client_kx : Kx.public }
+
+type accept = {
+  session_id : int;
+  server_kx : Kx.public;
+  quote_wire : bytes;
+  tenant_identity : bytes;
+}
+
+(* Every field is length-prefixed so distinct transcripts can never
+   collide by concatenation. *)
+let transcript ~nonce ~client_kx ~server_kx ~identity =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "hyperenclave-serve-sigma:";
+  List.iter
+    (fun field ->
+      let len = Bytes.create 8 in
+      Bytes.set_int64_le len 0 (Int64.of_int (Bytes.length field));
+      Sha256.update ctx len;
+      Sha256.update ctx field)
+    [ nonce; client_kx; server_kx; identity ];
+  Sha256.finalize ctx
+
+let derive_key ~shared ~nonce =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "hyperenclave-serve-key:";
+  Sha256.update ctx shared;
+  Sha256.update ctx nonce;
+  Sha256.finalize ctx
+
+let injected_msg site kind =
+  Printf.sprintf "injected %s fault at %s" (Fault.kind_name kind) site
+
+let handshake t ~tenant hello =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> reject t (Unknown_tenant tenant)
+  | Some tn -> (
+      let nonce_key = Bytes.to_string hello.nonce in
+      if Hashtbl.mem t.seen_nonces nonce_key then begin
+        Telemetry.incr t.telemetry "serve.handshake_rejected";
+        reject t Replayed_nonce
+      end
+      else begin
+        (* Burn the nonce even when the handshake later fails: a replayed
+           challenge must never get a second quote. *)
+        Hashtbl.replace t.seen_nonces nonce_key ();
+        match tn.backend.Backend.identity with
+        | None ->
+            Telemetry.incr t.telemetry "serve.handshake_rejected";
+            reject t
+              (Unsupported "native backend has no enclave identity to attest")
+        | Some tenant_identity -> (
+            match
+              Fault.with_retries ~backoff:(backoff t) (fun () ->
+                  Fault.point fault_site;
+                  let secret, server_kx = Kx.generate t.rng in
+                  let report_data =
+                    transcript ~nonce:hello.nonce ~client_kx:hello.client_kx
+                      ~server_kx ~identity:tenant_identity
+                  in
+                  let quoter =
+                    match tn.backend.Backend.urts with
+                    | Some u -> u
+                    | None -> quoting_urts t
+                  in
+                  let quote =
+                    Urts.gen_quote quoter ~report_data ~nonce:hello.nonce
+                  in
+                  (secret, server_kx, Wire.encode quote))
+            with
+            | exception Fault.Injected { site; kind } ->
+                Telemetry.incr t.telemetry "serve.handshake_rejected";
+                reject t (Session_fault (injected_msg site kind))
+            | secret, server_kx, quote_wire -> (
+                match Kx.shared secret hello.client_kx with
+                | None ->
+                    Telemetry.incr t.telemetry "serve.handshake_rejected";
+                    reject t Unknown_key_share
+                | Some shared ->
+                    let key = derive_key ~shared ~nonce:hello.nonce in
+                    let session_id = t.next_session in
+                    t.next_session <- session_id + 1;
+                    let state_slot = tn.next_slot in
+                    tn.next_slot <- state_slot + 1;
+                    Hashtbl.replace t.sessions session_id
+                      {
+                        s_id = session_id;
+                        tenant = tn;
+                        key;
+                        state_slot;
+                        recv_seq = 0;
+                        pending = [];
+                      };
+                    Telemetry.incr t.telemetry "serve.handshake";
+                    Telemetry.incr t.telemetry "serve.session_open";
+                    Ok { session_id; server_kx; quote_wire; tenant_identity }))
+      end)
+
+(* ---------------------------------------------------------------------- *)
+(* Request envelopes                                                      *)
+
+type request = {
+  session_id : int;
+  seq : int;
+  ecall_id : int;
+  envelope : Authenc.sealed;
+}
+
+type reply = {
+  r_session_id : int;
+  r_seq : int;
+  r_result : (Authenc.sealed, reject) result;
+}
+
+let envelope_nonce ~dir ~seq =
+  let nonce = Bytes.make 12 '\000' in
+  Bytes.set nonce 0 dir;
+  Bytes.set_int64_le nonce 4 (Int64.of_int seq);
+  nonce
+
+let aad ~domain ~session_id ~seq ~tag =
+  let buf = Buffer.create 34 in
+  Buffer.add_string buf domain;
+  Buffer.add_int64_le buf (Int64.of_int session_id);
+  Buffer.add_int64_le buf (Int64.of_int seq);
+  Buffer.add_int64_le buf (Int64.of_int tag);
+  Buffer.to_bytes buf
+
+let aad_req ~session_id ~seq ~ecall_id =
+  aad ~domain:"serve-req:" ~session_id ~seq ~tag:ecall_id
+
+let aad_rep ~session_id ~seq = aad ~domain:"serve-rep:" ~session_id ~seq ~tag:0
+
+(* ---------------------------------------------------------------------- *)
+(* Admission                                                              *)
+
+let submit t (req : request) =
+  Telemetry.incr t.telemetry "serve.request";
+  match Hashtbl.find_opt t.sessions req.session_id with
+  | None -> reject t (Unknown_session req.session_id)
+  | Some s -> (
+      let tn = s.tenant in
+      charge_aead t ~bytes:(Bytes.length req.envelope.Authenc.ciphertext);
+      let expected_aad =
+        aad_req ~session_id:req.session_id ~seq:req.seq ~ecall_id:req.ecall_id
+      in
+      if not (Bytes.equal expected_aad req.envelope.Authenc.aad) then
+        reject t Bad_auth
+      else
+        match Authenc.unseal ~key:s.key req.envelope with
+        | exception Authenc.Authentication_failure -> reject t Bad_auth
+        | plaintext ->
+            if req.seq <> s.recv_seq then
+              reject t (Bad_sequence { expected = s.recv_seq; got = req.seq })
+            else begin
+              (* The envelope authenticated with the expected sequence
+                 number: the number is burnt from here on, whatever the
+                 admission outcome — the client's counter advanced when
+                 it sealed, so the channel stays in step across typed
+                 rejections. *)
+              s.recv_seq <- s.recv_seq + 1;
+              match
+                Fault.with_retries ~backoff:(backoff t) (fun () ->
+                    Fault.point fault_site)
+              with
+              | exception Fault.Injected { site; kind } ->
+                  reject t (Session_fault (injected_msg site kind))
+              | () ->
+                  if tn.queued >= t.config.max_queue then
+                    reject t
+                      (Backpressure
+                         {
+                           tenant = tn.t_name;
+                           queued = tn.queued;
+                           limit = t.config.max_queue;
+                         })
+                  else if tn.spent >= tn.budget then
+                    reject t
+                      (Quota_exhausted
+                         {
+                           tenant = tn.t_name;
+                           spent = tn.spent;
+                           quota = tn.budget;
+                         })
+                  else begin
+                    s.pending <- (req.seq, req.ecall_id, plaintext) :: s.pending;
+                    tn.queued <- tn.queued + 1;
+                    Telemetry.incr t.telemetry "serve.request.admitted";
+                    Telemetry.incr t.telemetry
+                      ("serve.tenant." ^ tn.t_name ^ ".requests");
+                    Ok ()
+                  end
+            end)
+
+(* ---------------------------------------------------------------------- *)
+(* Dispatch                                                               *)
+
+let charge t (tn : tenant) cycles =
+  tn.spent <- tn.spent + cycles;
+  Telemetry.add t.telemetry ("serve.tenant." ^ tn.t_name ^ ".cycles") cycles
+
+let sessions_of t (tn : tenant) =
+  Hashtbl.fold
+    (fun _ s acc -> if s.tenant == tn && s.pending <> [] then s :: acc else acc)
+    t.sessions []
+  |> List.sort (fun a b -> compare a.s_id b.s_id)
+
+let flush t =
+  Telemetry.incr t.telemetry "serve.flush";
+  (* Every staged request gets a stable admission-order index; results
+     land keyed by it so replies come back in admission order no matter
+     which core served them. *)
+  let out : (int * session * int * (bytes, reject) result) list ref = ref [] in
+  let next = ref 0 in
+  let push s seq result =
+    let idx = !next in
+    incr next;
+    out := (idx, s, seq, result) :: !out;
+    idx
+  in
+  let record = Hashtbl.create 32 in
+  (* idx -> raw result, filled by the dispatch callbacks *)
+  List.iter
+    (fun name ->
+      let tn = Hashtbl.find t.tenants name in
+      let staged = ref [] in
+      List.iter
+        (fun s ->
+          let work = List.rev s.pending in
+          s.pending <- [];
+          tn.queued <- tn.queued - List.length work;
+          match
+            Fault.with_retries ~backoff:(backoff t) (fun () ->
+                Fault.point fault_site)
+          with
+          | () ->
+              List.iter
+                (fun (seq, ecall, plaintext) ->
+                  staged := (s, seq, ecall, plaintext) :: !staged)
+                work
+          | exception Fault.Injected { site; kind } ->
+              (* Permanent session fault: this round's requests surface
+                 as typed errors; the session itself stays usable. *)
+              let msg = injected_msg site kind in
+              List.iter
+                (fun (seq, _, _) ->
+                  ignore (push s seq (Error (Session_fault msg))))
+                work)
+        (sessions_of t tn);
+      let staged = List.rev !staged in
+      if staged <> [] then begin
+        let slots =
+          Array.of_list
+            (List.map (fun (s, seq, _, _) -> push s seq (Ok Bytes.empty)) staged)
+        in
+        let reqs = List.map (fun (_, _, ecall, pl) -> (ecall, pl)) staged in
+        match tn.backend.Backend.urts with
+        | Some urts ->
+            Sched.submit t.sched ~urts
+              ~on_result:(fun ~index result ->
+                Hashtbl.replace record slots.(index) result)
+              ~on_slice:(fun ~cycles -> charge t tn cycles)
+              reqs
+        | None ->
+            (* No SDK handle (the SGX model): dispatch directly through
+               the backend's batch call, charging the shared-clock delta
+               as this tenant's quota spend. *)
+            let clock = t.platform.Platform.clock in
+            let before = Cycles.now clock in
+            let outcomes = Backend.protected_batch tn.backend ~reqs () in
+            charge t tn (Cycles.now clock - before);
+            List.iteri
+              (fun i outcome ->
+                Hashtbl.replace record slots.(i)
+                  (match outcome with
+                  | Backend.Success reply -> Ok reply
+                  | Backend.Typed_error m | Backend.Violation m -> Error m))
+              outcomes
+      end)
+    (List.rev t.tenant_order);
+  ignore (Sched.run t.sched : Sched.stats);
+  (* Seal after the scheduler has drained so channel crypto is charged
+     to the plane, not smeared into per-core slice accounting. *)
+  !out
+  |> List.map (fun (idx, s, seq, early) ->
+         let result =
+           match Hashtbl.find_opt record idx with
+           | Some (Ok reply) -> Ok reply
+           | Some (Error msg) -> Error (Session_fault msg)
+           | None -> (
+               match early with
+               | Error _ as e -> e
+               | Ok _ -> Error (Session_fault "request lost by the scheduler"))
+         in
+         (idx, s, seq, result))
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  |> List.map (fun (_, s, seq, result) ->
+         match result with
+         | Ok body ->
+             charge_aead t ~bytes:(Bytes.length body);
+             Telemetry.incr t.telemetry "serve.request.ok";
+             {
+               r_session_id = s.s_id;
+               r_seq = seq;
+               r_result =
+                 Ok
+                   (Authenc.seal ~key:s.key
+                      ~aad:(aad_rep ~session_id:s.s_id ~seq)
+                      ~nonce:(envelope_nonce ~dir:'<' ~seq)
+                      body);
+             }
+         | Error rej ->
+             Telemetry.incr t.telemetry "serve.request.failed";
+             Telemetry.incr t.telemetry ("serve.reject." ^ reject_name rej);
+             { r_session_id = s.s_id; r_seq = seq; r_result = Error rej })
+
+(* ---------------------------------------------------------------------- *)
+(* Session state (EDMM)                                                   *)
+
+let resize_session t ~session ~pages =
+  if pages < 0 || pages > t.config.state_stride_pages then
+    invalid_arg
+      (Printf.sprintf "Serve.resize_session: pages must be in [0, %d]"
+         t.config.state_stride_pages);
+  match Hashtbl.find_opt t.sessions session with
+  | None -> reject t (Unknown_session session)
+  | Some s -> (
+      match s.tenant.backend.Backend.kind with
+      | Backend.Sgx ->
+          reject t
+            (Unsupported
+               "SGX1 does not support EDMM: session state cannot grow after \
+                EINIT")
+      | Backend.Native | Backend.Hyperenclave _ ->
+          let data = Bytes.create 16 in
+          Bytes.set_int64_le data 0
+            (Int64.of_int
+               (s.state_slot * t.config.state_stride_pages * Addr.page_size));
+          Bytes.set_int64_le data 8 (Int64.of_int pages);
+          (match
+             Backend.protected_call s.tenant.backend ~id:state_ecall ~data
+               ~direction:Edge.In_out ()
+           with
+          | Backend.Success reply ->
+              Ok (Int64.to_int (Bytes.get_int64_le reply 0))
+          | Backend.Typed_error m | Backend.Violation m ->
+              reject t (Session_fault m)))
+
+(* ---------------------------------------------------------------------- *)
+(* Quotas and introspection                                               *)
+
+let grant t ~tenant cycles =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> invalid_arg (Printf.sprintf "Serve.grant: unknown tenant %s" tenant)
+  | Some tn -> if tn.budget <> max_int then tn.budget <- tn.budget + cycles
+
+let quota_state t ~tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None ->
+      invalid_arg (Printf.sprintf "Serve.quota_state: unknown tenant %s" tenant)
+  | Some tn -> (tn.spent, tn.budget)
+
+let session_count t = Hashtbl.length t.sessions
+let sched_stats t = Sched.run t.sched
+
+let destroy t =
+  (match t.qe with Some u -> Urts.destroy u | None -> ());
+  t.qe <- None
+
+(* ---------------------------------------------------------------------- *)
+(* Client                                                                 *)
+
+module Client = struct
+  type hs = { hs_nonce : bytes; secret : Kx.secret; hs_client_kx : Kx.public }
+
+  type t = {
+    rng : Rng.t;
+    golden : Verifier.golden;
+    policy : Verifier.policy;
+    expected_tenant : bytes option;
+    mutable hs : hs option;
+    mutable session : (int * bytes) option;  (* id, key *)
+    mutable send_seq : int;
+  }
+
+  let create ~rng ~golden ~policy ?expected_tenant () =
+    {
+      rng;
+      golden;
+      policy;
+      expected_tenant;
+      hs = None;
+      session = None;
+      send_seq = 0;
+    }
+
+  let hello t =
+    let hs_nonce = Rng.bytes t.rng 16 in
+    let secret, hs_client_kx = Kx.generate t.rng in
+    t.hs <- Some { hs_nonce; secret; hs_client_kx };
+    t.session <- None;
+    t.send_seq <- 0;
+    { nonce = hs_nonce; client_kx = hs_client_kx }
+
+  let establish t (accept : accept) =
+    match t.hs with
+    | None -> invalid_arg "Serve.Client.establish: no handshake in flight"
+    | Some hs -> (
+        match Wire.decode accept.quote_wire with
+        | Error m -> Error (Bad_wire m)
+        | Ok quote -> (
+            match
+              Verifier.verify ~golden:t.golden ~policy:t.policy
+                ~nonce:hs.hs_nonce quote
+            with
+            | Verifier.Error f -> Error (Handshake_failed f)
+            | Verifier.Ok report -> (
+                (* The quote speaks; now check it speaks about THIS
+                   exchange: transcript binding, then the claimed tenant
+                   identity against the pin. *)
+                let expected =
+                  transcript ~nonce:hs.hs_nonce ~client_kx:hs.hs_client_kx
+                    ~server_kx:accept.server_kx
+                    ~identity:accept.tenant_identity
+                in
+                let bound =
+                  Bytes.length report.Hyperenclave_monitor.Sgx_types.report_data
+                  >= 32
+                  && Bytes.equal expected
+                       (Bytes.sub
+                          report.Hyperenclave_monitor.Sgx_types.report_data 0 32)
+                in
+                if not bound then Error Channel_binding_mismatch
+                else
+                  match t.expected_tenant with
+                  | Some pin when not (Bytes.equal pin accept.tenant_identity)
+                    ->
+                      Error
+                        (Handshake_failed
+                           (Verifier.Policy_violation
+                              "tenant identity mismatch"))
+                  | Some _ | None -> (
+                      match Kx.shared hs.secret accept.server_kx with
+                      | None -> Error Unknown_key_share
+                      | Some shared ->
+                          t.session <-
+                            Some
+                              ( accept.session_id,
+                                derive_key ~shared ~nonce:hs.hs_nonce );
+                          Ok ()))))
+
+  let session_id t =
+    match t.session with
+    | Some (id, _) -> id
+    | None -> invalid_arg "Serve.Client.session_id: no session established"
+
+  let request t ~ecall data =
+    match t.session with
+    | None -> invalid_arg "Serve.Client.request: no session established"
+    | Some (session_id, key) ->
+        let seq = t.send_seq in
+        t.send_seq <- seq + 1;
+        {
+          session_id;
+          seq;
+          ecall_id = ecall;
+          envelope =
+            Authenc.seal ~key
+              ~aad:(aad_req ~session_id ~seq ~ecall_id:ecall)
+              ~nonce:(envelope_nonce ~dir:'>' ~seq)
+              data;
+        }
+
+  let read_reply t (reply : reply) =
+    match t.session with
+    | None -> invalid_arg "Serve.Client.read_reply: no session established"
+    | Some (session_id, key) -> (
+        if reply.r_session_id <> session_id then
+          Error (Unknown_session reply.r_session_id)
+        else
+          match reply.r_result with
+          | Error rej -> Error rej
+          | Ok sealed -> (
+              if
+                not
+                  (Bytes.equal sealed.Authenc.aad
+                     (aad_rep ~session_id ~seq:reply.r_seq))
+              then Error Bad_auth
+              else
+                match Authenc.unseal ~key sealed with
+                | exception Authenc.Authentication_failure -> Error Bad_auth
+                | body -> Ok body))
+
+  let roundtrip plane t reqs =
+    let submitted =
+      List.map
+        (fun (ecall, data) ->
+          let r = request t ~ecall data in
+          (r.seq, submit plane r))
+        reqs
+    in
+    let replies = flush plane in
+    let mine = session_id t in
+    List.map
+      (fun (seq, admitted) ->
+        match admitted with
+        | Error rej -> Error rej
+        | Ok () -> (
+            match
+              List.find_opt
+                (fun r -> r.r_session_id = mine && r.r_seq = seq)
+                replies
+            with
+            | None -> Error (Session_fault "no reply for admitted request")
+            | Some reply -> read_reply t reply))
+      submitted
+end

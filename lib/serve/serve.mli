@@ -1,0 +1,228 @@
+(** Multi-tenant attested serving plane.
+
+    The end-to-end path from an untrusted client to an enclave that the
+    rest of the stack was missing: a client proves who it is talking to
+    with the paper's attestation chain (Sec. 5 — TPM quote over the
+    measured boot + hapk binding, monitor-signed ems), agrees on a
+    per-session channel key, and then submits encrypted requests that
+    the plane authenticates, decrypts into the marshalling buffer and
+    routes into the SMP scheduler as batched ECALLs, replying over the
+    same channel.
+
+    {2 Handshake (SIGMA-style)}
+
+    + the client sends a fresh nonce and an ephemeral {!Kx} share;
+    + the plane generates its own share, derives the session key, and
+      answers with a wire-encoded HyperEnclave quote whose [report_data]
+      binds the whole transcript (nonce, both shares, and the tenant's
+      enclave identity) — so the key exchange is authenticated by the
+      attestation chain and cannot be spliced across sessions;
+    + the client decodes the quote on untrusted bytes, runs
+      {!Hyperenclave_attestation.Verifier.verify}, checks the transcript
+      binding, and derives the same key.
+
+    Tenants on a HyperEnclave backend quote {e themselves} (the monitor
+    signs their report).  Tenants on the SGX-model backend cannot — the
+    Intel part's quoting flows through a {e quoting enclave}, so the
+    plane keeps one ({!quoting_identity}) whose quote vouches for the
+    tenant identity carried in the transcript.  Native tenants have no
+    enclave identity and are refused with {!Unsupported}.
+
+    {2 Serving}
+
+    Admission control is typed and per-tenant: bounded queues
+    ({!Backpressure}), cycle quotas charged from the scheduler's
+    per-slice deltas ({!Quota_exhausted}), AEAD authentication
+    ({!Bad_auth}) and strict sequence numbers ({!Bad_sequence}).
+    {!flush} drains every admitted request through
+    {!Hyperenclave_sched.Sched} (tenants without an SDK handle dispatch
+    through the backend's batch call instead) and seals the replies.
+
+    Session work crosses the ["serve.session"] fault-injection site:
+    transient faults are absorbed by the SDK's bounded retry/backoff,
+    permanent ones surface as typed {!Session_fault} errors — never as
+    an escaped exception, and always with the monitor invariants green. *)
+
+open Hyperenclave_hw
+open Hyperenclave_tee
+module Verifier := Hyperenclave_attestation.Verifier
+module Kx := Hyperenclave_crypto.Kx
+module Authenc := Hyperenclave_crypto.Authenc
+
+(** {1 Typed rejections} *)
+
+type reject =
+  | Handshake_failed of Verifier.failure
+      (** the quote did not verify (client side) *)
+  | Channel_binding_mismatch
+      (** the quote verifies but does not bind this transcript *)
+  | Bad_wire of string  (** quote wire bytes failed structural decode *)
+  | Unknown_key_share  (** the peer's {!Kx} share is not a group element *)
+  | Replayed_nonce  (** handshake nonce already seen by this plane *)
+  | Unknown_tenant of string
+  | Unknown_session of int
+  | Unsupported of string
+      (** the backend cannot do this: native attestation, SGX1 EDMM *)
+  | Bad_auth  (** AEAD authentication failure on a request envelope *)
+  | Bad_sequence of { expected : int; got : int }
+      (** replayed or out-of-order request sequence number *)
+  | Backpressure of { tenant : string; queued : int; limit : int }
+  | Quota_exhausted of { tenant : string; spent : int; quota : int }
+  | Session_fault of string
+      (** a permanent fault surfaced as a typed session error *)
+
+val reject_name : reject -> string
+(** Short stable label, also the telemetry suffix ([serve.reject.<name>]). *)
+
+val pp_reject : Format.formatter -> reject -> unit
+
+(** {1 The plane} *)
+
+type config = {
+  sched : Hyperenclave_sched.Sched.config;
+      (** scheduler for enclave-backed tenants; [drop_on_error] is
+          forced on so injected permanent faults drain as typed
+          failures instead of aborting the plane *)
+  max_queue : int;  (** per-tenant bound on admitted-but-unflushed requests *)
+  cycle_quota : int option;
+      (** initial per-tenant cycle budget ([None] = unmetered); spent
+          cycles come from scheduler slice deltas (or the shared-clock
+          delta of the direct dispatch path) and are replenished with
+          {!grant} *)
+  state_stride_pages : int;
+      (** per-session elastic state region size, in pages *)
+}
+
+val default_config : config
+(** 2 cores (scheduler defaults with [drop_on_error]), 64-request
+    queues, unmetered quotas, 16-page session state stride. *)
+
+type t
+
+val create : platform:Platform.t -> config -> t
+
+val add_tenant : t -> name:string -> Backend.config -> Backend.t
+(** Build the tenant's backend on the plane's platform ({!Backend.create}
+    with the plane's reserved session-state ECALL appended) and register
+    it.  The returned backend is the tenant's own handle — for loading
+    data, direct calls, and teardown.
+    @raise Invalid_argument on a duplicate name or a handler colliding
+    with {!state_ecall}. *)
+
+val state_ecall : int
+(** The reserved ECALL id behind {!resize_session}. *)
+
+val quoting_identity : t -> bytes
+(** MRENCLAVE of the plane's quoting enclave — what a client should pin
+    as [expected_mrenclave] when verifying an SGX-model tenant's
+    handshake (created on first use). *)
+
+(** {1 Wire messages} *)
+
+type hello = { nonce : bytes; client_kx : Kx.public }
+
+type accept = {
+  session_id : int;
+  server_kx : Kx.public;
+  quote_wire : bytes;  (** untrusted bytes until the client verifies *)
+  tenant_identity : bytes;
+      (** the tenant MRENCLAVE bound into the transcript (equals the
+          quote's MRENCLAVE for self-quoting tenants) *)
+}
+
+type request = {
+  session_id : int;
+  seq : int;
+  ecall_id : int;
+  envelope : Authenc.sealed;
+}
+
+type reply = {
+  r_session_id : int;
+  r_seq : int;
+  r_result : (Authenc.sealed, reject) result;
+      (** sealed reply body, or the typed server-side failure *)
+}
+
+(** {1 Server operations} *)
+
+val handshake : t -> tenant:string -> hello -> (accept, reject) result
+(** Verify freshness, quote the tenant, derive the session key and open
+    a session.  Counters: [serve.handshake] / [serve.handshake_rejected]. *)
+
+val submit : t -> request -> (unit, reject) result
+(** Authenticate, decrypt and admit one request: AEAD check, strict
+    sequence check, per-tenant queue bound, per-tenant cycle quota.
+    Admitted plaintext waits for {!flush}. *)
+
+val flush : t -> reply list
+(** Drain every admitted request — enclave tenants as batched ECALLs
+    through the scheduler, SGX-model tenants through the backend batch
+    call — charge tenant quotas, and seal the replies (admission order
+    per flush). *)
+
+val resize_session : t -> session:int -> pages:int -> (int, reject) result
+(** Commit [pages] pages of in-enclave session state through the
+    reserved ECALL — the EDMM demand-commit path on HyperEnclave
+    backends.  SGX-model tenants get the typed {!Unsupported} rejection
+    (SGX1 cannot grow an enclave after EINIT).
+    @raise Invalid_argument if [pages] exceeds the configured stride or
+    is negative. *)
+
+val grant : t -> tenant:string -> int -> unit
+(** Add cycles to a tenant's quota budget (no-op when unmetered). *)
+
+val quota_state : t -> tenant:string -> int * int
+(** [(spent, budget)] — budget is [max_int] when unmetered. *)
+
+val session_count : t -> int
+val sched_stats : t -> Hyperenclave_sched.Sched.stats
+(** Cumulative scheduler statistics across every {!flush} so far. *)
+
+val destroy : t -> unit
+(** Tear down the quoting enclave (tenant backends belong to their
+    creators). *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type plane := t
+
+  type t
+
+  val create :
+    rng:Rng.t ->
+    golden:Verifier.golden ->
+    policy:Verifier.policy ->
+    ?expected_tenant:bytes ->
+    unit ->
+    t
+  (** A relying party: golden boot measurements, enclave policy, and —
+      for quoting-enclave-fronted tenants — the tenant identity to pin
+      ([expected_tenant]); without it the transcript's claimed identity
+      is accepted as-is. *)
+
+  val hello : t -> hello
+  (** Fresh nonce + ephemeral share.  One client drives one session;
+      calling it again restarts with fresh material. *)
+
+  val establish : t -> accept -> (unit, reject) result
+  (** Decode + verify the quote, check the transcript binding, derive
+      the session key. *)
+
+  val session_id : t -> int
+  (** @raise Invalid_argument before a session is established. *)
+
+  val request : t -> ecall:int -> bytes -> request
+  (** Seal the payload under the session key with the next sequence
+      number. *)
+
+  val read_reply : t -> reply -> (bytes, reject) result
+  (** Unseal a reply (or surface its typed server-side failure). *)
+
+  val roundtrip :
+    plane -> t -> (int * bytes) list -> (bytes, reject) result list
+  (** Convenience: submit every request, {!flush}, and read this
+      client's replies back in order (submission rejects short-circuit
+      into the result list). *)
+end

@@ -36,6 +36,8 @@ type t = {
   urts : Urts.t option;
       (** The SDK handle behind a HyperEnclave backend ([None] for native
           and the SGX model): what a scheduler submits jobs against. *)
+  identity : bytes option;
+      (** MRENCLAVE where the backend has one ([None] for native). *)
   destroy : unit -> unit;
 }
 
@@ -109,6 +111,7 @@ let native ~clock ~cost ~rng ~handlers ~ocalls =
             | None -> invalid_arg (Printf.sprintf "native: unknown ECALL %d" id))
           reqs);
     urts = None;
+    identity = None;
     destroy = (fun () -> ());
   }
 
@@ -173,11 +176,12 @@ let hyperenclave (platform : Platform.t) ~mode ?(tweak = fun c -> c) ~handlers
         Mem_sim.tlb_flush mem;
         Urts.ecall_batch urts ~reqs ());
     urts = Some urts;
+    identity = Some (Urts.mrenclave urts);
     destroy = (fun () -> Urts.destroy urts);
   }
 
-let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
-    ~ocalls () =
+let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes)
+    ?(code_seed = "tee-backend-sgx") ~handlers ~ocalls () =
   let mem =
     Mem_sim.create ~clock ~cost ~rng:(Rng.split rng)
       ~engine:(Mem_crypto.Mee { epc_bytes })
@@ -210,8 +214,7 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
   in
   let signer, _ = Hyperenclave_crypto.Signature.generate rng in
   let enclave =
-    Sgx_model.create_enclave sgx_platform ~code_seed:"tee-backend-sgx" ~signer
-      ~ecalls ~ocalls
+    Sgx_model.create_enclave sgx_platform ~code_seed ~signer ~ecalls ~ocalls
   in
   {
     name = "Intel SGX";
@@ -233,8 +236,89 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes) ~handlers
             Sgx_model.ecall enclave ~id ~data ())
           reqs);
     urts = None;
+    identity = Some (Sgx_model.mrenclave enclave);
     destroy = (fun () -> ());
   }
+
+(* -------------------------------------------------------------------- *)
+(* Unified construction (API v2)                                        *)
+
+type config = {
+  kind : kind;
+  ms_bytes : int option;
+  epc_frames : int option;
+  fault_plan : Hyperenclave_fault.Fault.plan option;
+  code_seed : string option;
+  tweak : (Urts.config -> Urts.config) option;
+  handlers : (int * handler) list;
+  ocalls : (int * (bytes -> bytes)) list;
+}
+
+let config kind =
+  {
+    kind;
+    ms_bytes = None;
+    epc_frames = None;
+    fault_plan = None;
+    code_seed = None;
+    tweak = None;
+    handlers = [];
+    ocalls = [];
+  }
+
+let create (platform : Platform.t) (c : config) =
+  let reject_field field =
+    invalid_arg
+      (Printf.sprintf "Backend.create: %s is meaningless for the %s backend"
+         field (kind_name c.kind))
+  in
+  (match (c.kind, c.ms_bytes) with
+  | (Native | Sgx), Some _ -> reject_field "ms_bytes"
+  | _ -> ());
+  (match (c.kind, c.epc_frames) with
+  | (Native | Hyperenclave _), Some _ -> reject_field "epc_frames"
+  | _ -> ());
+  (match (c.kind, c.tweak) with
+  | (Native | Sgx), Some _ -> reject_field "tweak"
+  | _ -> ());
+  (match (c.kind, c.code_seed) with
+  | Native, Some _ -> reject_field "code_seed"
+  | _ -> ());
+  (* Arm the plan before building so build-time injection sites (EPC
+     allocation, ioctls, TPM commands) are already live. *)
+  (match c.fault_plan with
+  | Some plan ->
+      Hyperenclave_fault.Fault.install
+        ~telemetry:(Monitor.telemetry platform.Platform.monitor)
+        plan
+  | None -> ());
+  match c.kind with
+  | Native ->
+      native ~clock:platform.Platform.clock ~cost:platform.Platform.cost
+        ~rng:platform.Platform.rng ~handlers:c.handlers ~ocalls:c.ocalls
+  | Hyperenclave mode ->
+      let tweak urts_config =
+        let urts_config =
+          match c.ms_bytes with
+          | Some ms_bytes -> { urts_config with Urts.ms_bytes }
+          | None -> urts_config
+        in
+        let urts_config =
+          match c.code_seed with
+          | Some code_seed -> { urts_config with Urts.code_seed }
+          | None -> urts_config
+        in
+        match c.tweak with Some f -> f urts_config | None -> urts_config
+      in
+      hyperenclave platform ~mode ~tweak ~handlers:c.handlers ~ocalls:c.ocalls
+        ()
+  | Sgx ->
+      sgx ~clock:platform.Platform.clock ~cost:platform.Platform.cost
+        ~rng:platform.Platform.rng
+        ?epc_bytes:
+          (Option.map (fun frames -> frames * Hyperenclave_hw.Addr.page_size)
+             c.epc_frames)
+        ?code_seed:c.code_seed ~handlers:c.handlers ~ocalls:c.ocalls ()
 
 (* -------------------------------------------------------------------- *)
 (* Trichotomy oracle                                                    *)
@@ -258,15 +342,40 @@ let pp_outcome fmt = function
    reply, a typed refusal the application can act on, or the monitor
    detecting tampering — anything else (an unexpected exception, silent
    corruption checked by the caller against the reply) is a bug in the
-   fault handling, not in the workload. *)
-let protected_call t ~id ?(data = Bytes.empty) ~direction () =
-  match t.call ~id ~data ~direction () with
-  | reply -> Success reply
-  | exception Monitor.Security_violation msg -> Violation msg
+   fault handling, not in the workload.
+
+   The audit of what each backend's edge can raise for malformed or
+   unlucky inputs: the SDK's [Enclave_error] (unknown id, ring overflow,
+   oversized payloads, TCS exhaustion), [Fault.Injected] (exhausted
+   retries or a permanent plan entry), [Invalid_argument] (the native
+   dispatch tables and argument validation), the SGX model's [Sgx_error]
+   (its own typed refusals) and [Unsupported] (SGX1 restrictions such as
+   EDMM), and the monitor's deliberate [Security_violation].  All of the
+   first five are typed refusals; nothing else may cross the API. *)
+let classify ~on_typed ~on_violation f ~on_success =
+  match f () with
+  | v -> on_success v
+  | exception Monitor.Security_violation msg -> on_violation msg
   | exception Hyperenclave_fault.Fault.Injected { site; kind } ->
-      Typed_error
+      on_typed
         (Printf.sprintf "injected %s fault at %s"
            (Hyperenclave_fault.Fault.kind_name kind)
            site)
-  | exception Urts.Enclave_error msg -> Typed_error ("enclave: " ^ msg)
-  | exception Invalid_argument msg -> Typed_error ("invalid-argument: " ^ msg)
+  | exception Urts.Enclave_error msg -> on_typed ("enclave: " ^ msg)
+  | exception Invalid_argument msg -> on_typed ("invalid-argument: " ^ msg)
+  | exception Sgx_model.Sgx_error msg -> on_typed ("sgx: " ^ msg)
+  | exception Sgx_model.Unsupported msg -> on_typed ("unsupported: " ^ msg)
+
+let protected_call t ~id ?(data = Bytes.empty) ~direction () =
+  classify
+    (fun () -> t.call ~id ~data ~direction ())
+    ~on_success:(fun reply -> Success reply)
+    ~on_typed:(fun msg -> Typed_error msg)
+    ~on_violation:(fun msg -> Violation msg)
+
+let protected_batch t ~reqs () =
+  classify
+    (fun () -> t.call_batch ~reqs ())
+    ~on_success:(List.map (fun reply -> Success reply))
+    ~on_typed:(fun msg -> List.map (fun _ -> Typed_error msg) reqs)
+    ~on_violation:(fun msg -> List.map (fun _ -> Violation msg) reqs)

@@ -55,8 +55,47 @@ type t = {
       (** The SDK handle behind a HyperEnclave backend ([None] for native
           and the SGX model): what {!Hyperenclave_sched.Sched.submit}
           takes to schedule this enclave's requests. *)
+  identity : bytes option;
+      (** The enclave's MRENCLAVE where the backend has one ([None] for
+          native): the code identity an attested serving plane binds
+          into its handshake transcripts. *)
   destroy : unit -> unit;
 }
+
+(** {1 Construction}
+
+    One constructor, one config record (API v2).  The per-kind
+    constructors below it are thin aliases kept so existing callers
+    compile unchanged. *)
+
+type config = {
+  kind : kind;
+  ms_bytes : int option;
+      (** HyperEnclave marshalling-buffer size override (page-aligned,
+          >= 4 pages).  Meaningless for other kinds — rejected. *)
+  epc_frames : int option;
+      (** SGX-model EPC size in 4 KiB frames (default: the paper part's
+          93 MB).  Meaningless for other kinds — rejected. *)
+  fault_plan : Hyperenclave_fault.Fault.plan option;
+      (** Installed (with the platform monitor's telemetry) before the
+          backend is built, so build-time sites are already armed. *)
+  code_seed : string option;  (** enclave code identity (MRENCLAVE) *)
+  tweak : (Urts.config -> Urts.config) option;
+      (** HyperEnclave-only escape hatch, applied after [ms_bytes] /
+          [code_seed]; rejected for other kinds. *)
+  handlers : (int * handler) list;
+  ocalls : (int * (bytes -> bytes)) list;
+}
+
+val config : kind -> config
+(** Defaults for [kind]: no overrides, no fault plan, no handlers. *)
+
+val create : Platform.t -> config -> t
+(** Build a backend of [config.kind] on the platform (native and the SGX
+    model draw their clock/cost/RNG from it; HyperEnclave modes build a
+    real enclave through the SDK).
+    @raise Invalid_argument when a config field is set for a kind it
+    cannot apply to. *)
 
 val native :
   clock:Cycles.t ->
@@ -65,6 +104,7 @@ val native :
   handlers:(int * handler) list ->
   ocalls:(int * (bytes -> bytes)) list ->
   t
+(** @deprecated Use {!create} with [kind = Native]. *)
 
 val hyperenclave :
   Platform.t ->
@@ -74,18 +114,21 @@ val hyperenclave :
   ocalls:(int * (bytes -> bytes)) list ->
   unit ->
   t
-(** Builds a real enclave through the SDK on the given platform. *)
+(** Builds a real enclave through the SDK on the given platform.
+    @deprecated Use {!create} with [kind = Hyperenclave mode]. *)
 
 val sgx :
   clock:Cycles.t ->
   cost:Cost_model.t ->
   rng:Rng.t ->
   ?epc_bytes:int ->
+  ?code_seed:string ->
   handlers:(int * handler) list ->
   ocalls:(int * (bytes -> bytes)) list ->
   unit ->
   t
-(** The Intel baseline; default EPC 93 MB. *)
+(** The Intel baseline; default EPC 93 MB.
+    @deprecated Use {!create} with [kind = Sgx]. *)
 
 (** {1 Trichotomy oracle}
 
@@ -107,6 +150,14 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val protected_call :
   t -> id:int -> ?data:bytes -> direction:Edge.direction -> unit -> outcome
-(** Run [t.call] and map its ending onto {!outcome}.  Any exception
-    outside the trichotomy escapes — escaping is precisely the signal
-    the chaos suite treats as a fault-handling bug. *)
+(** Run [t.call] and map its ending onto {!outcome}.  Every
+    boundary-visible failure — SDK refusals, injected faults, rejected
+    arguments, the SGX model's typed errors and SGX1 restrictions — maps
+    to [Typed_error]; monitor tamper detection maps to [Violation].  Any
+    exception outside the trichotomy escapes — escaping is precisely the
+    signal the chaos suite treats as a fault-handling bug. *)
+
+val protected_batch : t -> reqs:(int * bytes) list -> unit -> outcome list
+(** {!protected_call} for [t.call_batch]: one outcome per request, in
+    request order.  The HyperEnclave ring is all-or-nothing, so a typed
+    failure or violation yields that same outcome for every slot. *)

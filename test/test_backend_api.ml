@@ -1,0 +1,228 @@
+(* Backend API v2: the single config-record constructor, its per-kind
+   field validation, and the trichotomy audit — no bare exception may
+   cross the backend boundary for malformed inputs on any kind. *)
+
+open Hyperenclave
+
+let handlers =
+  [
+    (1, fun _env input -> input);
+    (7, fun (env : Backend.env) input ->
+        env.Backend.compute 500;
+        Bytes.of_string (string_of_int (Bytes.length input)));
+  ]
+
+let all_kinds =
+  Backend.Native :: Backend.Sgx
+  :: List.map (fun m -> Backend.Hyperenclave m) Sgx_types.all_modes
+
+let make p kind =
+  Backend.create p { (Backend.config kind) with Backend.handlers }
+
+let test_create_all_kinds () =
+  let p = Platform.create ~seed:7100L () in
+  List.iter
+    (fun kind ->
+      let b = make p kind in
+      let reply =
+        b.Backend.call ~id:1 ~data:(Bytes.of_string "ping")
+          ~direction:Edge.In_out ()
+      in
+      Alcotest.(check string)
+        (Backend.kind_name kind ^ " serves")
+        "ping" (Bytes.to_string reply);
+      (match (kind, b.Backend.identity) with
+      | Backend.Native, Some _ -> Alcotest.fail "native must have no identity"
+      | Backend.Native, None -> ()
+      | _, None -> Alcotest.failf "%s must expose its MRENCLAVE" (Backend.kind_name kind)
+      | _, Some id -> Alcotest.(check int) "identity is a digest" 32 (Bytes.length id));
+      b.Backend.destroy ())
+    all_kinds
+
+let test_aliases_match_create () =
+  (* The deprecated per-kind constructors are thin aliases: same reply,
+     same identity as the config-record path. *)
+  let p = Platform.create ~seed:7101L () in
+  let data = Bytes.of_string "alias" in
+  let via_create = make p Backend.Native in
+  let via_alias =
+    Backend.native ~clock:p.Platform.clock ~cost:p.Platform.cost
+      ~rng:p.Platform.rng ~handlers ~ocalls:[]
+  in
+  Alcotest.(check string) "native replies match"
+    (Bytes.to_string (via_create.Backend.call ~id:1 ~data ~direction:Edge.In_out ()))
+    (Bytes.to_string (via_alias.Backend.call ~id:1 ~data ~direction:Edge.In_out ()));
+  via_create.Backend.destroy ();
+  via_alias.Backend.destroy ();
+  let hc = make p (Backend.Hyperenclave Sgx_types.GU) in
+  let ha = Backend.hyperenclave p ~mode:Sgx_types.GU ~handlers ~ocalls:[] () in
+  Alcotest.(check bool) "hyperenclave identities match" true
+    (Option.get hc.Backend.identity = Option.get ha.Backend.identity);
+  hc.Backend.destroy ();
+  ha.Backend.destroy ()
+
+let test_code_seed_changes_identity () =
+  let p = Platform.create ~seed:7102L () in
+  List.iter
+    (fun kind ->
+      let b1 =
+        Backend.create p
+          { (Backend.config kind) with Backend.handlers; code_seed = Some "app-v1" }
+      in
+      let b2 =
+        Backend.create p
+          { (Backend.config kind) with Backend.handlers; code_seed = Some "app-v2" }
+      in
+      Alcotest.(check bool)
+        (Backend.kind_name kind ^ ": different code, different identity")
+        false
+        (Option.get b1.Backend.identity = Option.get b2.Backend.identity);
+      b1.Backend.destroy ();
+      b2.Backend.destroy ())
+    [ Backend.Hyperenclave Sgx_types.GU; Backend.Sgx ]
+
+let test_ms_bytes_override () =
+  let p = Platform.create ~seed:7103L () in
+  let b =
+    Backend.create p
+      { (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+        Backend.handlers;
+        ms_bytes = Some (8 * 4096) }
+  in
+  let urts = Option.get b.Backend.urts in
+  Alcotest.(check int) "marshalling buffer resized" (8 * 4096)
+    (Urts.config urts).Urts.ms_bytes;
+  b.Backend.destroy ()
+
+let test_fault_plan_installed () =
+  let p = Platform.create ~seed:7104L () in
+  Fault.clear ();
+  let b =
+    Backend.create p
+      { (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+        Backend.handlers;
+        fault_plan =
+          Some [ { Fault.site = "sdk.ms_copy_in"; nth = 1; kind = Fault.Permanent } ] }
+  in
+  Alcotest.(check bool) "plan armed by create" true (Fault.active ());
+  (match
+     Backend.protected_call b ~id:1 ~data:(Bytes.of_string "x")
+       ~direction:Edge.In_out ()
+   with
+  | Backend.Typed_error _ -> ()
+  | other ->
+      Alcotest.failf "expected typed error from installed plan, got %s"
+        (Backend.outcome_name other));
+  Fault.clear ();
+  b.Backend.destroy ()
+
+let test_field_rejection () =
+  let p = Platform.create ~seed:7105L () in
+  let expect_invalid what config =
+    try
+      let b = Backend.create p config in
+      b.Backend.destroy ();
+      Alcotest.failf "%s accepted" what
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "ms_bytes on native"
+    { (Backend.config Backend.Native) with Backend.ms_bytes = Some 4096 };
+  expect_invalid "ms_bytes on sgx"
+    { (Backend.config Backend.Sgx) with Backend.ms_bytes = Some 4096 };
+  expect_invalid "epc_frames on hyperenclave"
+    { (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+      Backend.epc_frames = Some 64 };
+  expect_invalid "tweak on sgx"
+    { (Backend.config Backend.Sgx) with Backend.tweak = Some (fun c -> c) };
+  expect_invalid "code_seed on native"
+    { (Backend.config Backend.Native) with Backend.code_seed = Some "x" }
+
+(* ------------------------------------------------------------------ *)
+(* Trichotomy audit: malformed inputs stay typed on every kind         *)
+
+let malformed_calls (b : Backend.t) =
+  [
+    ("unknown ecall id", fun () ->
+        Backend.protected_call b ~id:999 ~data:(Bytes.of_string "x")
+          ~direction:Edge.In_out ());
+    ("negative ecall id", fun () ->
+        Backend.protected_call b ~id:(-1) ~direction:Edge.In_out ());
+    ("oversized payload", fun () ->
+        (* Larger than any marshalling buffer in use. *)
+        Backend.protected_call b ~id:1
+          ~data:(Bytes.make (8 * 1024 * 1024) 'x')
+          ~direction:Edge.In_out ());
+  ]
+
+let test_no_bare_exceptions () =
+  let p = Platform.create ~seed:7106L () in
+  List.iter
+    (fun kind ->
+      let b = make p kind in
+      List.iter
+        (fun (what, call) ->
+          match call () with
+          | Backend.Success _ ->
+              (* Some baselines (native has no marshalling buffer) may
+                 legitimately serve a huge payload; that is still inside
+                 the trichotomy. *)
+              ()
+          | Backend.Typed_error _ | Backend.Violation _ -> ()
+          | exception e ->
+              Alcotest.failf "%s: %s escaped the trichotomy: %s"
+                (Backend.kind_name kind) what (Printexc.to_string e))
+        (malformed_calls b);
+      (* Batch path: one malformed slot must fail the whole ring as
+         typed outcomes, one per request, never an exception. *)
+      (match
+         Backend.protected_batch b
+           ~reqs:[ (1, Bytes.of_string "a"); (999, Bytes.of_string "b") ]
+           ()
+       with
+      | outcomes ->
+          Alcotest.(check int)
+            (Backend.kind_name kind ^ ": one outcome per slot")
+            2 (List.length outcomes);
+          List.iter
+            (function
+              | Backend.Success _ | Backend.Typed_error _ | Backend.Violation _ -> ())
+            outcomes
+      | exception e ->
+          Alcotest.failf "%s: batch escaped the trichotomy: %s"
+            (Backend.kind_name kind) (Printexc.to_string e));
+      b.Backend.destroy ())
+    all_kinds
+
+let test_protected_batch_success () =
+  let p = Platform.create ~seed:7107L () in
+  List.iter
+    (fun kind ->
+      let b = make p kind in
+      (match
+         Backend.protected_batch b
+           ~reqs:[ (1, Bytes.of_string "one"); (7, Bytes.of_string "four") ]
+           ()
+       with
+      | [ Backend.Success r1; Backend.Success r2 ] ->
+          Alcotest.(check string) "slot 0" "one" (Bytes.to_string r1);
+          Alcotest.(check string) "slot 1" "4" (Bytes.to_string r2)
+      | _ -> Alcotest.failf "%s: batch did not succeed" (Backend.kind_name kind));
+      b.Backend.destroy ())
+    all_kinds
+
+let suite =
+  [
+    Alcotest.test_case "create on all kinds" `Quick test_create_all_kinds;
+    Alcotest.test_case "deprecated aliases match create" `Quick
+      test_aliases_match_create;
+    Alcotest.test_case "code_seed changes identity" `Quick
+      test_code_seed_changes_identity;
+    Alcotest.test_case "ms_bytes override" `Quick test_ms_bytes_override;
+    Alcotest.test_case "fault plan installed by create" `Quick
+      test_fault_plan_installed;
+    Alcotest.test_case "meaningless fields rejected" `Quick test_field_rejection;
+    Alcotest.test_case "no bare exceptions cross the boundary" `Quick
+      test_no_bare_exceptions;
+    Alcotest.test_case "protected batch success" `Quick
+      test_protected_batch_success;
+  ]

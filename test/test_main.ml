@@ -16,6 +16,8 @@ let () =
       ("sgx", Test_sgx.suite);
       ("attestation", Test_attestation.suite);
       ("tee", Test_tee.suite);
+      ("backend_api", Test_backend_api.suite);
+      ("serve", Test_serve.suite);
       ("workloads", Test_workloads.suite);
       ("golden", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);

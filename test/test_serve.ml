@@ -1,0 +1,555 @@
+(* The attested serving plane: SIGMA-style handshake bound to the
+   attestation chain, AEAD request channels, typed admission control,
+   per-tenant quotas, EDMM-backed session state, and graceful
+   degradation under injected faults. *)
+
+open Hyperenclave
+
+let upper input = Bytes.of_string (String.uppercase_ascii (Bytes.to_string input))
+
+let echo_handlers =
+  [
+    (1, fun _env input -> input);
+    (2, fun _env input -> upper input);
+  ]
+
+let golden_of (p : Platform.t) =
+  Verifier.golden_of_boot_log
+    ~ek_public:(Tpm.ek_public p.Platform.tpm)
+    (Monitor.boot_log p.Platform.monitor)
+
+let policy_pinning identity =
+  { Verifier.expected_mrenclave = Some identity; expected_mrsigner = None; allow_debug = false }
+
+let tenant_config ?(kind = Backend.Hyperenclave Sgx_types.GU) () =
+  { (Backend.config kind) with Backend.handlers = echo_handlers }
+
+(* One plane with one enclave tenant, plus a client already holding the
+   golden values and the tenant pin. *)
+let build ?(seed = 7000L) ?(config = Serve.default_config)
+    ?(kind = Backend.Hyperenclave Sgx_types.GU) () =
+  let p = Platform.create ~seed () in
+  let plane = Serve.create ~platform:p config in
+  let backend = Serve.add_tenant plane ~name:"acme" (tenant_config ~kind ()) in
+  let identity =
+    match backend.Backend.identity with
+    | Some id -> id
+    | None -> Bytes.empty
+  in
+  let quoter_identity =
+    match kind with
+    | Backend.Sgx -> Serve.quoting_identity plane
+    | _ -> identity
+  in
+  let client =
+    Serve.Client.create
+      ~rng:(Rng.create ~seed:(Int64.add seed 1L))
+      ~golden:(golden_of p)
+      ~policy:(policy_pinning quoter_identity)
+      ~expected_tenant:identity ()
+  in
+  (p, plane, backend, client)
+
+let establish plane client =
+  match Serve.handshake plane ~tenant:"acme" (Serve.Client.hello client) with
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  | Ok accept -> (
+      match Serve.Client.establish client accept with
+      | Error r -> Alcotest.failf "establish failed: %a" Serve.pp_reject r
+      | Ok () -> ())
+
+let expect_reject expected = function
+  | Ok _ -> Alcotest.failf "expected %s rejection" expected
+  | Error r -> Alcotest.(check string) "reject kind" expected (Serve.reject_name r)
+
+(* ------------------------------------------------------------------ *)
+(* Handshake + end-to-end serving                                      *)
+
+let test_roundtrip_modes () =
+  List.iter
+    (fun mode ->
+      let _p, plane, _backend, client =
+        build ~kind:(Backend.Hyperenclave mode) ()
+      in
+      establish plane client;
+      let data = Bytes.of_string "hello enclave" in
+      (match Serve.Client.roundtrip plane client [ (1, data); (2, data) ] with
+      | [ Ok r1; Ok r2 ] ->
+          Alcotest.(check string) "echo" "hello enclave" (Bytes.to_string r1);
+          Alcotest.(check string) "upper" "HELLO ENCLAVE" (Bytes.to_string r2)
+      | results ->
+          List.iter
+            (function
+              | Error r -> Alcotest.failf "roundtrip failed: %a" Serve.pp_reject r
+              | Ok _ -> ())
+            results;
+          Alcotest.failf "expected 2 replies, got %d" (List.length results));
+      Serve.destroy plane)
+    Sgx_types.all_modes
+
+let test_sgx_tenant_via_quoting_enclave () =
+  (* An SGX-model tenant cannot self-quote; the plane's quoting enclave
+     vouches for the identity carried in the transcript, which the
+     client pins. *)
+  let _p, plane, backend, client = build ~seed:7002L ~kind:Backend.Sgx () in
+  establish plane client;
+  (match backend.Backend.urts with
+  | Some _ -> Alcotest.fail "SGX-model backend should have no SDK handle"
+  | None -> ());
+  (match Serve.Client.roundtrip plane client [ (2, Bytes.of_string "sgx") ] with
+  | [ Ok r ] -> Alcotest.(check string) "served" "SGX" (Bytes.to_string r)
+  | _ -> Alcotest.fail "SGX tenant roundtrip failed");
+  Serve.destroy plane
+
+let test_sgx_wrong_tenant_pin_rejected () =
+  let p = Platform.create ~seed:7003L () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  let backend = Serve.add_tenant plane ~name:"acme" (tenant_config ~kind:Backend.Sgx ()) in
+  ignore (backend : Backend.t);
+  let client =
+    Serve.Client.create ~rng:(Rng.create ~seed:1L) ~golden:(golden_of p)
+      ~policy:(policy_pinning (Serve.quoting_identity plane))
+      ~expected_tenant:(Bytes.make 32 'z') ()
+  in
+  (match Serve.handshake plane ~tenant:"acme" (Serve.Client.hello client) with
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  | Ok accept ->
+      expect_reject "handshake-failed" (Serve.Client.establish client accept));
+  Serve.destroy plane
+
+let test_native_tenant_refused () =
+  let p = Platform.create ~seed:7004L () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  ignore (Serve.add_tenant plane ~name:"bare" (tenant_config ~kind:Backend.Native ()));
+  let client =
+    Serve.Client.create ~rng:(Rng.create ~seed:2L) ~golden:(golden_of p)
+      ~policy:{ Verifier.expected_mrenclave = None; expected_mrsigner = None; allow_debug = false }
+      ()
+  in
+  expect_reject "unsupported"
+    (Serve.handshake plane ~tenant:"bare" (Serve.Client.hello client));
+  Serve.destroy plane
+
+let test_unknown_tenant () =
+  let _p, plane, _backend, client = build ~seed:7005L () in
+  expect_reject "unknown-tenant"
+    (Serve.handshake plane ~tenant:"nobody" (Serve.Client.hello client));
+  Serve.destroy plane
+
+let test_replayed_nonce () =
+  let _p, plane, _backend, client = build ~seed:7006L () in
+  let hello = Serve.Client.hello client in
+  (match Serve.handshake plane ~tenant:"acme" hello with
+  | Error r -> Alcotest.failf "first handshake rejected: %a" Serve.pp_reject r
+  | Ok _ -> ());
+  expect_reject "replayed-nonce" (Serve.handshake plane ~tenant:"acme" hello);
+  Serve.destroy plane
+
+let test_spliced_accept_fails_binding () =
+  (* A quote lifted from one exchange must not authenticate another:
+     swap the server share after the fact and the transcript binding
+     breaks. *)
+  let _p, plane, _backend, client = build ~seed:7007L () in
+  (match Serve.handshake plane ~tenant:"acme" (Serve.Client.hello client) with
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  | Ok accept ->
+      let _, other_share = Kx.generate (Rng.create ~seed:99L) in
+      expect_reject "channel-binding"
+        (Serve.Client.establish client { accept with Serve.server_kx = other_share }));
+  Serve.destroy plane
+
+let test_garbage_quote_wire () =
+  let _p, plane, _backend, client = build ~seed:7008L () in
+  (match Serve.handshake plane ~tenant:"acme" (Serve.Client.hello client) with
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  | Ok accept ->
+      expect_reject "bad-wire"
+        (Serve.Client.establish client
+           { accept with Serve.quote_wire = Bytes.of_string "not a quote" }));
+  Serve.destroy plane
+
+(* ------------------------------------------------------------------ *)
+(* Channel security + admission control                                *)
+
+let test_tampered_envelope_rejected () =
+  let _p, plane, _backend, client = build ~seed:7010L () in
+  establish plane client;
+  let req = Serve.Client.request client ~ecall:1 (Bytes.of_string "payload") in
+  let ct = Bytes.copy req.Serve.envelope.Crypto.Authenc.ciphertext in
+  Bytes.set ct 0 (Char.chr (Char.code (Bytes.get ct 0) lxor 1));
+  let tampered =
+    { req with Serve.envelope = { req.Serve.envelope with Crypto.Authenc.ciphertext = ct } }
+  in
+  expect_reject "bad-auth" (Serve.submit plane tampered);
+  Serve.destroy plane
+
+let test_respliced_header_rejected () =
+  (* Redirecting a valid envelope at a different ECALL id: the AAD binds
+     the id, so the plane refuses. *)
+  let _p, plane, _backend, client = build ~seed:7011L () in
+  establish plane client;
+  let req = Serve.Client.request client ~ecall:1 (Bytes.of_string "payload") in
+  expect_reject "bad-auth" (Serve.submit plane { req with Serve.ecall_id = 2 });
+  Serve.destroy plane
+
+let test_replayed_request_rejected () =
+  let _p, plane, _backend, client = build ~seed:7012L () in
+  establish plane client;
+  let req = Serve.Client.request client ~ecall:1 (Bytes.of_string "once") in
+  (match Serve.submit plane req with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "first submit rejected: %a" Serve.pp_reject r);
+  expect_reject "bad-sequence" (Serve.submit plane req);
+  Serve.destroy plane
+
+let test_unknown_session () =
+  let _p, plane, _backend, client = build ~seed:7013L () in
+  establish plane client;
+  let req = Serve.Client.request client ~ecall:1 Bytes.empty in
+  expect_reject "unknown-session"
+    (Serve.submit plane { req with Serve.session_id = 4242 });
+  Serve.destroy plane
+
+let test_backpressure () =
+  let config = { Serve.default_config with Serve.max_queue = 2 } in
+  let _p, plane, _backend, client = build ~seed:7014L ~config () in
+  establish plane client;
+  let submit () =
+    Serve.submit plane (Serve.Client.request client ~ecall:1 (Bytes.of_string "x"))
+  in
+  (match (submit (), submit ()) with
+  | Ok (), Ok () -> ()
+  | _ -> Alcotest.fail "first two submits should be admitted");
+  expect_reject "backpressure" (submit ());
+  (* Flushing drains the queue; admission resumes. *)
+  ignore (Serve.flush plane);
+  (match submit () with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "post-flush submit rejected: %a" Serve.pp_reject r);
+  ignore (Serve.flush plane);
+  Serve.destroy plane
+
+let test_quota_exhaustion_and_grant () =
+  let config = { Serve.default_config with Serve.cycle_quota = Some 1_000 } in
+  let _p, plane, _backend, client = build ~seed:7015L ~config () in
+  establish plane client;
+  let roundtrip () =
+    Serve.Client.roundtrip plane client [ (1, Bytes.of_string "spend") ]
+  in
+  (match roundtrip () with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "first roundtrip should succeed under a fresh quota");
+  let spent, budget = Serve.quota_state plane ~tenant:"acme" in
+  Alcotest.(check bool) "cycles were charged" true (spent > 0);
+  Alcotest.(check int) "budget as configured" 1_000 budget;
+  (* One enclave roundtrip (a pair of world switches at minimum) costs
+     more than 1k cycles, so the tenant is now over budget. *)
+  Alcotest.(check bool) "quota exhausted" true (spent >= budget);
+  (match roundtrip () with
+  | [ Error (Serve.Quota_exhausted { tenant; _ }) ] ->
+      Alcotest.(check string) "tenant named" "acme" tenant
+  | _ -> Alcotest.fail "expected quota rejection");
+  (* A grant re-opens admission. *)
+  Serve.grant plane ~tenant:"acme" 10_000_000;
+  (match roundtrip () with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "roundtrip after grant should succeed");
+  Serve.destroy plane
+
+let test_tenant_isolation () =
+  (* Two tenants, one plane: each session only decrypts with its own
+     key, and per-tenant accounting stays separate. *)
+  let p = Platform.create ~seed:7016L () in
+  let plane =
+    Serve.create ~platform:p
+      { Serve.default_config with Serve.cycle_quota = Some 100_000_000 }
+  in
+  let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
+  let b2 = Serve.add_tenant plane ~name:"globex" (tenant_config ()) in
+  let mk backend seed =
+    let identity = Option.get backend.Backend.identity in
+    Serve.Client.create ~rng:(Rng.create ~seed) ~golden:(golden_of p)
+      ~policy:(policy_pinning identity) ~expected_tenant:identity ()
+  in
+  let c1 = mk b1 3L and c2 = mk b2 4L in
+  establish plane c1;
+  (match Serve.handshake plane ~tenant:"globex" (Serve.Client.hello c2) with
+  | Error r -> Alcotest.failf "globex handshake rejected: %a" Serve.pp_reject r
+  | Ok accept -> (
+      match Serve.Client.establish c2 accept with
+      | Error r -> Alcotest.failf "globex establish failed: %a" Serve.pp_reject r
+      | Ok () -> ()));
+  (* A request sealed under c2's key aimed at c1's session must bounce —
+     and the very same envelope must still serve on its own session. *)
+  let stolen = Serve.Client.request c2 ~ecall:2 (Bytes.of_string "two") in
+  expect_reject "bad-auth"
+    (Serve.submit plane { stolen with Serve.session_id = Serve.Client.session_id c1 });
+  (match Serve.submit plane stolen with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "rightful session rejected: %a" Serve.pp_reject r);
+  (* Both tenants serve side by side in one flush. *)
+  (match Serve.submit plane (Serve.Client.request c1 ~ecall:2 (Bytes.of_string "one")) with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "c1 submit rejected: %a" Serve.pp_reject r);
+  let replies = Serve.flush plane in
+  Alcotest.(check int) "both served" 2 (List.length replies);
+  let spent1, _ = Serve.quota_state plane ~tenant:"acme" in
+  let spent2, _ = Serve.quota_state plane ~tenant:"globex" in
+  Alcotest.(check bool) "acme charged" true (spent1 > 0);
+  Alcotest.(check bool) "globex charged" true (spent2 > 0);
+  Serve.destroy plane
+
+let test_many_requests_ordered () =
+  (* A burst across several flushes keeps sequence discipline and reply
+     order on a multi-core scheduler. *)
+  let config =
+    { Serve.default_config with
+      Serve.sched = { Sched.default_config with Sched.cores = 4; drop_on_error = true; batch = 4 } }
+  in
+  let _p, plane, _backend, client = build ~seed:7017L ~config () in
+  establish plane client;
+  for round = 0 to 2 do
+    let reqs =
+      List.init 8 (fun i -> (1, Bytes.of_string (Printf.sprintf "r%d-%d" round i)))
+    in
+    let replies = Serve.Client.roundtrip plane client reqs in
+    Alcotest.(check int) "all replied" 8 (List.length replies);
+    List.iteri
+      (fun i reply ->
+        match reply with
+        | Ok body ->
+            Alcotest.(check string) "in order"
+              (Printf.sprintf "r%d-%d" round i)
+              (Bytes.to_string body)
+        | Error r -> Alcotest.failf "request failed: %a" Serve.pp_reject r)
+      replies
+  done;
+  let stats = Serve.sched_stats plane in
+  Alcotest.(check int) "scheduler served all requests" 24 stats.Sched.total_requests;
+  Serve.destroy plane
+
+(* ------------------------------------------------------------------ *)
+(* EDMM session state                                                  *)
+
+let test_resize_session_edmm () =
+  let _p, plane, backend, client = build ~seed:7020L () in
+  establish plane client;
+  let enclave = Urts.enclave (Option.get backend.Backend.urts) in
+  let before = enclave.Enclave.stats.Enclave.dyn_pages in
+  (match Serve.resize_session plane ~session:(Serve.Client.session_id client) ~pages:4 with
+  | Ok n -> Alcotest.(check int) "pages committed" 4 n
+  | Error r -> Alcotest.failf "resize rejected: %a" Serve.pp_reject r);
+  Alcotest.(check bool) "EDMM demand-committed pages" true
+    (enclave.Enclave.stats.Enclave.dyn_pages > before);
+  (* Out-of-stride requests are a caller error. *)
+  (try
+     ignore (Serve.resize_session plane ~session:(Serve.Client.session_id client)
+               ~pages:(Serve.default_config.Serve.state_stride_pages + 1));
+     Alcotest.fail "oversized resize accepted"
+   with Invalid_argument _ -> ());
+  Serve.destroy plane
+
+let test_resize_session_sgx_unsupported () =
+  let _p, plane, _backend, client = build ~seed:7021L ~kind:Backend.Sgx () in
+  establish plane client;
+  (match Serve.resize_session plane ~session:(Serve.Client.session_id client) ~pages:2 with
+  | Error (Serve.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "SGX1 EDMM resize should be refused"
+  | Error r -> Alcotest.failf "expected Unsupported, got %a" Serve.pp_reject r);
+  Serve.destroy plane
+
+let test_state_ecall_reserved () =
+  let p = Platform.create ~seed:7022L () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  (try
+     ignore
+       (Serve.add_tenant plane ~name:"clash"
+          { (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+            Backend.handlers = [ (Serve.state_ecall, fun _ input -> input) ] });
+     Alcotest.fail "reserved ECALL collision accepted"
+   with Invalid_argument _ -> ());
+  Serve.destroy plane
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation under injected faults                          *)
+
+let test_transient_fault_absorbed () =
+  let _p, plane, _backend, client = build ~seed:7030L () in
+  establish plane client;
+  Fault.install [ { Fault.site = "serve.session"; nth = 1; kind = Fault.Transient } ];
+  let replies = Serve.Client.roundtrip plane client [ (1, Bytes.of_string "survive") ] in
+  Fault.clear ();
+  (match replies with
+  | [ Ok body ] -> Alcotest.(check string) "served through retry" "survive" (Bytes.to_string body)
+  | [ Error r ] -> Alcotest.failf "transient fault not absorbed: %a" Serve.pp_reject r
+  | _ -> Alcotest.fail "expected one reply");
+  Serve.destroy plane
+
+let test_permanent_fault_typed () =
+  let p, plane, _backend, client = build ~seed:7031L () in
+  establish plane client;
+  (* Make sure the session works, then break it permanently at the next
+     site crossing: the reply must be a typed Session_fault, invariants
+     must stay green, and the session must keep working afterwards. *)
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "ok") ] with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "pre-fault roundtrip failed");
+  let inv_failures = ref [] in
+  Fault.install [ { Fault.site = "serve.session"; nth = 1; kind = Fault.Permanent } ];
+  Fault.on_inject (fun ~site:_ _kind ->
+      match Invariants.check p.Platform.monitor with
+      | [] -> ()
+      | findings -> inv_failures := Invariants.summary findings :: !inv_failures);
+  let replies = Serve.Client.roundtrip plane client [ (1, Bytes.of_string "doomed") ] in
+  Fault.clear ();
+  Alcotest.(check (list string)) "invariants green at injection" [] !inv_failures;
+  (match replies with
+  | [ Error (Serve.Session_fault _) ] -> ()
+  | [ Ok _ ] -> Alcotest.fail "permanent fault produced a clean reply"
+  | [ Error r ] -> Alcotest.failf "expected session-fault, got %a" Serve.pp_reject r
+  | _ -> Alcotest.fail "expected one reply");
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "after") ] with
+  | [ Ok body ] -> Alcotest.(check string) "session recovered" "after" (Bytes.to_string body)
+  | _ -> Alcotest.fail "session unusable after typed fault");
+  Serve.destroy plane
+
+let test_chaos_two_tenants_two_cores () =
+  (* Seeded chaos over the serving plane: 2 tenants, 2 cores, faults on
+     every site the serving path crosses.  Every request must end in a
+     clean reply or a typed rejection — never an escaped exception —
+     with monitor invariants green at the moment of every injection. *)
+  let seeds = [ 9100; 9200; 9300 ] in
+  List.iter
+    (fun seed ->
+      let p = Platform.create ~seed:(Int64.of_int (0x5E12E000 + seed)) () in
+      let plane =
+        Serve.create ~platform:p
+          { Serve.default_config with
+            Serve.sched = { Sched.default_config with Sched.cores = 2; drop_on_error = true } }
+      in
+      let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
+      let b2 =
+        Serve.add_tenant plane ~name:"globex"
+          (tenant_config ~kind:(Backend.Hyperenclave Sgx_types.HU) ())
+      in
+      let mk backend seed =
+        let identity = Option.get backend.Backend.identity in
+        Serve.Client.create ~rng:(Rng.create ~seed) ~golden:(golden_of p)
+          ~policy:(policy_pinning identity) ~expected_tenant:identity ()
+      in
+      let c1 = mk b1 11L and c2 = mk b2 12L in
+      establish plane c1;
+      (match Serve.handshake plane ~tenant:"globex" (Serve.Client.hello c2) with
+      | Ok accept -> (
+          match Serve.Client.establish c2 accept with
+          | Ok () -> ()
+          | Error r -> Alcotest.failf "globex establish: %a" Serve.pp_reject r)
+      | Error r -> Alcotest.failf "globex handshake: %a" Serve.pp_reject r);
+      let plan =
+        Fault.plan_of_seed
+          ~sites:
+            [ "serve.session"; "sdk.ms_copy_in"; "sdk.ms_copy_out";
+              "switch.aex"; "switch.eresume"; "epc.alloc" ]
+          ~faults:5 (Int64.of_int seed)
+      in
+      let plan_str = Fault.plan_to_string plan in
+      let inv_failures = ref [] in
+      Fault.install ~telemetry:(Monitor.telemetry p.Platform.monitor) plan;
+      Fault.on_inject (fun ~site _kind ->
+          match Invariants.check p.Platform.monitor with
+          | [] -> ()
+          | findings ->
+              inv_failures := (site, Invariants.summary findings) :: !inv_failures);
+      for round = 0 to 3 do
+        List.iter
+          (fun (client, tag) ->
+            let reqs =
+              List.init 3 (fun i ->
+                  (1, Bytes.of_string (Printf.sprintf "%s-%d-%d" tag round i)))
+            in
+            match Serve.Client.roundtrip plane client reqs with
+            | exception e ->
+                Alcotest.failf "escaped exception under plan %s: %s" plan_str
+                  (Printexc.to_string e)
+            | replies ->
+                List.iter
+                  (function
+                    | Ok _ -> ()
+                    | Error r ->
+                        (* Typed degradation is the contract; anything
+                           typed is acceptable under chaos. *)
+                        ignore (Serve.reject_name r))
+                  replies)
+          [ (c1, "a"); (c2, "g") ]
+      done;
+      Fault.clear ();
+      (match !inv_failures with
+      | [] -> ()
+      | (site, summary) :: _ ->
+          Alcotest.failf "invariants broken at %s under plan %s: %s" site plan_str
+            summary);
+      (match Invariants.check p.Platform.monitor with
+      | [] -> ()
+      | findings ->
+          Alcotest.failf "invariants broken after chaos run: %s"
+            (Invariants.summary findings));
+      Serve.destroy plane)
+    seeds
+
+let test_telemetry_counters () =
+  let p, plane, _backend, client = build ~seed:7040L () in
+  establish plane client;
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "t") ] with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "roundtrip failed");
+  expect_reject "unknown-tenant"
+    (Serve.handshake plane ~tenant:"ghost" (Serve.Client.hello client));
+  let tel = Monitor.telemetry p.Platform.monitor in
+  let check_counter name expected =
+    Alcotest.(check int) name expected (Telemetry.counter tel name)
+  in
+  check_counter "serve.handshake" 1;
+  check_counter "serve.session_open" 1;
+  check_counter "serve.request.admitted" 1;
+  check_counter "serve.request.ok" 1;
+  check_counter "serve.reject.unknown-tenant" 1;
+  Alcotest.(check bool) "tenant cycles recorded" true
+    (Telemetry.counter tel "serve.tenant.acme.cycles" > 0);
+  Serve.destroy plane
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip on all modes" `Quick test_roundtrip_modes;
+    Alcotest.test_case "sgx tenant via quoting enclave" `Quick
+      test_sgx_tenant_via_quoting_enclave;
+    Alcotest.test_case "sgx wrong tenant pin rejected" `Quick
+      test_sgx_wrong_tenant_pin_rejected;
+    Alcotest.test_case "native tenant refused" `Quick test_native_tenant_refused;
+    Alcotest.test_case "unknown tenant" `Quick test_unknown_tenant;
+    Alcotest.test_case "replayed nonce" `Quick test_replayed_nonce;
+    Alcotest.test_case "spliced accept fails binding" `Quick
+      test_spliced_accept_fails_binding;
+    Alcotest.test_case "garbage quote wire" `Quick test_garbage_quote_wire;
+    Alcotest.test_case "tampered envelope rejected" `Quick
+      test_tampered_envelope_rejected;
+    Alcotest.test_case "respliced header rejected" `Quick
+      test_respliced_header_rejected;
+    Alcotest.test_case "replayed request rejected" `Quick
+      test_replayed_request_rejected;
+    Alcotest.test_case "unknown session" `Quick test_unknown_session;
+    Alcotest.test_case "backpressure" `Quick test_backpressure;
+    Alcotest.test_case "quota exhaustion and grant" `Quick
+      test_quota_exhaustion_and_grant;
+    Alcotest.test_case "tenant isolation" `Quick test_tenant_isolation;
+    Alcotest.test_case "many requests ordered" `Quick test_many_requests_ordered;
+    Alcotest.test_case "resize session (EDMM)" `Quick test_resize_session_edmm;
+    Alcotest.test_case "resize session unsupported on SGX" `Quick
+      test_resize_session_sgx_unsupported;
+    Alcotest.test_case "state ecall reserved" `Quick test_state_ecall_reserved;
+    Alcotest.test_case "transient fault absorbed" `Quick
+      test_transient_fault_absorbed;
+    Alcotest.test_case "permanent fault typed" `Quick test_permanent_fault_typed;
+    Alcotest.test_case "chaos: two tenants, two cores" `Slow
+      test_chaos_two_tenants_two_cores;
+    Alcotest.test_case "telemetry counters" `Quick test_telemetry_counters;
+  ]
