@@ -16,7 +16,7 @@ open Hyperenclave
 let clock_hz = 2.2e9 (* the paper's 2.2 GHz EPYC, as elsewhere *)
 let tenants = 4
 let rounds = 3
-let reqs_per_client_round = 8
+let reqs_per_client_round = 16
 let value_bytes = 96
 
 let handlers =
@@ -55,7 +55,7 @@ let measure ~cores =
           {
             Sched.default_config with
             Sched.cores;
-            batch = 4;
+            batch = 16;
             drop_on_error = true;
           };
         max_queue = 256;
@@ -136,8 +136,9 @@ let measure ~cores =
       replies
   done;
   let stats = Serve.sched_stats plane in
+  (* The plane owns the tenant backends now: one destroy tears down
+     everything, including the quoting enclave. *)
   Serve.destroy plane;
-  List.iter (fun (_, (b : Backend.t), _) -> b.Backend.destroy ()) clients;
   {
     cores;
     rps =

@@ -23,6 +23,9 @@ let experiments =
     );
     ( "serve",
       ("attested serving plane end-to-end req/s (PR 5)", Bench_serve.run) );
+    ( "zerocopy",
+      ( "zero-copy path: OCALL reply ring + ticket resumption (PR 6)",
+        Bench_zerocopy.run ) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
   ]
 

@@ -242,6 +242,36 @@ let ctr_transform ~key ~nonce data =
   done;
   out
 
+(* CTR over a caller-provided slice, with a caller-expanded key schedule:
+   the zero-copy path runs the keystream XOR straight over [src] into
+   [dst] (the two may alias, or even be the same buffer at the same
+   offset for a true in-place transform), so neither a fresh output
+   buffer nor a per-call key expansion is paid.  Byte-identical to
+   [ctr_transform] on the same key/nonce/data. *)
+let ctr_into ~key ~nonce ~src ~src_off ~dst ~dst_off ~len =
+  if Bytes.length nonce > 12 then invalid_arg "Aes.ctr_into: nonce > 12";
+  if len < 0 || src_off < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Aes.ctr_into: source slice out of bounds";
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Aes.ctr_into: destination slice out of bounds";
+  let counter_block = Bytes.make 16 '\000' in
+  Bytes.blit nonce 0 counter_block 0 (Bytes.length nonce);
+  let state = Array.make 16 0 in
+  let nblocks = (len + 15) / 16 in
+  for blk = 0 to nblocks - 1 do
+    Bytes.set_int32_be counter_block 12 (Int32.of_int blk);
+    load_state state counter_block 0;
+    encrypt_state key state;
+    let base = blk * 16 in
+    let chunk = min 16 (len - base) in
+    for i = 0 to chunk - 1 do
+      Bytes.unsafe_set dst (dst_off + base + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get src (src_off + base + i))
+           lxor Array.unsafe_get state i))
+    done
+  done
+
 (* XTS-style: tweak = E(addr-block) XORed around the block cipher, with a
    GF doubling between consecutive blocks. *)
 let tweak_block key tweak =

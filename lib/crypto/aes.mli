@@ -19,6 +19,23 @@ val ctr_transform : key:bytes -> nonce:bytes -> bytes -> bytes
 (** CTR keystream XOR: encryption and decryption are the same operation.
     [nonce] is up to 12 bytes. *)
 
+val ctr_into :
+  key:key ->
+  nonce:bytes ->
+  src:bytes ->
+  src_off:int ->
+  dst:bytes ->
+  dst_off:int ->
+  len:int ->
+  unit
+(** Zero-copy CTR: XOR the keystream over [src[src_off, src_off+len)]
+    into [dst[dst_off, ...)].  [src] and [dst] may alias (including the
+    same buffer at the same offset for a true in-place transform), and
+    the key schedule is caller-provided so batched callers expand it
+    once.  Byte-identical to {!ctr_transform} on the same key material.
+    @raise Invalid_argument on out-of-bounds slices or a nonce longer
+    than 12 bytes. *)
+
 val xts_encrypt : key:bytes -> tweak:int -> bytes -> bytes
 (** Encrypt a buffer whose length is a multiple of 16, tweaked by the
     (physical-address-derived) integer tweak. *)

@@ -21,6 +21,68 @@ let mac_input ~nonce ~aad ~ciphertext =
   add_framed ciphertext;
   Buffer.to_bytes buf
 
+(* Prepared key material for the zero-copy path: the HKDF split and the
+   AES key schedule are paid once per session instead of once per seal. *)
+type keys = { enc : Aes.key; mac : bytes }
+
+let prepare key =
+  let enc_key, mac_key = split_key key in
+  { enc = Aes.expand_key enc_key; mac = mac_key }
+
+(* The MAC input of [mac_input] expressed as slices, so ring-resident
+   ciphertext is hashed in place instead of copied into a scratch
+   buffer.  Framing must match [mac_input] byte for byte. *)
+let mac_slices ~nonce ~aad ~ct ~ct_off ~ct_len =
+  let hdr n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    b
+  in
+  [
+    (hdr (Bytes.length nonce), 0, 4);
+    (nonce, 0, Bytes.length nonce);
+    (hdr (Bytes.length aad), 0, 4);
+    (aad, 0, Bytes.length aad);
+    (hdr ct_len, 0, 4);
+    (ct, ct_off, ct_len);
+  ]
+
+let tag_of_slice keys ~nonce ~aad ~ct ~ct_off ~ct_len =
+  Hmac.hmac_slices ~key:keys.mac (mac_slices ~nonce ~aad ~ct ~ct_off ~ct_len)
+
+let seal_into keys ?(aad = Bytes.empty) ~nonce ~src ~src_off ~dst ~dst_off ~len
+    () =
+  if Bytes.length nonce <> 12 then
+    invalid_arg "Authenc.seal_into: nonce must be 12 bytes";
+  Aes.ctr_into ~key:keys.enc ~nonce ~src ~src_off ~dst ~dst_off ~len;
+  tag_of_slice keys ~nonce ~aad ~ct:dst ~ct_off:dst_off ~ct_len:len
+
+let verify_slice keys ?(aad = Bytes.empty) ~nonce ~tag ~buf ~off ~len () =
+  Sha256.equal (tag_of_slice keys ~nonce ~aad ~ct:buf ~ct_off:off ~ct_len:len)
+    tag
+
+(* Tag check without producing plaintext: the serving plane
+   authenticates envelopes at admission and defers the (in-place)
+   decrypt to the batched flush. *)
+let verify_sealed keys sealed =
+  verify_slice keys ~aad:sealed.aad ~nonce:sealed.nonce ~tag:sealed.tag
+    ~buf:sealed.ciphertext ~off:0
+    ~len:(Bytes.length sealed.ciphertext)
+    ()
+
+(* Completion of a deferred decrypt: plain CTR over a ciphertext slice
+   whose tag was already checked (e.g. [verify_sealed] at admission
+   time, decrypt at batch-flush time).  Never call this on
+   unauthenticated bytes. *)
+let decrypt_into keys ~nonce ~src ~src_off ~dst ~dst_off ~len =
+  Aes.ctr_into ~key:keys.enc ~nonce ~src ~src_off ~dst ~dst_off ~len
+
+let unseal_in_place keys ?(aad = Bytes.empty) ~nonce ~tag buf ~off ~len =
+  if not (verify_slice keys ~aad ~nonce ~tag ~buf ~off ~len ()) then
+    raise Authentication_failure;
+  Aes.ctr_into ~key:keys.enc ~nonce ~src:buf ~src_off:off ~dst:buf ~dst_off:off
+    ~len
+
 let seal ~key ?(aad = Bytes.empty) ~nonce plaintext =
   if Bytes.length nonce <> 12 then invalid_arg "Authenc.seal: nonce must be 12 bytes";
   let enc_key, mac_key = split_key key in

@@ -20,6 +20,71 @@ val seal : key:bytes -> ?aad:bytes -> nonce:bytes -> bytes -> sealed
 val unseal : key:bytes -> sealed -> bytes
 (** @raise Authentication_failure if the tag, AAD, or key is wrong. *)
 
+(** {2 Zero-copy path}
+
+    [prepare] pays the HKDF key split and AES key schedule once; the
+    [_into]/[_in_place] operations then run the cipher over
+    caller-provided buffer slices (e.g. ring-resident frames) without
+    allocating plaintext/ciphertext copies.  All of them are
+    byte-compatible with {!seal}/{!unseal} on the same key material. *)
+
+type keys
+(** Prepared (pre-expanded) key material for one 32-byte key. *)
+
+val prepare : bytes -> keys
+(** @raise Invalid_argument if the key is not 32 bytes. *)
+
+val seal_into :
+  keys ->
+  ?aad:bytes ->
+  nonce:bytes ->
+  src:bytes ->
+  src_off:int ->
+  dst:bytes ->
+  dst_off:int ->
+  len:int ->
+  unit ->
+  bytes
+(** Encrypt [src[src_off, src_off+len)] into [dst[dst_off, ...)] ([src]
+    and [dst] may alias for a true in-place seal) and return the 32-byte
+    tag over the ciphertext slice.  @raise Invalid_argument on bad
+    slices or a nonce that is not 12 bytes. *)
+
+val verify_slice :
+  keys ->
+  ?aad:bytes ->
+  nonce:bytes ->
+  tag:bytes ->
+  buf:bytes ->
+  off:int ->
+  len:int ->
+  unit ->
+  bool
+(** Tag check over a ciphertext slice without decrypting. *)
+
+val verify_sealed : keys -> sealed -> bool
+(** Tag check of a {!sealed} record without producing plaintext — the
+    admission-time half of a deferred in-place decrypt. *)
+
+val unseal_in_place :
+  keys -> ?aad:bytes -> nonce:bytes -> tag:bytes -> bytes -> off:int -> len:int -> unit
+(** Authenticate then decrypt [buf[off, off+len)] in place.
+    @raise Authentication_failure if the tag, AAD, or key is wrong (the
+    buffer is untouched in that case). *)
+
+val decrypt_into :
+  keys ->
+  nonce:bytes ->
+  src:bytes ->
+  src_off:int ->
+  dst:bytes ->
+  dst_off:int ->
+  len:int ->
+  unit
+(** Decrypt WITHOUT authenticating: the completion half of a deferred
+    in-place unseal whose tag was already checked with {!verify_sealed}
+    / {!verify_slice}.  Never call this on unauthenticated bytes. *)
+
 val encode : sealed -> bytes
 (** Length-prefixed wire form (for writing sealed blobs to "disk"). *)
 

@@ -28,6 +28,22 @@ let hmac ~key msg =
   Sha256.update outer inner_digest;
   Sha256.finalize outer
 
+(* HMAC over a concatenation of slices, none of which are copied: the
+   zero-copy AEAD path MACs length-prefix headers and ring-resident
+   ciphertext without assembling the message in a scratch buffer. *)
+let hmac_slices ~key slices =
+  let pad = normalize_key key in
+  xor_pad_in_place pad 0x36;
+  let inner = Sha256.init () in
+  Sha256.update inner pad;
+  List.iter (fun (b, off, len) -> Sha256.update_sub inner b ~off ~len) slices;
+  let inner_digest = Sha256.finalize inner in
+  xor_pad_in_place pad (0x36 lxor 0x5c);
+  let outer = Sha256.init () in
+  Sha256.update outer pad;
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
 (* [hmac] never mutates [msg], so borrow the string's bytes. *)
 let hmac_string ~key msg = hmac ~key (Bytes.unsafe_of_string msg)
 let verify ~key msg ~tag = Sha256.equal (hmac ~key msg) tag

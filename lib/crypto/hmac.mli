@@ -7,6 +7,11 @@
 val hmac : key:bytes -> bytes -> bytes
 (** HMAC-SHA256; 32-byte tag. *)
 
+val hmac_slices : key:bytes -> (bytes * int * int) list -> bytes
+(** HMAC-SHA256 over the concatenation of [(buf, off, len)] slices,
+    absorbed in order without copying any of them — equal to {!hmac}
+    over the concatenated message. *)
+
 val hmac_string : key:bytes -> string -> bytes
 val verify : key:bytes -> bytes -> tag:bytes -> bool
 

@@ -93,30 +93,34 @@ let compress ctx block off =
   ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
   ctx.h.(7) <- (ctx.h.(7) + !hh) land mask
 
-let update ctx data =
+let update_sub ctx data ~off ~len =
   if ctx.finalized then invalid_arg "Sha256.update: already finalized";
-  let len = Bytes.length data in
+  if len < 0 || off < 0 || off + len > Bytes.length data then
+    invalid_arg "Sha256.update_sub: slice out of bounds";
   ctx.total <- ctx.total + len;
-  let pos = ref 0 in
+  let pos = ref off in
+  let stop = off + len in
   (* Fill a partial block first. *)
   if ctx.buf_len > 0 then begin
     let need = min (64 - ctx.buf_len) len in
-    Bytes.blit data 0 ctx.buf ctx.buf_len need;
+    Bytes.blit data off ctx.buf ctx.buf_len need;
     ctx.buf_len <- ctx.buf_len + need;
-    pos := need;
+    pos := off + need;
     if ctx.buf_len = 64 then begin
       compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
-  while len - !pos >= 64 do
+  while stop - !pos >= 64 do
     compress ctx data !pos;
     pos := !pos + 64
   done;
-  if !pos < len then begin
-    Bytes.blit data !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if !pos < stop then begin
+    Bytes.blit data !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
+
+let update ctx data = update_sub ctx data ~off:0 ~len:(Bytes.length data)
 
 let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
 

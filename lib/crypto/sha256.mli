@@ -8,6 +8,12 @@ type ctx
 
 val init : unit -> ctx
 val update : ctx -> bytes -> unit
+
+val update_sub : ctx -> bytes -> off:int -> len:int -> unit
+(** Absorb [data[off, off+len)] without slicing a fresh buffer — the
+    zero-copy MAC path hashes ciphertext straight out of the ring.
+    @raise Invalid_argument on an out-of-bounds slice. *)
+
 val update_string : ctx -> string -> unit
 val finalize : ctx -> bytes
 (** Finalizing consumes the context; further [update]s raise

@@ -34,6 +34,16 @@ type request =
   | Ebatch of request list
       (** Batched dispatch: one VMMCALL carries several requests; the
           gate (and its fault site) fires once for the whole batch. *)
+  | Obatch of {
+      enclave : Enclave.t;
+      tcs : Sgx_types.tcs;
+      return_va : int;
+      slots : int;
+    }
+      (** Batched ORET: one VMMCALL re-enters the parked TCS after the
+          untrusted side drained [slots] OCALL replies from the reply
+          ring — the per-reply EENTER of the one-at-a-time path is paid
+          once for the whole ring. *)
 
 type result =
   | Ok
@@ -60,6 +70,7 @@ let number = function
   | Ereport _ -> 0x31
   | Gen_quote _ -> 0x32
   | Ebatch _ -> 0x40
+  | Obatch _ -> 0x41
 
 let name = function
   | Ecreate _ -> "ECREATE"
@@ -77,6 +88,7 @@ let name = function
   | Ereport _ -> "EREPORT"
   | Gen_quote _ -> "GEN_QUOTE"
   | Ebatch reqs -> Printf.sprintf "EBATCH[%d]" (List.length reqs)
+  | Obatch { slots; _ } -> Printf.sprintf "OBATCH[%d]" slots
 
 let rec dispatch monitor request =
   (* Fault site at the trust-boundary entry, before any monitor state is
@@ -95,6 +107,16 @@ and dispatch_inner monitor request =
         (* Sub-requests skip the gate (one VMMCALL already crossed it);
            a faulting sub-request faults its slot, not the batch. *)
         Batch (List.map (dispatch_inner monitor) reqs)
+    | Obatch { enclave; tcs; return_va; slots } ->
+        (* The monitor bounds the ring before touching the TCS: a slot
+           count the uRTS could not have produced is a forged request. *)
+        if slots < 1 || slots > 64 then
+          raise
+            (Monitor.Security_violation
+               (Printf.sprintf "OBATCH: reply ring slot count %d out of range"
+                  slots));
+        Monitor.eenter monitor enclave ~tcs ~return_va;
+        Ok
     | Ecreate secs -> Enclave_handle (Monitor.ecreate monitor secs)
     | Eadd { enclave; vpn; content; perms; page_type } ->
         Monitor.eadd monitor enclave ~vpn ~content ~perms ~page_type;

@@ -51,6 +51,16 @@ type request =
           dispatch gate (and its fault site) fires once, and each slot
           yields its own result — a faulting slot faults that slot, not
           the batch. *)
+  | Obatch of {
+      enclave : Enclave.t;
+      tcs : Sgx_types.tcs;
+      return_va : int;
+      slots : int;
+    }
+      (** Batched ORET for the switchless OCALL reply ring: one VMMCALL
+          re-enters the parked TCS after [slots] replies were drained,
+          replacing [slots] individual EENTER crossings.  The monitor
+          refuses slot counts outside [1, 64]. *)
 
 type result =
   | Ok

@@ -71,6 +71,10 @@ let ioctl_batch t reqs =
   | Hypercall.Batch results -> results
   | _ -> invalid_arg "Kmod: EBATCH returned no batch result"
 
+let ioctl_obatch t ~enclave ~tcs ~return_va ~slots =
+  ioctl_enter t;
+  expect_ok t (Hypercall.Obatch { enclave; tcs; return_va; slots })
+
 let ioctl_create_enclave t secs =
   ioctl_enter t;
   match hypercall t (Hypercall.Ecreate secs) with

@@ -34,6 +34,17 @@ val ioctl_batch : t -> Hypercall.request list -> Hypercall.result list
     ([Hypercall.Ebatch]): the crossing and the dispatch gate are paid
     once; per-slot results come back in order. *)
 
+val ioctl_obatch :
+  t ->
+  enclave:Enclave.t ->
+  tcs:Sgx_types.tcs ->
+  return_va:int ->
+  slots:int ->
+  unit
+(** Forward a batched ORET ([Hypercall.Obatch]): one ioctl + VMMCALL
+    re-enters the parked TCS after the untrusted side drained [slots]
+    OCALL replies from the reply ring. *)
+
 val ioctl_add_page :
   t ->
   Enclave.t ->

@@ -267,6 +267,36 @@ let run_slice t (core : core) (job : job) =
     core.queue <- core.queue @ [ job ]
   end
 
+(* Read-only aggregation over the current core/job state: safe to call
+   at any point (including between [submit] and [run]) — it never
+   advances a clock or drains a queue. *)
+let stats t =
+  let per_core =
+    Array.map
+      (fun (core : core) ->
+        {
+          core_id = core.core_id;
+          cycles = Cycles.now core.clock;
+          busy = core.busy;
+          steals = core.steals;
+          preempts = core.preempts;
+          completed = core.completed;
+        })
+      t.cores
+  in
+  {
+    total_requests =
+      List.fold_left (fun acc (j : job) -> acc + j.completed) 0 t.jobs;
+    failed_requests =
+      List.fold_left (fun acc (j : job) -> acc + j.failed) 0 t.jobs;
+    makespan =
+      Array.fold_left (fun acc (c : core_stats) -> max acc c.cycles) 0 per_core;
+    per_core;
+    steals = Array.fold_left (fun acc (c : core) -> acc + c.steals) 0 t.cores;
+    preempts = Array.fold_left (fun acc (c : core) -> acc + c.preempts) 0 t.cores;
+    aex_preempts = t.aex_preempts;
+  }
+
 let run t =
   let has_work (core : core) = core.queue <> [] in
   let any_work () = Array.exists has_work t.cores in
@@ -297,31 +327,7 @@ let run t =
                 in
                 Cycles.advance_to core.clock ~at:(horizon + 1)))
   done;
-  let per_core =
-    Array.map
-      (fun (core : core) ->
-        {
-          core_id = core.core_id;
-          cycles = Cycles.now core.clock;
-          busy = core.busy;
-          steals = core.steals;
-          preempts = core.preempts;
-          completed = core.completed;
-        })
-      t.cores
-  in
-  {
-    total_requests =
-      List.fold_left (fun acc (j : job) -> acc + j.completed) 0 t.jobs;
-    failed_requests =
-      List.fold_left (fun acc (j : job) -> acc + j.failed) 0 t.jobs;
-    makespan =
-      Array.fold_left (fun acc (c : core_stats) -> max acc c.cycles) 0 per_core;
-    per_core;
-    steals = Array.fold_left (fun acc (c : core) -> acc + c.steals) 0 t.cores;
-    preempts = Array.fold_left (fun acc (c : core) -> acc + c.preempts) 0 t.cores;
-    aex_preempts = t.aex_preempts;
-  }
+  stats t
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt

@@ -97,4 +97,9 @@ val run : t -> stats
     [sched.slice_cycles] (histogram), plus the SDK's [sdk.ecall_batch] /
     [ring.batch_occupancy] when batching. *)
 
+val stats : t -> stats
+(** Read-only snapshot of the same statistics {!run} returns: never
+    advances a clock, runs a slice, or drains a queue, so it is safe to
+    call between [submit] and [run] (or never calling [run] at all). *)
+
 val pp_stats : Format.formatter -> stats -> unit

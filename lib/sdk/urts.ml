@@ -129,6 +129,64 @@ let ms_raw rw t ~off data_or_len =
 let ms_raw_write t ~off data = ignore (ms_raw `Write t ~off (`Data data))
 let ms_raw_read t ~off ~len = ms_raw `Read t ~off (`Len len)
 
+(* --- switchless ring framing ------------------------------------------------ *)
+
+(* Ring slot framing in the marshalling buffer.  Requests are staged
+   back-to-back as [count][id, len, payload]*; replies reuse the same
+   layout, echoing each request id.  Everything is length-prefixed with
+   8-byte little-endian words so the reader can validate bounds before
+   touching a slot.  The ECALL ring stages in the input region and
+   drains from the output region; the OCALL reply ring lives in the
+   ocalloc arena. *)
+let max_batch = 16
+
+(* The frame is assembled with one exact-size allocation and one blit
+   per slot — the payload travels straight from the caller's buffer into
+   the frame that lands in the pinned region. *)
+let frame_requests reqs =
+  let total =
+    List.fold_left (fun acc (_, d) -> acc + 16 + Bytes.length d) 8 reqs
+  in
+  let out = Bytes.create total in
+  Bytes.set_int64_le out 0 (Int64.of_int (List.length reqs));
+  let off = ref 8 in
+  List.iter
+    (fun (id, data) ->
+      let len = Bytes.length data in
+      Bytes.set_int64_le out !off (Int64.of_int id);
+      Bytes.set_int64_le out (!off + 8) (Int64.of_int len);
+      Bytes.blit data 0 out (!off + 16) len;
+      off := !off + 16 + len)
+    reqs;
+  out
+
+let frame_replies = frame_requests
+
+let parse_frames ~what raw =
+  let len = Bytes.length raw in
+  let word off =
+    if off + 8 > len then fail "%s: truncated ring frame at %d" what off;
+    Int64.to_int (Bytes.get_int64_le raw off)
+  in
+  let count = word 0 in
+  if count < 0 || count > max_batch then
+    fail "%s: ring frame count %d out of range" what count;
+  let off = ref 8 in
+  List.init count (fun _ ->
+      let id = word !off in
+      let body_len = word (!off + 8) in
+      (* Bounds check in subtraction form: the addition
+         [!off + 16 + body_len] overflows for a corrupt near-max_int
+         length word read back from the shared region, passes the
+         comparison, and lets [Bytes.sub] escape as a bare
+         [Invalid_argument].  [len - !off - 16] cannot overflow because
+         both operands are already validated offsets into [raw]. *)
+      if body_len < 0 || body_len > len - !off - 16 then
+        fail "%s: ring slot overruns the frame" what;
+      let body = Bytes.sub raw (!off + 16) body_len in
+      off := !off + 16 + body_len;
+      (id, body))
+
 (* --- loader ---------------------------------------------------------------- *)
 
 let code_page_content config index =
@@ -288,6 +346,7 @@ let rec make_tenv t : Tenv.t =
     heap_base = t.heap_base_va;
     ocall = (fun ~id ?data direction -> do_ocall t ~id ?data direction);
     ocall_switchless = (fun ~id ?data () -> do_ocall_switchless t ~id ?data ());
+    ocall_ring = (fun ~reqs () -> do_ocall_ring t ~reqs ());
     compute =
       (fun cycles ->
         Cycles.tick (clock t) cycles;
@@ -410,6 +469,100 @@ and do_ocall t ~id ?(data = Bytes.empty) direction =
   t.ocalloc_cursor <- max 0 (t.ocalloc_cursor - ((len + 15) land lnot 15));
   ignore direction;
   out
+
+(* OCALL reply ring: the batched mirror of the ECALL ring.  K replies
+   are framed in the ocalloc arena under one SDK soft path and one
+   EEXIT; the untrusted side drains every slot, and a single batched
+   ORET ([Kmod.ioctl_obatch] -> OBATCH hypercall) re-enters the parked
+   TCS — the per-reply EENTER of [do_ocall] is paid once for the whole
+   ring. *)
+and do_ocall_ring t ~reqs () =
+  let m = monitor t in
+  let c = cost t in
+  let k = List.length reqs in
+  if k = 0 then []
+  else if k > max_batch then
+    fail "ocall_ring: %d requests exceed the ring capacity (%d)" k max_batch
+  else begin
+    List.iter
+      (fun (id, _) ->
+        if not (Hashtbl.mem t.ocalls id) then fail "unknown OCALL %d" id)
+      reqs;
+    count t "sdk.ocall_ring";
+    Hyperenclave_obs.Telemetry.add (Monitor.telemetry m) "sdk.ocall_ringed" k;
+    Hyperenclave_obs.Telemetry.observe
+      (Monitor.telemetry m)
+      "ring.oret_occupancy" k;
+    Cycles.tick (clock t)
+      (World_switch.sdk_ocall_soft c t.config.mode
+      + World_switch.batch_dispatch_cost c ~k);
+    (* sgx_ocalloc-style: the framed ring is written straight into the
+       pinned arena — the enclave-side staging is the frame. *)
+    let staged = frame_requests reqs in
+    let arg_off = ms_ocall_off t + t.ocalloc_cursor in
+    if arg_off + Bytes.length staged > t.ms_size then
+      fail "ocall_ring: %d bytes of requests exhaust the ocalloc arena"
+        (Bytes.length staged);
+    Monitor.enclave_write m t.enclave ~va:(t.ms_base + arg_off) staged;
+    let reserve = (Bytes.length staged + 15) land lnot 15 in
+    t.ocalloc_cursor <- t.ocalloc_cursor + reserve;
+    let release () = t.ocalloc_cursor <- max 0 (t.ocalloc_cursor - reserve) in
+    let parked_tcs =
+      match t.active_tcs with
+      | Some tcs -> tcs
+      | None ->
+          release ();
+          fail "OCALL outside an ECALL"
+    in
+    Monitor.eexit m t.enclave ~target_va:aep;
+    t.active_tcs <- None;
+    Hashtbl.replace t.reserved_tcs parked_tcs.Sgx_types.tcs_vpn ();
+    let unpark () = Hashtbl.remove t.reserved_tcs parked_tcs.Sgx_types.tcs_vpn in
+    t.enclave.Enclave.stats.Enclave.ocalls <-
+      t.enclave.Enclave.stats.Enclave.ocalls + k;
+    let framed_len =
+      try oret_batch t ~arg_off ~staged_len:(Bytes.length staged)
+      with exn ->
+        unpark ();
+        release ();
+        raise exn
+    in
+    (* Batched ORET crossing: one ioctl + OBATCH hypercall re-enters the
+       parked TCS for all K replies. *)
+    unpark ();
+    Kmod.ioctl_obatch t.kmod ~enclave:t.enclave ~tcs:parked_tcs ~return_va:aep
+      ~slots:k;
+    t.enclave.Enclave.stats.Enclave.ecalls <-
+      t.enclave.Enclave.stats.Enclave.ecalls - 1;
+    t.active_tcs <- Some parked_tcs;
+    let drained =
+      parse_frames ~what:"ocall_ring(trusted)"
+        (Monitor.enclave_read m t.enclave ~va:(t.ms_base + arg_off)
+           ~len:framed_len)
+    in
+    release ();
+    List.map snd drained
+  end
+
+(* Untrusted half of the reply ring: drain every staged slot through its
+   handler and write the reply frame back over the request frame in
+   place.  Runs entirely outside the enclave (the TCS is parked), so a
+   handler exception propagates to [do_ocall_ring]'s cleanup.  Returns
+   the reply frame length for the trusted side to read back. *)
+and oret_batch t ~arg_off ~staged_len =
+  let slots =
+    parse_frames ~what:"ocall_ring(untrusted)"
+      (ms_raw_read t ~off:arg_off ~len:staged_len)
+  in
+  let replies =
+    List.map (fun (id, body) -> (id, (Hashtbl.find t.ocalls id) body)) slots
+  in
+  let framed = frame_replies replies in
+  if arg_off + Bytes.length framed > t.ms_size then
+    fail "ocall_ring: %d bytes of replies overflow the ocalloc arena"
+      (Bytes.length framed);
+  ms_raw_write t ~off:arg_off framed;
+  Bytes.length framed
 
 (* Switchless OCALL: the request and reply travel through the ocalloc
    arena like a regular OCALL's arguments, but no world switch happens —
@@ -648,47 +801,6 @@ let ecall_no_ms t ~id ?(data = Bytes.empty) ~direction () =
       run_ecall t ~id ~data ~direction ~use_ms:false)
 
 (* --- switchless call ring: batched ECALLs ---------------------------------- *)
-
-(* Ring slot framing in the marshalling buffer.  Requests are staged
-   back-to-back in the input region as [count][id, len, payload]*; the
-   trusted drain loop writes replies back-to-back into the output region
-   as [count][len, payload]*.  Everything is length-prefixed with 8-byte
-   little-endian words so the enclave side can validate bounds before
-   touching a slot. *)
-let max_batch = 16
-
-let frame_requests reqs =
-  let buf = Buffer.create 256 in
-  Buffer.add_int64_le buf (Int64.of_int (List.length reqs));
-  List.iter
-    (fun (id, data) ->
-      Buffer.add_int64_le buf (Int64.of_int id);
-      Buffer.add_int64_le buf (Int64.of_int (Bytes.length data));
-      Buffer.add_bytes buf data)
-    reqs;
-  Buffer.to_bytes buf
-
-(* Replies use the same framing, echoing the request id in each slot. *)
-let frame_replies = frame_requests
-
-let parse_frames ~what raw =
-  let len = Bytes.length raw in
-  let word off =
-    if off + 8 > len then fail "%s: truncated ring frame at %d" what off;
-    Int64.to_int (Bytes.get_int64_le raw off)
-  in
-  let count = word 0 in
-  if count < 0 || count > max_batch then
-    fail "%s: ring frame count %d out of range" what count;
-  let off = ref 8 in
-  List.init count (fun _ ->
-      let id = word !off in
-      let body_len = word (!off + 8) in
-      if body_len < 0 || !off + 16 + body_len > len then
-        fail "%s: ring slot overruns the frame" what;
-      let body = Bytes.sub raw (!off + 16) body_len in
-      off := !off + 16 + body_len;
-      (id, body))
 
 (* One world switch serves the whole batch (the paper's motivation for
    cheap HU switches, taken one step further): the SDK soft path and the

@@ -71,6 +71,18 @@ val ecall_batch : t -> reqs:(int * bytes) list -> unit -> bytes list
     @raise Enclave_error on unknown id, oversized batch, or ring frames
     exceeding their marshalling region. *)
 
+val frame_requests : (int * bytes) list -> bytes
+(** Ring frame layout shared by the ECALL and OCALL rings:
+    [[count][id, len, payload]*] with 8-byte little-endian words,
+    assembled with one exact-size allocation and one blit per slot. *)
+
+val parse_frames : what:string -> bytes -> (int * bytes) list
+(** Parse a ring frame back into [(id, payload)] slots, validating every
+    length word against the frame bounds before slicing.
+    @raise Enclave_error (tagged [what]) on a truncated frame, an
+    out-of-range slot count, or a corrupt length word — including
+    near-[max_int] lengths whose bounds arithmetic would overflow. *)
+
 val arm_timer : t -> quantum:int -> ?on_preempt:(unit -> unit) -> unit -> unit
 (** Arm the scheduler's AEX preemption timer: once the clock passes the
     armed deadline mid-ECALL, the next trusted compute step takes a full

@@ -31,6 +31,8 @@ type reject =
   | Backpressure of { tenant : string; queued : int; limit : int }
   | Quota_exhausted of { tenant : string; spent : int; quota : int }
   | Session_fault of string
+  | Bad_ticket of string
+  | Ticket_expired
 
 let reject_name = function
   | Handshake_failed _ -> "handshake-failed"
@@ -46,6 +48,8 @@ let reject_name = function
   | Backpressure _ -> "backpressure"
   | Quota_exhausted _ -> "quota-exhausted"
   | Session_fault _ -> "session-fault"
+  | Bad_ticket _ -> "bad-ticket"
+  | Ticket_expired -> "ticket-expired"
 
 let pp_reject fmt = function
   | Handshake_failed f ->
@@ -67,6 +71,8 @@ let pp_reject fmt = function
       Format.fprintf fmt "tenant %s cycle quota exhausted (%d/%d)" tenant spent
         quota
   | Session_fault m -> Format.fprintf fmt "session fault: %s" m
+  | Bad_ticket m -> Format.fprintf fmt "bad session ticket: %s" m
+  | Ticket_expired -> Format.pp_print_string fmt "session ticket expired"
 
 (* ---------------------------------------------------------------------- *)
 (* Plane state                                                            *)
@@ -76,6 +82,10 @@ type config = {
   max_queue : int;
   cycle_quota : int option;
   state_stride_pages : int;
+  nonce_cache : int;
+      (** replay-cache bound: only the last [nonce_cache] handshake /
+          resume nonces are remembered *)
+  ticket_ttl : int;  (** session-ticket lifetime, shared-clock cycles *)
 }
 
 let default_config =
@@ -84,6 +94,8 @@ let default_config =
     max_queue = 64;
     cycle_quota = None;
     state_stride_pages = 16;
+    nonce_cache = 1024;
+    ticket_ttl = 1_000_000_000;
   }
 
 type tenant = {
@@ -93,15 +105,24 @@ type tenant = {
   mutable spent : int;
   mutable budget : int;  (* max_int when unmetered *)
   mutable next_slot : int;
+  mutable free_slots : int list;
+      (* state slots recycled by [close_session], reused before
+         [next_slot] grows the stride arena *)
 }
 
 type session = {
   s_id : int;
   tenant : tenant;
   key : bytes;
+  keys : Authenc.keys;
+      (* prepared once at establishment: the per-request AEAD setup the
+         one-shot seal/unseal paths pay is amortized to zero here *)
   state_slot : int;
   mutable recv_seq : int;
-  mutable pending : (int * int * bytes) list;  (* rev (seq, ecall, plaintext) *)
+  mutable pending : (int * int * Authenc.sealed) list;
+      (* rev (seq, ecall, envelope): envelopes are admitted
+         tag-verified but still encrypted — the in-place decrypt is
+         deferred to the batched flush *)
 }
 
 type t = {
@@ -114,8 +135,11 @@ type t = {
   mutable tenant_order : string list;  (* reverse insertion order *)
   sessions : (int, session) Hashtbl.t;
   seen_nonces : (string, unit) Hashtbl.t;
+  nonce_order : string Queue.t;  (* FIFO eviction for the replay cache *)
+  ticket_key : bytes;  (* plane sealing key for resumption tickets *)
   mutable next_session : int;
   mutable qe : Urts.t option;  (* lazily-built quoting enclave *)
+  mutable destroyed : bool;
 }
 
 let fault_site = "serve.session"
@@ -131,11 +155,16 @@ let create ~platform (config : config) =
   (match config.cycle_quota with
   | Some q when q <= 0 -> invalid_arg "Serve.create: cycle_quota must be positive"
   | _ -> ());
+  if config.nonce_cache <= 0 then
+    invalid_arg "Serve.create: nonce_cache must be positive";
+  if config.ticket_ttl <= 0 then
+    invalid_arg "Serve.create: ticket_ttl must be positive";
   let telemetry = Monitor.telemetry platform.Platform.monitor in
+  let rng = Rng.split platform.Platform.rng in
   {
     platform;
     config;
-    rng = Rng.split platform.Platform.rng;
+    rng;
     telemetry;
     sched =
       Sched.create ~shared_clock:platform.Platform.clock ~telemetry config.sched;
@@ -143,8 +172,11 @@ let create ~platform (config : config) =
     tenant_order = [];
     sessions = Hashtbl.create 16;
     seen_nonces = Hashtbl.create 64;
+    nonce_order = Queue.create ();
+    ticket_key = Rng.bytes rng 32;
     next_session = 0;
     qe = None;
+    destroyed = false;
   }
 
 let reject t r =
@@ -156,12 +188,50 @@ let backoff t attempt =
     (World_switch.retry_backoff_cost t.platform.Platform.cost ~attempt)
 
 (* Channel crypto cost: the plane's AEAD (AES-CTR + HMAC) runs at a few
-   cycles per byte with a fixed setup — a stand-in charge, since the
-   byte-level kernels are not threaded through the serving hot path. *)
-let aead_cycles ~bytes = 2_000 + (3 * bytes)
+   cycles per byte with a fixed setup.  The one-shot paths (handshake,
+   tickets) pay setup + bytes per call; the zero-copy request path pays
+   the setup once per prepared session / ring batch and per-byte
+   everywhere else — the crypto analogue of the ECALL ring amortizing
+   EENTER. *)
+let aead_setup_cycles = 2_000
+let aead_byte_cycles = 3
+let aead_cycles ~bytes = aead_setup_cycles + (aead_byte_cycles * bytes)
 
 let charge_aead t ~bytes =
   Cycles.tick t.platform.Platform.clock (aead_cycles ~bytes)
+
+let charge_aead_setup t = Cycles.tick t.platform.Platform.clock aead_setup_cycles
+
+let charge_aead_bytes t ~bytes =
+  Cycles.tick t.platform.Platform.clock (aead_byte_cycles * bytes)
+
+(* Bounded replay cache: burn a nonce, evicting oldest entries past the
+   configured bound so session churn cannot grow the table without
+   limit.  Returns [true] when the nonce was already burnt. *)
+let nonce_replayed t nonce =
+  let key = Bytes.to_string nonce in
+  if Hashtbl.mem t.seen_nonces key then true
+  else begin
+    Hashtbl.replace t.seen_nonces key ();
+    Queue.push key t.nonce_order;
+    while Queue.length t.nonce_order > t.config.nonce_cache do
+      Hashtbl.remove t.seen_nonces (Queue.pop t.nonce_order)
+    done;
+    false
+  end
+
+(* EDMM state slots are recycled through the tenant's free list before
+   the stride arena grows — open/close churn reuses slots instead of
+   leaking them. *)
+let alloc_slot (tn : tenant) =
+  match tn.free_slots with
+  | slot :: rest ->
+      tn.free_slots <- rest;
+      slot
+  | [] ->
+      let slot = tn.next_slot in
+      tn.next_slot <- slot + 1;
+      slot
 
 (* ---------------------------------------------------------------------- *)
 (* Session state ECALL (EDMM-backed elastic per-session state)            *)
@@ -206,6 +276,7 @@ let add_tenant t ~name (bc : Backend.config) =
       spent = 0;
       budget = (match t.config.cycle_quota with Some q -> q | None -> max_int);
       next_slot = 0;
+      free_slots = [];
     }
   in
   Hashtbl.replace t.tenants name tenant;
@@ -271,15 +342,13 @@ let handshake t ~tenant hello =
   match Hashtbl.find_opt t.tenants tenant with
   | None -> reject t (Unknown_tenant tenant)
   | Some tn -> (
-      let nonce_key = Bytes.to_string hello.nonce in
-      if Hashtbl.mem t.seen_nonces nonce_key then begin
+      (* Burn the nonce even when the handshake later fails: a replayed
+         challenge must never get a second quote. *)
+      if nonce_replayed t hello.nonce then begin
         Telemetry.incr t.telemetry "serve.handshake_rejected";
         reject t Replayed_nonce
       end
       else begin
-        (* Burn the nonce even when the handshake later fails: a replayed
-           challenge must never get a second quote. *)
-        Hashtbl.replace t.seen_nonces nonce_key ();
         match tn.backend.Backend.identity with
         | None ->
             Telemetry.incr t.telemetry "serve.handshake_rejected";
@@ -316,13 +385,17 @@ let handshake t ~tenant hello =
                     let key = derive_key ~shared ~nonce:hello.nonce in
                     let session_id = t.next_session in
                     t.next_session <- session_id + 1;
-                    let state_slot = tn.next_slot in
-                    tn.next_slot <- state_slot + 1;
+                    let state_slot = alloc_slot tn in
+                    (* Prepare the session's AEAD key material once: every
+                       envelope on this channel rides the zero-copy path
+                       without paying per-request setup. *)
+                    charge_aead_setup t;
                     Hashtbl.replace t.sessions session_id
                       {
                         s_id = session_id;
                         tenant = tn;
                         key;
+                        keys = Authenc.prepare key;
                         state_slot;
                         recv_seq = 0;
                         pending = [];
@@ -376,19 +449,23 @@ let submit t (req : request) =
   | None -> reject t (Unknown_session req.session_id)
   | Some s -> (
       let tn = s.tenant in
-      charge_aead t ~bytes:(Bytes.length req.envelope.Authenc.ciphertext);
+      (* Zero-copy admission: authenticate the envelope where it lies (a
+         MAC pass over the ciphertext, no plaintext allocated) and defer
+         the decrypt to the batched flush.  Per-byte MAC cost only — the
+         AEAD setup was paid once when the session's keys were
+         prepared. *)
+      charge_aead_bytes t ~bytes:(Bytes.length req.envelope.Authenc.ciphertext);
       let expected_aad =
         aad_req ~session_id:req.session_id ~seq:req.seq ~ecall_id:req.ecall_id
       in
       if not (Bytes.equal expected_aad req.envelope.Authenc.aad) then
         reject t Bad_auth
+      else if not (Authenc.verify_sealed s.keys req.envelope) then
+        reject t Bad_auth
+      else if req.seq <> s.recv_seq then
+        reject t (Bad_sequence { expected = s.recv_seq; got = req.seq })
       else
-        match Authenc.unseal ~key:s.key req.envelope with
-        | exception Authenc.Authentication_failure -> reject t Bad_auth
-        | plaintext ->
-            if req.seq <> s.recv_seq then
-              reject t (Bad_sequence { expected = s.recv_seq; got = req.seq })
-            else begin
+        begin
               (* The envelope authenticated with the expected sequence
                  number: the number is burnt from here on, whatever the
                  admission outcome — the client's counter advanced when
@@ -419,7 +496,7 @@ let submit t (req : request) =
                            quota = tn.budget;
                          })
                   else begin
-                    s.pending <- (req.seq, req.ecall_id, plaintext) :: s.pending;
+                    s.pending <- (req.seq, req.ecall_id, req.envelope) :: s.pending;
                     tn.queued <- tn.queued + 1;
                     Telemetry.incr t.telemetry "serve.request.admitted";
                     Telemetry.incr t.telemetry
@@ -441,6 +518,20 @@ let sessions_of t (tn : tenant) =
     t.sessions []
   |> List.sort (fun a b -> compare a.s_id b.s_id)
 
+(* Split [l] into chunks of at most [k] elements, preserving order. *)
+let rec chunked k = function
+  | [] -> []
+  | l ->
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: rest ->
+            let taken, left = take (n - 1) rest in
+            (x :: taken, left)
+      in
+      let c, rest = take k l in
+      c :: chunked k rest
+
 let flush t =
   Telemetry.incr t.telemetry "serve.flush";
   (* Every staged request gets a stable admission-order index; results
@@ -456,67 +547,105 @@ let flush t =
   in
   let record = Hashtbl.create 32 in
   (* idx -> raw result, filled by the dispatch callbacks *)
+  (* Pass 1: drain every session's admitted envelopes per tenant.
+     Permanent session faults surface now as typed errors; the session
+     itself stays usable. *)
+  let staged_by_tenant =
+    List.map
+      (fun name ->
+        let tn = Hashtbl.find t.tenants name in
+        let staged = ref [] in
+        List.iter
+          (fun s ->
+            let work = List.rev s.pending in
+            s.pending <- [];
+            tn.queued <- tn.queued - List.length work;
+            match
+              Fault.with_retries ~backoff:(backoff t) (fun () ->
+                  Fault.point fault_site)
+            with
+            | () ->
+                List.iter
+                  (fun (seq, ecall, envelope) ->
+                    staged := (s, seq, ecall, envelope) :: !staged)
+                  work
+            | exception Fault.Injected { site; kind } ->
+                let msg = injected_msg site kind in
+                List.iter
+                  (fun (seq, _, _) ->
+                    ignore (push s seq (Error (Session_fault msg))))
+                  work)
+          (sessions_of t tn);
+        (tn, List.rev !staged))
+      (List.rev t.tenant_order)
+  in
+  (* Chunk each tenant's staged work into ring-sized jobs spread over
+     the cores: one job per tenant leaves cores idle when tenants are
+     few, so the chunk length shrinks until the whole flush covers
+     every core (never above the call-ring batch size). *)
+  let flush_total =
+    List.fold_left (fun acc (_, l) -> acc + List.length l) 0 staged_by_tenant
+  in
+  let cores = max 1 t.config.sched.Sched.cores in
+  let ring = max 1 (min Urts.max_batch t.config.sched.Sched.batch) in
+  let chunk_len = max 1 (min ring ((flush_total + cores - 1) / cores)) in
+  let reply_ring = ring in
   List.iter
-    (fun name ->
-      let tn = Hashtbl.find t.tenants name in
-      let staged = ref [] in
+    (fun (tn, staged) ->
       List.iter
-        (fun s ->
-          let work = List.rev s.pending in
-          s.pending <- [];
-          tn.queued <- tn.queued - List.length work;
-          match
-            Fault.with_retries ~backoff:(backoff t) (fun () ->
-                Fault.point fault_site)
-          with
-          | () ->
-              List.iter
-                (fun (seq, ecall, plaintext) ->
-                  staged := (s, seq, ecall, plaintext) :: !staged)
-                work
-          | exception Fault.Injected { site; kind } ->
-              (* Permanent session fault: this round's requests surface
-                 as typed errors; the session itself stays usable. *)
-              let msg = injected_msg site kind in
-              List.iter
-                (fun (seq, _, _) ->
-                  ignore (push s seq (Error (Session_fault msg))))
-                work)
-        (sessions_of t tn);
-      let staged = List.rev !staged in
-      if staged <> [] then begin
-        let slots =
-          Array.of_list
-            (List.map (fun (s, seq, _, _) -> push s seq (Ok Bytes.empty)) staged)
-        in
-        let reqs = List.map (fun (_, _, ecall, pl) -> (ecall, pl)) staged in
-        match tn.backend.Backend.urts with
-        | Some urts ->
-            Sched.submit t.sched ~urts
-              ~on_result:(fun ~index result ->
-                Hashtbl.replace record slots.(index) result)
-              ~on_slice:(fun ~cycles -> charge t tn cycles)
-              reqs
-        | None ->
-            (* No SDK handle (the SGX model): dispatch directly through
-               the backend's batch call, charging the shared-clock delta
-               as this tenant's quota spend. *)
-            let clock = t.platform.Platform.clock in
-            let before = Cycles.now clock in
-            let outcomes = Backend.protected_batch tn.backend ~reqs () in
-            charge t tn (Cycles.now clock - before);
-            List.iteri
-              (fun i outcome ->
-                Hashtbl.replace record slots.(i)
-                  (match outcome with
-                  | Backend.Success reply -> Ok reply
-                  | Backend.Typed_error m | Backend.Violation m -> Error m))
-              outcomes
-      end)
-    (List.rev t.tenant_order);
+        (fun chunk ->
+          (* Deferred in-place decrypt: the envelopes were tag-verified
+             at admission, so completing them is one CTR pass per chunk
+             — AEAD setup amortized over the ring batch, per-byte cost
+             for the rest. *)
+          charge_aead_setup t;
+          let items =
+            List.map
+              (fun (s, seq, ecall, (env : Authenc.sealed)) ->
+                let len = Bytes.length env.Authenc.ciphertext in
+                charge_aead_bytes t ~bytes:len;
+                let plaintext = Bytes.create len in
+                Authenc.decrypt_into s.keys ~nonce:env.Authenc.nonce
+                  ~src:env.Authenc.ciphertext ~src_off:0 ~dst:plaintext
+                  ~dst_off:0 ~len;
+                (s, seq, ecall, plaintext))
+              chunk
+          in
+          let slots =
+            Array.of_list
+              (List.map (fun (s, seq, _, _) -> push s seq (Ok Bytes.empty)) items)
+          in
+          let reqs = List.map (fun (_, _, ecall, pl) -> (ecall, pl)) items in
+          match tn.backend.Backend.urts with
+          | Some urts ->
+              Sched.submit t.sched ~urts
+                ~on_result:(fun ~index result ->
+                  Hashtbl.replace record slots.(index) result)
+                ~on_slice:(fun ~cycles -> charge t tn cycles)
+                reqs
+          | None ->
+              (* No SDK handle (the SGX model): dispatch directly through
+                 the backend's batch call, charging the shared-clock delta
+                 as this tenant's quota spend. *)
+              let clock = t.platform.Platform.clock in
+              let before = Cycles.now clock in
+              let outcomes = Backend.protected_batch tn.backend ~reqs () in
+              charge t tn (Cycles.now clock - before);
+              List.iteri
+                (fun i outcome ->
+                  Hashtbl.replace record slots.(i)
+                    (match outcome with
+                    | Backend.Success reply -> Ok reply
+                    | Backend.Typed_error m | Backend.Violation m -> Error m))
+                outcomes)
+        (chunked chunk_len staged))
+    staged_by_tenant;
   ignore (Sched.run t.sched : Sched.stats);
   (* Seal after the scheduler has drained so channel crypto is charged
-     to the plane, not smeared into per-core slice accounting. *)
+     to the plane, not smeared into per-core slice accounting.  Replies
+     ride the zero-copy path: prepared session keys, one AEAD setup per
+     ring's worth of sealed replies. *)
+  let sealed_in_batch = ref 0 in
   !out
   |> List.map (fun (idx, s, seq, early) ->
          let result =
@@ -533,17 +662,22 @@ let flush t =
   |> List.map (fun (_, s, seq, result) ->
          match result with
          | Ok body ->
-             charge_aead t ~bytes:(Bytes.length body);
+             if !sealed_in_batch = 0 then charge_aead_setup t;
+             sealed_in_batch := (!sealed_in_batch + 1) mod reply_ring;
+             charge_aead_bytes t ~bytes:(Bytes.length body);
              Telemetry.incr t.telemetry "serve.request.ok";
+             let nonce = envelope_nonce ~dir:'<' ~seq in
+             let aad = aad_rep ~session_id:s.s_id ~seq in
+             let len = Bytes.length body in
+             let ciphertext = Bytes.create len in
+             let tag =
+               Authenc.seal_into s.keys ~aad ~nonce ~src:body ~src_off:0
+                 ~dst:ciphertext ~dst_off:0 ~len ()
+             in
              {
                r_session_id = s.s_id;
                r_seq = seq;
-               r_result =
-                 Ok
-                   (Authenc.seal ~key:s.key
-                      ~aad:(aad_rep ~session_id:s.s_id ~seq)
-                      ~nonce:(envelope_nonce ~dir:'<' ~seq)
-                      body);
+               r_result = Ok { Authenc.nonce; ciphertext; tag; aad };
              }
          | Error rej ->
              Telemetry.incr t.telemetry "serve.request.failed";
@@ -597,11 +731,146 @@ let quota_state t ~tenant =
   | Some tn -> (tn.spent, tn.budget)
 
 let session_count t = Hashtbl.length t.sessions
-let sched_stats t = Sched.run t.sched
+
+let sched_stats t = Sched.stats t.sched
+
+(* Retire a session: unstage anything still queued, recycle its EDMM
+   state slot through the tenant's free list, drop the table entry. *)
+let close_session t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> reject t (Unknown_session session)
+  | Some s ->
+      let tn = s.tenant in
+      tn.queued <- tn.queued - List.length s.pending;
+      s.pending <- [];
+      Hashtbl.remove t.sessions session;
+      tn.free_slots <- s.state_slot :: tn.free_slots;
+      Telemetry.incr t.telemetry "serve.session_close";
+      Ok ()
 
 let destroy t =
-  (match t.qe with Some u -> Urts.destroy u | None -> ());
-  t.qe <- None
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    (match t.qe with Some u -> Urts.destroy u | None -> ());
+    t.qe <- None;
+    (* The plane built every tenant backend ([add_tenant] calls
+       [Backend.create]), so it owns their teardown too — callers no
+       longer destroy the returned handle themselves. *)
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt t.tenants name with
+        | Some tn -> tn.backend.Backend.destroy ()
+        | None -> ())
+      (List.rev t.tenant_order);
+    Hashtbl.reset t.tenants;
+    Hashtbl.reset t.sessions;
+    Hashtbl.reset t.seen_nonces;
+    Queue.clear t.nonce_order;
+    t.tenant_order <- []
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* Session resumption                                                     *)
+
+let ticket_aad = Bytes.of_string "serve-ticket:v1"
+
+(* Ticket payload: [8B LE name_len][name][32B session key][8B LE expiry]. *)
+let encode_ticket ~tenant ~key ~expires =
+  let name = Bytes.of_string tenant in
+  let name_len = Bytes.length name in
+  let buf = Bytes.create (8 + name_len + 32 + 8) in
+  Bytes.set_int64_le buf 0 (Int64.of_int name_len);
+  Bytes.blit name 0 buf 8 name_len;
+  Bytes.blit key 0 buf (8 + name_len) 32;
+  Bytes.set_int64_le buf (8 + name_len + 32) (Int64.of_int expires);
+  buf
+
+let decode_ticket payload =
+  if Bytes.length payload < 48 then None
+  else
+    let name_len = Int64.to_int (Bytes.get_int64_le payload 0) in
+    if name_len < 0 || name_len > Bytes.length payload - 48 then None
+    else if Bytes.length payload <> 8 + name_len + 40 then None
+    else
+      let tenant = Bytes.sub_string payload 8 name_len in
+      let key = Bytes.sub payload (8 + name_len) 32 in
+      let expires =
+        Int64.to_int (Bytes.get_int64_le payload (8 + name_len + 32))
+      in
+      Some (tenant, key, expires)
+
+let issue_ticket t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> reject t (Unknown_session session)
+  | Some s ->
+      let expires =
+        Cycles.now t.platform.Platform.clock + t.config.ticket_ttl
+      in
+      let payload = encode_ticket ~tenant:s.tenant.t_name ~key:s.key ~expires in
+      charge_aead t ~bytes:(Bytes.length payload);
+      let sealed =
+        Authenc.seal ~key:t.ticket_key ~aad:ticket_aad
+          ~nonce:(Rng.bytes t.rng 12) payload
+      in
+      Telemetry.incr t.telemetry "serve.ticket_issued";
+      Ok (Authenc.encode sealed)
+
+(* The resumed channel never reuses the ticketed traffic key directly:
+   both sides derive a fresh one from it and the client's resumption
+   nonce, so tickets are single-direction key material. *)
+let resumed_key ~key ~nonce =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "hyperenclave-serve-resume:";
+  Sha256.update ctx key;
+  Sha256.update ctx nonce;
+  Sha256.finalize ctx
+
+type resume = { r_ticket : bytes; r_nonce : bytes }
+
+let resume t (r : resume) =
+  (* Burn the nonce first, success or not — a replayed resumption must
+     never open a second session. *)
+  if nonce_replayed t r.r_nonce then reject t Replayed_nonce
+  else
+    match Authenc.decode r.r_ticket with
+    | exception Invalid_argument m -> reject t (Bad_ticket m)
+    | sealed ->
+        if not (Bytes.equal sealed.Authenc.aad ticket_aad) then
+          reject t (Bad_ticket "wrong ticket domain")
+        else begin
+          charge_aead t ~bytes:(Bytes.length sealed.Authenc.ciphertext);
+          match Authenc.unseal ~key:t.ticket_key sealed with
+          | exception Authenc.Authentication_failure ->
+              reject t (Bad_ticket "ticket authentication failed")
+          | payload -> (
+              match decode_ticket payload with
+              | None -> reject t (Bad_ticket "malformed ticket payload")
+              | Some (tenant, key, expires) -> (
+                  if Cycles.now t.platform.Platform.clock > expires then
+                    reject t Ticket_expired
+                  else
+                    match Hashtbl.find_opt t.tenants tenant with
+                    | None -> reject t (Unknown_tenant tenant)
+                    | Some tn ->
+                        let key = resumed_key ~key ~nonce:r.r_nonce in
+                        let session_id = t.next_session in
+                        t.next_session <- session_id + 1;
+                        let state_slot = alloc_slot tn in
+                        charge_aead_setup t;
+                        Hashtbl.replace t.sessions session_id
+                          {
+                            s_id = session_id;
+                            tenant = tn;
+                            key;
+                            keys = Authenc.prepare key;
+                            state_slot;
+                            recv_seq = 0;
+                            pending = [];
+                          };
+                        Telemetry.incr t.telemetry "serve.resume";
+                        Telemetry.incr t.telemetry "serve.session_open";
+                        Ok session_id))
+        end
 
 (* ---------------------------------------------------------------------- *)
 (* Client                                                                 *)
@@ -617,6 +886,8 @@ module Client = struct
     mutable hs : hs option;
     mutable session : (int * bytes) option;  (* id, key *)
     mutable send_seq : int;
+    mutable pending_resume : (bytes * bytes) option;
+        (* (resumption nonce, ticketed key) while a resume is in flight *)
   }
 
   let create ~rng ~golden ~policy ?expected_tenant () =
@@ -628,6 +899,7 @@ module Client = struct
       hs = None;
       session = None;
       send_seq = 0;
+      pending_resume = None;
     }
 
   let hello t =
@@ -636,7 +908,27 @@ module Client = struct
     t.hs <- Some { hs_nonce; secret; hs_client_kx };
     t.session <- None;
     t.send_seq <- 0;
+    t.pending_resume <- None;
     { nonce = hs_nonce; client_kx = hs_client_kx }
+
+  let resume_hello t ~ticket =
+    match t.session with
+    | None ->
+        invalid_arg "Serve.Client.resume_hello: no session key to resume from"
+    | Some (_, key) ->
+        let nonce = Rng.bytes t.rng 16 in
+        t.pending_resume <- Some (nonce, key);
+        t.hs <- None;
+        t.session <- None;
+        t.send_seq <- 0;
+        { r_ticket = ticket; r_nonce = nonce }
+
+  let complete_resume t ~session_id =
+    match t.pending_resume with
+    | None -> invalid_arg "Serve.Client.complete_resume: no resume in flight"
+    | Some (nonce, key) ->
+        t.pending_resume <- None;
+        t.session <- Some (session_id, resumed_key ~key ~nonce)
 
   let establish t (accept : accept) =
     match t.hs with

@@ -70,6 +70,11 @@ type reject =
   | Quota_exhausted of { tenant : string; spent : int; quota : int }
   | Session_fault of string
       (** a permanent fault surfaced as a typed session error *)
+  | Bad_ticket of string
+      (** a resumption ticket that failed structural decode, carried the
+          wrong AAD domain, failed authentication, or had a malformed
+          payload *)
+  | Ticket_expired  (** a well-formed ticket past its TTL *)
 
 val reject_name : reject -> string
 (** Short stable label, also the telemetry suffix ([serve.reject.<name>]). *)
@@ -91,11 +96,18 @@ type config = {
           {!grant} *)
   state_stride_pages : int;
       (** per-session elastic state region size, in pages *)
+  nonce_cache : int;
+      (** replay-cache bound: only the most recent [nonce_cache]
+          handshake / resumption nonces are remembered (FIFO eviction),
+          so session churn cannot grow the table without limit *)
+  ticket_ttl : int;
+      (** resumption-ticket lifetime in shared-clock cycles *)
 }
 
 val default_config : config
 (** 2 cores (scheduler defaults with [drop_on_error]), 64-request
-    queues, unmetered quotas, 16-page session state stride. *)
+    queues, unmetered quotas, 16-page session state stride, 1024-nonce
+    replay cache, 1e9-cycle ticket TTL. *)
 
 type t
 
@@ -151,15 +163,17 @@ val handshake : t -> tenant:string -> hello -> (accept, reject) result
     a session.  Counters: [serve.handshake] / [serve.handshake_rejected]. *)
 
 val submit : t -> request -> (unit, reject) result
-(** Authenticate, decrypt and admit one request: AEAD check, strict
-    sequence check, per-tenant queue bound, per-tenant cycle quota.
-    Admitted plaintext waits for {!flush}. *)
+(** Authenticate and admit one request: AAD + AEAD tag check where the
+    envelope lies (no plaintext allocated), strict sequence check,
+    per-tenant queue bound, per-tenant cycle quota.  The decrypt is
+    deferred to {!flush} — zero-copy admission. *)
 
 val flush : t -> reply list
-(** Drain every admitted request — enclave tenants as batched ECALLs
-    through the scheduler, SGX-model tenants through the backend batch
-    call — charge tenant quotas, and seal the replies (admission order
-    per flush). *)
+(** Complete the deferred decrypts in ring-sized chunks spread over the
+    scheduler's cores, drain every admitted request — enclave tenants
+    as batched ECALLs through the scheduler, SGX-model tenants through
+    the backend batch call — charge tenant quotas, and seal the replies
+    with the sessions' prepared keys (admission order per flush). *)
 
 val resize_session : t -> session:int -> pages:int -> (int, reject) result
 (** Commit [pages] pages of in-enclave session state through the
@@ -176,12 +190,48 @@ val quota_state : t -> tenant:string -> int * int
 (** [(spent, budget)] — budget is [max_int] when unmetered. *)
 
 val session_count : t -> int
+
 val sched_stats : t -> Hyperenclave_sched.Sched.stats
-(** Cumulative scheduler statistics across every {!flush} so far. *)
+(** Cumulative scheduler statistics across every {!flush} so far — a
+    read-only snapshot ({!Hyperenclave_sched.Sched.stats}); it never
+    runs the scheduler. *)
+
+val close_session : t -> session:int -> (unit, reject) result
+(** Retire a session: drop anything still queued (the tenant's queue
+    count shrinks accordingly), recycle its state slot for the next
+    session on the same tenant, and forget the channel key.  Counter:
+    [serve.session_close]. *)
 
 val destroy : t -> unit
-(** Tear down the quoting enclave (tenant backends belong to their
-    creators). *)
+(** Tear down the plane: the quoting enclave, then every tenant backend
+    (the plane built them, so it owns them — do not also call the
+    handle's [destroy]).  All session / tenant / replay state is
+    cleared.  Idempotent. *)
+
+(** {1 Session resumption}
+
+    A live session can be converted into a {e ticket}: the channel key
+    and tenant identity sealed under a plane-local key with a TTL.  A
+    returning client presents the ticket with a fresh nonce and gets a
+    new session for one AEAD unseal — skipping the quote generation and
+    verification of the full SIGMA handshake (an order of magnitude
+    cheaper).  Both sides derive the new channel key as
+    [H(ticket_key, nonce)], so the ticketed key itself never carries
+    traffic, and the plane burns resumption nonces in the same bounded
+    replay cache as handshake nonces. *)
+
+val issue_ticket : t -> session:int -> (bytes, reject) result
+(** Seal [(tenant, session key, expiry)] under the plane's ticket key.
+    The wire form is opaque to the client.  Counter:
+    [serve.ticket_issued]. *)
+
+type resume = { r_ticket : bytes; r_nonce : bytes }
+
+val resume : t -> resume -> (int, reject) result
+(** Open a new session from a ticket: replay check on the nonce, ticket
+    unseal + decode, TTL check, tenant lookup, fresh key derivation.
+    Typed failures: {!Replayed_nonce}, {!Bad_ticket}, {!Ticket_expired},
+    {!Unknown_tenant}.  Counters: [serve.resume], [serve.session_open]. *)
 
 (** {1 Client} *)
 
@@ -209,6 +259,17 @@ module Client : sig
   val establish : t -> accept -> (unit, reject) result
   (** Decode + verify the quote, check the transcript binding, derive
       the session key. *)
+
+  val resume_hello : t -> ticket:bytes -> resume
+  (** Start a resumption from the current session's key and a ticket
+      previously issued for it: fresh nonce, sequence reset.  The old
+      session becomes unusable on this client.
+      @raise Invalid_argument without an established session. *)
+
+  val complete_resume : t -> session_id:int -> unit
+  (** Accept the plane's {!val-resume} result: derive the resumed
+      channel key and switch to the new session.
+      @raise Invalid_argument without a {!resume_hello} in flight. *)
 
   val session_id : t -> int
   (** @raise Invalid_argument before a session is established. *)

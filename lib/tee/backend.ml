@@ -8,6 +8,11 @@ type env = {
   compute : int -> unit;
   mem : Mem_sim.t;
   ocall : id:int -> ?data:bytes -> unit -> bytes;
+  ocall_ring : reqs:(int * bytes) list -> unit -> bytes list;
+      (** Batched OCALLs through the backend's reply ring where it has
+          one (HyperEnclave's OBATCH path); ring-less backends dispatch
+          sequentially — the baseline the amortization is measured
+          against. *)
   interrupt : unit -> unit;
   heap_write : off:int -> bytes -> unit;
   heap_read : off:int -> len:int -> bytes;
@@ -82,6 +87,15 @@ let native ~clock ~cost ~rng ~handlers ~ocalls =
           match Hashtbl.find_opt ocall_tbl id with
           | Some h -> h data
           | None -> invalid_arg (Printf.sprintf "native: unknown OCALL %d" id));
+      ocall_ring =
+        (fun ~reqs () ->
+          List.map
+            (fun (id, data) ->
+              match Hashtbl.find_opt ocall_tbl id with
+              | Some h -> h data
+              | None ->
+                  invalid_arg (Printf.sprintf "native: unknown OCALL %d" id))
+            reqs);
       (* Native code takes timer interrupts too: handler plus scheduler
          work, without any enclave exit on top. *)
       interrupt = (fun () -> Cycles.tick clock (1_800 + cost.Cost_model.os_ctxsw));
@@ -138,6 +152,13 @@ let hyperenclave (platform : Platform.t) ~mode ?(tweak = fun c -> c) ~handlers
           let reply = tenv.Tenv.ocall ~id ?data Edge.In_out in
           Mem_sim.tlb_flush mem;
           reply);
+      ocall_ring =
+        (fun ~reqs () ->
+          (* One EEXIT/ORET pair for the whole ring — and one TLB flush,
+             where the sequential path pays one per OCALL. *)
+          let replies = tenv.Tenv.ocall_ring ~reqs () in
+          Mem_sim.tlb_flush mem;
+          replies);
       interrupt = tenv.Tenv.interrupt_now;
       (* Real demand-paged enclave heap: touching a wide offset range
          commits EPC frames and, on small platforms, forces EWB/ELDU —
@@ -201,6 +222,16 @@ let sgx ~clock ~cost ~rng ?(epc_bytes = Platform.sgx_epc_bytes)
           let reply = Sgx_model.ocall enclave ~id ?data () in
           Mem_sim.tlb_flush mem;
           reply);
+      ocall_ring =
+        (fun ~reqs () ->
+          (* No reply ring in the SGX model: each OCALL pays its own
+             world switch and TLB flush. *)
+          List.map
+            (fun (id, data) ->
+              let reply = Sgx_model.ocall enclave ~id ~data () in
+              Mem_sim.tlb_flush mem;
+              reply)
+            reqs);
       interrupt = (fun () -> Sgx_model.interrupt enclave);
       heap_write = (let w, _ = heap in w);
       heap_read = (let _, r = heap in r);

@@ -22,6 +22,11 @@ type env = {
   compute : int -> unit;  (** charge pure computation *)
   mem : Mem_sim.t;  (** memory-system behaviour *)
   ocall : id:int -> ?data:bytes -> unit -> bytes;
+  ocall_ring : reqs:(int * bytes) list -> unit -> bytes list;
+      (** batched OCALLs through the backend's reply ring where it has
+          one (HyperEnclave's single EEXIT + OBATCH ORET for K <= 16
+          replies); native and SGX dispatch sequentially, which is the
+          baseline the ring's amortization is measured against *)
   interrupt : unit -> unit;  (** a timer tick lands now *)
   heap_write : off:int -> bytes -> unit;
       (** write at a byte offset into the workload's heap.  On the

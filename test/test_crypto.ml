@@ -176,6 +176,117 @@ let test_authenc () =
     "encode/decode roundtrip" "secret data"
     (Bytes.to_string (Authenc.unseal ~key decoded))
 
+(* --- zero-copy path ---------------------------------------------------------------------- *)
+
+let test_ctr_into () =
+  let raw_key = Bytes.of_string "0123456789abcdef" in
+  let key = Aes.expand_key raw_key in
+  let nonce = Bytes.make 12 '\x07' in
+  let data = Bytes.of_string "slices must match the one-shot keystream" in
+  let oneshot = Aes.ctr_transform ~key:raw_key ~nonce data in
+  (* Same offset in a larger buffer. *)
+  let src = Bytes.cat (Bytes.of_string "pad:") data in
+  let dst = Bytes.make (Bytes.length src) '\x00' in
+  Aes.ctr_into ~key ~nonce ~src ~src_off:4 ~dst ~dst_off:4
+    ~len:(Bytes.length data);
+  Alcotest.(check string)
+    "slice = one-shot"
+    (Bytes.to_string oneshot)
+    (Bytes.to_string (Bytes.sub dst 4 (Bytes.length data)));
+  (* Aliased src/dst: a true in-place transform. *)
+  let buf = Bytes.copy data in
+  Aes.ctr_into ~key ~nonce ~src:buf ~src_off:0 ~dst:buf ~dst_off:0
+    ~len:(Bytes.length buf);
+  Alcotest.(check string)
+    "in-place = one-shot" (Bytes.to_string oneshot) (Bytes.to_string buf);
+  Aes.ctr_into ~key ~nonce ~src:buf ~src_off:0 ~dst:buf ~dst_off:0
+    ~len:(Bytes.length buf);
+  Alcotest.(check string)
+    "in-place inverts" (Bytes.to_string data) (Bytes.to_string buf);
+  Alcotest.check_raises "bounds checked"
+    (Invalid_argument "Aes.ctr_into: source slice out of bounds") (fun () ->
+      Aes.ctr_into ~key ~nonce ~src:buf ~src_off:1 ~dst:buf ~dst_off:0
+        ~len:(Bytes.length buf))
+
+let test_update_sub () =
+  let data = Bytes.of_string "incremental hashing over sub-slices" in
+  let ctx = Sha256.init () in
+  Sha256.update_sub ctx data ~off:0 ~len:11;
+  Sha256.update_sub ctx data ~off:11 ~len:(Bytes.length data - 11);
+  Alcotest.(check string)
+    "update_sub = digest"
+    (hex (Sha256.digest_bytes data))
+    (hex (Sha256.finalize ctx));
+  let ctx = Sha256.init () in
+  Alcotest.check_raises "slice bounds"
+    (Invalid_argument "Sha256.update_sub: slice out of bounds") (fun () ->
+      Sha256.update_sub ctx data ~off:1 ~len:(Bytes.length data))
+
+let test_hmac_slices () =
+  let key = Bytes.of_string "hmac-slices-key" in
+  let a = Bytes.of_string "first|" in
+  let b = Bytes.of_string "XXsecondYY" in
+  let whole = Bytes.cat a (Bytes.sub b 2 6) in
+  Alcotest.(check string)
+    "slices = concatenation"
+    (hex (Hmac.hmac ~key whole))
+    (hex
+       (Hmac.hmac_slices ~key
+          [ (a, 0, Bytes.length a); (b, 2, 6) ]))
+
+let test_authenc_zero_copy () =
+  let key = Hmac.derive ~key:(Bytes.of_string "root") ~info:"zc" in
+  let keys = Authenc.prepare key in
+  let nonce = Bytes.make 12 '\x21' in
+  let aad = Bytes.of_string "zc-policy" in
+  let plaintext = Bytes.of_string "zero-copy sealed payload" in
+  let len = Bytes.length plaintext in
+  let reference = Authenc.seal ~key ~aad ~nonce plaintext in
+  (* seal_into produces the same ciphertext and tag as the one-shot. *)
+  let ct = Bytes.create len in
+  let tag =
+    Authenc.seal_into keys ~aad ~nonce ~src:plaintext ~src_off:0 ~dst:ct
+      ~dst_off:0 ~len ()
+  in
+  Alcotest.(check string)
+    "ciphertext = one-shot"
+    (Bytes.to_string reference.Authenc.ciphertext)
+    (Bytes.to_string ct);
+  Alcotest.(check string)
+    "tag = one-shot" (hex reference.Authenc.tag) (hex tag);
+  (* verify_sealed / verify_slice authenticate without plaintext. *)
+  Alcotest.(check bool)
+    "verify_sealed ok" true (Authenc.verify_sealed keys reference);
+  Alcotest.(check bool)
+    "verify_slice ok" true
+    (Authenc.verify_slice keys ~aad ~nonce ~tag ~buf:ct ~off:0 ~len ());
+  let bad = { reference with Authenc.aad = Bytes.of_string "other" } in
+  Alcotest.(check bool)
+    "verify_sealed rejects wrong aad" false (Authenc.verify_sealed keys bad);
+  (* decrypt_into completes a deferred unseal. *)
+  let out = Bytes.create len in
+  Authenc.decrypt_into keys ~nonce ~src:ct ~src_off:0 ~dst:out ~dst_off:0 ~len;
+  Alcotest.(check string)
+    "deferred decrypt" (Bytes.to_string plaintext) (Bytes.to_string out);
+  (* unseal_in_place roundtrips and leaves the buffer untouched on a
+     bad tag. *)
+  let buf = Bytes.copy ct in
+  Authenc.unseal_in_place keys ~aad ~nonce ~tag buf ~off:0 ~len;
+  Alcotest.(check string)
+    "in-place unseal" (Bytes.to_string plaintext) (Bytes.to_string buf);
+  let buf = Bytes.copy ct in
+  let wrong = Bytes.map (fun c -> Char.chr (Char.code c lxor 1)) tag in
+  Alcotest.check_raises "in-place tamper" Authenc.Authentication_failure
+    (fun () -> Authenc.unseal_in_place keys ~aad ~nonce ~tag:wrong buf ~off:0 ~len);
+  Alcotest.(check string)
+    "buffer untouched on failure" (Bytes.to_string ct) (Bytes.to_string buf);
+  (* A prepared-keys unseal of a one-shot seal (and vice versa) is the
+     compatibility the serving plane relies on. *)
+  Alcotest.(check string)
+    "one-shot unseal of seal_into output" (Bytes.to_string plaintext)
+    (Bytes.to_string
+       (Authenc.unseal ~key { Authenc.nonce; ciphertext = ct; tag; aad }))
+
 (* --- properties ---------------------------------------------------------------------------- *)
 
 let qcheck_tests =
@@ -224,4 +335,8 @@ let suite =
       Alcotest.test_case "aes xts" `Quick test_aes_xts;
       Alcotest.test_case "signatures" `Quick test_signature;
       Alcotest.test_case "authenc" `Quick test_authenc;
+      Alcotest.test_case "aes ctr_into slices" `Quick test_ctr_into;
+      Alcotest.test_case "sha256 update_sub" `Quick test_update_sub;
+      Alcotest.test_case "hmac slices" `Quick test_hmac_slices;
+      Alcotest.test_case "authenc zero-copy" `Quick test_authenc_zero_copy;
     ]

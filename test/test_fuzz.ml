@@ -278,6 +278,68 @@ let libos_fd_invariants =
       Urts.destroy handle;
       !outcome)
 
+(* --- switchless ring frames: inverse + corruption --------------------------------- *)
+
+(* The ring frames cross the shared ms region, so the parser consumes
+   attacker-reachable bytes: encode/parse must be inverses, and every
+   truncation or corrupted length word must surface as the typed
+   [Urts.Enclave_error] — never a bare [Invalid_argument] from
+   [Bytes.sub]. *)
+let ring_frame_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 16)
+      (pair (int_range 0 1000) (string_size (int_range 0 64))))
+
+let ring_frame_roundtrip =
+  QCheck.Test.make ~name:"ring frame encode/parse inverse" ~count:200
+    (QCheck.make ring_frame_gen) (fun reqs ->
+      let reqs = List.map (fun (id, s) -> (id, Bytes.of_string s)) reqs in
+      let parsed =
+        Urts.parse_frames ~what:"fuzz" (Urts.frame_requests reqs)
+      in
+      List.map (fun (id, b) -> (id, Bytes.to_string b)) parsed
+      = List.map (fun (id, b) -> (id, Bytes.to_string b)) reqs)
+
+let ring_frame_truncation =
+  QCheck.Test.make ~name:"ring frame truncation rejected typed" ~count:50
+    (QCheck.make ring_frame_gen) (fun reqs ->
+      let reqs = List.map (fun (id, s) -> (id, Bytes.of_string s)) reqs in
+      let frame = Urts.frame_requests reqs in
+      let ok = ref true in
+      for len = 0 to Bytes.length frame - 1 do
+        match Urts.parse_frames ~what:"fuzz" (Bytes.sub frame 0 len) with
+        | _ -> () (* a shorter prefix can still be a valid frame *)
+        | exception Urts.Enclave_error _ -> ()
+        | exception exn ->
+            Printf.eprintf "prefix of %d/%d bytes raised %s\n" len
+              (Bytes.length frame) (Printexc.to_string exn);
+            ok := false
+      done;
+      !ok)
+
+let ring_frame_corrupt_length =
+  QCheck.Test.make ~name:"ring frame corrupt length word rejected typed"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair ring_frame_gen (oneof [ int_range (-1000) (-1); int_range 65 max_int ])))
+    (fun (reqs, bad_len) ->
+      let reqs =
+        match reqs with
+        | [] -> [ (1, Bytes.of_string "x") ]
+        | l -> List.map (fun (id, s) -> (id, Bytes.of_string s)) l
+      in
+      let frame = Urts.frame_requests reqs in
+      Bytes.set_int64_le frame 16 (Int64.of_int bad_len);
+      match Urts.parse_frames ~what:"fuzz" frame with
+      | _ ->
+          (* Only lengths that still fit the frame may parse. *)
+          bad_len >= 0 && bad_len <= Bytes.length frame - 32
+      | exception Urts.Enclave_error _ -> true
+      | exception exn ->
+          QCheck.Test.fail_reportf "length %d raised %s" bad_len
+            (Printexc.to_string exn))
+
 (* --- determinism -------------------------------------------------------------------- *)
 
 let platform_cycle_determinism =
@@ -318,6 +380,9 @@ let suite =
       vcpu_malformed_rejected;
       quote_wire_roundtrip;
       quote_wire_truncation;
+      ring_frame_roundtrip;
+      ring_frame_truncation;
+      ring_frame_corrupt_length;
       libos_fd_invariants;
       platform_cycle_determinism;
     ]

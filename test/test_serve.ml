@@ -496,6 +496,277 @@ let test_chaos_two_tenants_two_cores () =
       Serve.destroy plane)
     seeds
 
+(* ------------------------------------------------------------------ *)
+(* Session lifecycle: close, churn, bounded replay cache, teardown     *)
+
+let test_close_session () =
+  let _p, plane, _backend, client = build ~seed:7050L () in
+  establish plane client;
+  let sid = Serve.Client.session_id client in
+  (* A queued request is dropped with its session: nothing of it may
+     survive to the next flush, and its queue slot is released. *)
+  (match Serve.submit plane (Serve.Client.request client ~ecall:1 (Bytes.of_string "doomed")) with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit rejected: %a" Serve.pp_reject r);
+  (match Serve.close_session plane ~session:sid with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "close rejected: %a" Serve.pp_reject r);
+  Alcotest.(check int) "session gone" 0 (Serve.session_count plane);
+  Alcotest.(check int) "pending dropped" 0 (List.length (Serve.flush plane));
+  expect_reject "unknown-session"
+    (Serve.submit plane (Serve.Client.request client ~ecall:1 Bytes.empty));
+  expect_reject "unknown-session" (Serve.close_session plane ~session:sid);
+  Serve.destroy plane
+
+let test_session_churn_reuses_state_slots () =
+  (* PR 6 lifecycle fix: closed sessions recycle their EDMM state slot
+     through the tenant free list.  Observable through the enclave's
+     dynamic-page count — a reused slot's stride is already committed,
+     so churning sessions must not keep growing the heap. *)
+  let _p, plane, backend, client = build ~seed:7051L () in
+  let enclave = Urts.enclave (Option.get backend.Backend.urts) in
+  let reconnect () =
+    establish plane client;
+    match Serve.resize_session plane ~session:(Serve.Client.session_id client) ~pages:2 with
+    | Ok _ -> ()
+    | Error r -> Alcotest.failf "resize rejected: %a" Serve.pp_reject r
+  in
+  reconnect ();
+  let after_first = enclave.Enclave.stats.Enclave.dyn_pages in
+  for _ = 1 to 8 do
+    (match Serve.close_session plane ~session:(Serve.Client.session_id client) with
+    | Ok () -> ()
+    | Error r -> Alcotest.failf "close rejected: %a" Serve.pp_reject r);
+    reconnect ()
+  done;
+  Alcotest.(check int) "slot reuse: no dynamic-page growth under churn"
+    after_first enclave.Enclave.stats.Enclave.dyn_pages;
+  Alcotest.(check int) "one live session after churn" 1 (Serve.session_count plane);
+  Serve.destroy plane
+
+let test_nonce_cache_bounded () =
+  (* The replay cache remembers only the last [nonce_cache] nonces — a
+     hard memory bound.  Recent nonces are still rejected; one pushed
+     out by newer handshakes is accepted again (the documented trade of
+     a bounded cache). *)
+  let config = { Serve.default_config with Serve.nonce_cache = 4 } in
+  let _p, plane, _backend, client = build ~seed:7052L ~config () in
+  let oldest = Serve.Client.hello client in
+  (match Serve.handshake plane ~tenant:"acme" oldest with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r);
+  let newest = ref oldest in
+  for _ = 1 to 4 do
+    let hello = Serve.Client.hello client in
+    newest := hello;
+    match Serve.handshake plane ~tenant:"acme" hello with
+    | Ok _ -> ()
+    | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  done;
+  expect_reject "replayed-nonce" (Serve.handshake plane ~tenant:"acme" !newest);
+  (match Serve.handshake plane ~tenant:"acme" oldest with
+  | Ok _ -> ()
+  | Error r ->
+      Alcotest.failf "evicted nonce should re-admit (bounded cache): %a"
+        Serve.pp_reject r);
+  Serve.destroy plane
+
+let test_destroy_owns_tenant_backends () =
+  (* PR 6 teardown fix: the plane created the tenant backends, so
+     [destroy] tears them down too — no enclave outlives the plane —
+     and destroying twice is a harmless no-op. *)
+  let p, plane, _backend, client = build ~seed:7053L () in
+  establish plane client;
+  Alcotest.(check bool) "tenant enclave live" true
+    (Monitor.enclave_count p.Platform.monitor > 0);
+  Serve.destroy plane;
+  Alcotest.(check int) "no enclave outlives the plane" 0
+    (Monitor.enclave_count p.Platform.monitor);
+  Alcotest.(check int) "session table cleared" 0 (Serve.session_count plane);
+  Serve.destroy plane;
+  (match Invariants.check p.Platform.monitor with
+  | [] -> ()
+  | findings ->
+      Alcotest.failf "invariants broken after teardown: %s"
+        (Invariants.summary findings))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler statistics must be a read-only snapshot                   *)
+
+let test_sched_stats_read_only () =
+  (* Regression: [sched_stats] used to call the mutating [Sched.run],
+     silently draining whatever was queued.  A snapshot taken between
+     submit and flush must neither serve the queued request nor change
+     across repeated calls. *)
+  let _p, plane, _backend, client = build ~seed:7054L () in
+  establish plane client;
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "warm") ] with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "warm-up roundtrip failed");
+  (match Serve.submit plane (Serve.Client.request client ~ecall:1 (Bytes.of_string "queued")) with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit rejected: %a" Serve.pp_reject r);
+  let s1 = Serve.sched_stats plane in
+  let s2 = Serve.sched_stats plane in
+  Alcotest.(check int) "snapshot is stable across calls"
+    s1.Sched.total_requests s2.Sched.total_requests;
+  Alcotest.(check int) "snapshot did not serve the queued request" 1
+    s1.Sched.total_requests;
+  (* The queued request is still there for flush to serve. *)
+  (match Serve.flush plane with
+  | [ reply ] -> (
+      match Serve.Client.read_reply client reply with
+      | Ok body -> Alcotest.(check string) "still served" "queued" (Bytes.to_string body)
+      | Error r -> Alcotest.failf "reply rejected: %a" Serve.pp_reject r)
+  | replies -> Alcotest.failf "expected 1 reply, got %d" (List.length replies));
+  let s3 = Serve.sched_stats plane in
+  Alcotest.(check int) "flush, not stats, advanced the counter" 2
+    s3.Sched.total_requests;
+  Serve.destroy plane
+
+(* ------------------------------------------------------------------ *)
+(* Reply-channel splice and direction attacks                          *)
+
+let test_reply_splice_rejected () =
+  (* Replies are sealed to their session and sequence: a reply lifted
+     from tenant A's channel must bounce off client B, a re-numbered
+     reply must fail its AAD, and a reply envelope fed back in as a
+     request must trip the direction binding — all typed, with monitor
+     invariants green throughout. *)
+  let p = Platform.create ~seed:7055L () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
+  let b2 = Serve.add_tenant plane ~name:"globex" (tenant_config ()) in
+  let mk backend seed =
+    let identity = Option.get backend.Backend.identity in
+    Serve.Client.create ~rng:(Rng.create ~seed) ~golden:(golden_of p)
+      ~policy:(policy_pinning identity) ~expected_tenant:identity ()
+  in
+  let c1 = mk b1 21L and c2 = mk b2 22L in
+  establish plane c1;
+  (match Serve.handshake plane ~tenant:"globex" (Serve.Client.hello c2) with
+  | Ok accept -> (
+      match Serve.Client.establish c2 accept with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "globex establish: %a" Serve.pp_reject r)
+  | Error r -> Alcotest.failf "globex handshake: %a" Serve.pp_reject r);
+  (match Serve.submit plane (Serve.Client.request c1 ~ecall:1 (Bytes.of_string "mine")) with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "submit rejected: %a" Serve.pp_reject r);
+  (match Serve.flush plane with
+  | [ reply ] ->
+      (* Cross-session read: wrong recipient, typed refusal. *)
+      expect_reject "unknown-session" (Serve.Client.read_reply c2 reply);
+      (* Re-numbered reply: the AAD binds the sequence. *)
+      expect_reject "bad-auth"
+        (Serve.Client.read_reply c1 { reply with Serve.r_seq = reply.Serve.r_seq + 9 });
+      (* Reply-as-request: the direction byte in nonce and AAD domain
+         separate the two halves of the channel. *)
+      (match reply.Serve.r_result with
+      | Ok envelope ->
+          expect_reject "bad-auth"
+            (Serve.submit plane
+               { Serve.session_id = reply.Serve.r_session_id;
+                 seq = reply.Serve.r_seq;
+                 ecall_id = 1;
+                 envelope })
+      | Error r -> Alcotest.failf "reply carried a rejection: %a" Serve.pp_reject r);
+      (* The rightful recipient still reads it cleanly. *)
+      (match Serve.Client.read_reply c1 reply with
+      | Ok body -> Alcotest.(check string) "rightful read" "mine" (Bytes.to_string body)
+      | Error r -> Alcotest.failf "rightful read rejected: %a" Serve.pp_reject r)
+  | replies -> Alcotest.failf "expected 1 reply, got %d" (List.length replies));
+  (match Invariants.check p.Platform.monitor with
+  | [] -> ()
+  | findings ->
+      Alcotest.failf "invariants broken after splice attempts: %s"
+        (Invariants.summary findings));
+  Serve.destroy plane
+
+(* ------------------------------------------------------------------ *)
+(* Session resumption tickets                                          *)
+
+let test_ticket_resume () =
+  let p, plane, _backend, client = build ~seed:7056L () in
+  establish plane client;
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "full") ] with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "pre-ticket roundtrip failed");
+  let ticket =
+    match Serve.issue_ticket plane ~session:(Serve.Client.session_id client) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "issue_ticket rejected: %a" Serve.pp_reject r
+  in
+  let old_sid = Serve.Client.session_id client in
+  let resume = Serve.Client.resume_hello client ~ticket in
+  (match Serve.resume plane resume with
+  | Ok session_id ->
+      Alcotest.(check bool) "fresh session id" true (session_id <> old_sid);
+      Serve.Client.complete_resume client ~session_id
+  | Error r -> Alcotest.failf "resume rejected: %a" Serve.pp_reject r);
+  (* The resumed channel serves without any new quote having been cut. *)
+  (match Serve.Client.roundtrip plane client [ (2, Bytes.of_string "resumed") ] with
+  | [ Ok body ] -> Alcotest.(check string) "served on resumed key" "RESUMED" (Bytes.to_string body)
+  | _ -> Alcotest.fail "resumed roundtrip failed");
+  let tel = Monitor.telemetry p.Platform.monitor in
+  Alcotest.(check int) "resume counted" 1 (Telemetry.counter tel "serve.resume");
+  Alcotest.(check int) "only the handshake cut a quote" 1
+    (Telemetry.counter tel "serve.handshake");
+  Serve.destroy plane
+
+let test_ticket_tampered () =
+  let _p, plane, _backend, client = build ~seed:7057L () in
+  establish plane client;
+  let ticket =
+    match Serve.issue_ticket plane ~session:(Serve.Client.session_id client) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "issue_ticket rejected: %a" Serve.pp_reject r
+  in
+  let tampered = Bytes.copy ticket in
+  let mid = Bytes.length tampered / 2 in
+  Bytes.set tampered mid (Char.chr (Char.code (Bytes.get tampered mid) lxor 1));
+  expect_reject "bad-ticket"
+    (Serve.resume plane (Serve.Client.resume_hello client ~ticket:tampered));
+  (* Garbage that never parses is the same typed refusal, not a crash. *)
+  let client2_resume = { Serve.r_ticket = Bytes.of_string "junk"; r_nonce = Bytes.make 16 'n' } in
+  expect_reject "bad-ticket" (Serve.resume plane client2_resume);
+  Serve.destroy plane
+
+let test_ticket_expired () =
+  let config = { Serve.default_config with Serve.ticket_ttl = 1_000 } in
+  let p, plane, _backend, client = build ~seed:7058L ~config () in
+  establish plane client;
+  let ticket =
+    match Serve.issue_ticket plane ~session:(Serve.Client.session_id client) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "issue_ticket rejected: %a" Serve.pp_reject r
+  in
+  Cycles.tick p.Platform.clock 2_000;
+  expect_reject "ticket-expired"
+    (Serve.resume plane (Serve.Client.resume_hello client ~ticket));
+  Serve.destroy plane
+
+let test_ticket_replay_rejected () =
+  (* The client's fresh resume nonce is burnt on first use: replaying
+     the whole resume record must not mint a second session. *)
+  let _p, plane, _backend, client = build ~seed:7059L () in
+  establish plane client;
+  let ticket =
+    match Serve.issue_ticket plane ~session:(Serve.Client.session_id client) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "issue_ticket rejected: %a" Serve.pp_reject r
+  in
+  let resume = Serve.Client.resume_hello client ~ticket in
+  (match Serve.resume plane resume with
+  | Ok session_id -> Serve.Client.complete_resume client ~session_id
+  | Error r -> Alcotest.failf "first resume rejected: %a" Serve.pp_reject r);
+  expect_reject "replayed-nonce" (Serve.resume plane resume);
+  (* The legitimately resumed session is unaffected by the replay. *)
+  (match Serve.Client.roundtrip plane client [ (1, Bytes.of_string "still here") ] with
+  | [ Ok body ] -> Alcotest.(check string) "unaffected" "still here" (Bytes.to_string body)
+  | _ -> Alcotest.fail "resumed session broken by replay attempt");
+  Serve.destroy plane
+
 let test_telemetry_counters () =
   let p, plane, _backend, client = build ~seed:7040L () in
   establish plane client;
@@ -551,5 +822,17 @@ let suite =
     Alcotest.test_case "permanent fault typed" `Quick test_permanent_fault_typed;
     Alcotest.test_case "chaos: two tenants, two cores" `Slow
       test_chaos_two_tenants_two_cores;
+    Alcotest.test_case "close session" `Quick test_close_session;
+    Alcotest.test_case "session churn reuses state slots" `Quick
+      test_session_churn_reuses_state_slots;
+    Alcotest.test_case "nonce cache bounded" `Quick test_nonce_cache_bounded;
+    Alcotest.test_case "destroy owns tenant backends" `Quick
+      test_destroy_owns_tenant_backends;
+    Alcotest.test_case "sched stats read-only" `Quick test_sched_stats_read_only;
+    Alcotest.test_case "reply splice rejected" `Quick test_reply_splice_rejected;
+    Alcotest.test_case "ticket resume" `Quick test_ticket_resume;
+    Alcotest.test_case "ticket tampered" `Quick test_ticket_tampered;
+    Alcotest.test_case "ticket expired" `Quick test_ticket_expired;
+    Alcotest.test_case "ticket replay rejected" `Quick test_ticket_replay_rejected;
     Alcotest.test_case "telemetry counters" `Quick test_telemetry_counters;
   ]
