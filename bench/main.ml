@@ -26,6 +26,9 @@ let experiments =
     ( "zerocopy",
       ( "zero-copy path: OCALL reply ring + ticket resumption (PR 6)",
         Bench_zerocopy.run ) );
+    ( "arena",
+      ( "allocation-free data path: arenas, in-slot envelopes, sharding (PR 7)",
+        Bench_arena.run ) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
   ]
 
@@ -79,11 +82,13 @@ let () =
             let _, run = List.assoc id experiments in
             let wall0 = Unix.gettimeofday () in
             let cycles0 = Hyperenclave.Cycles.total_ticked () in
+            let words0 = Gc.minor_words () in
             run ();
             {
               Util.perf_name = id;
               wall_seconds = Unix.gettimeofday () -. wall0;
               simulated_cycles = Hyperenclave.Cycles.total_ticked () - cycles0;
+              minor_words = Gc.minor_words () -. words0;
             })
           to_run
       in

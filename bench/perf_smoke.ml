@@ -17,10 +17,11 @@ let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline
       "usage: perf_smoke.exe BASELINE.json [THROUGHPUT_BASELINE.json] \
-       [SERVE_BASELINE.json] [ZEROCOPY_BASELINE.json]\n\
+       [SERVE_BASELINE.json] [ZEROCOPY_BASELINE.json] [ARENA_BASELINE.json]\n\
       \       perf_smoke.exe --write-throughput FILE\n\
       \       perf_smoke.exe --write-serve FILE\n\
       \       perf_smoke.exe --write-zerocopy FILE\n\
+      \       perf_smoke.exe --write-arena FILE\n\
       \       perf_smoke.exe --serve-smoke";
     exit 2
   end;
@@ -49,6 +50,14 @@ let () =
     Bench_zerocopy.write_baseline Sys.argv.(2);
     exit 0
   end;
+  if Sys.argv.(1) = "--write-arena" then begin
+    if Array.length Sys.argv < 3 then begin
+      prerr_endline "usage: perf_smoke.exe --write-arena FILE";
+      exit 2
+    end;
+    Bench_arena.write_baseline Sys.argv.(2);
+    exit 0
+  end;
   (* Fast 1-core attested-path sanity run (`dune build @serve_smoke`). *)
   if Sys.argv.(1) = "--serve-smoke" then begin
     Bench_serve.smoke ();
@@ -56,12 +65,14 @@ let () =
   end;
   (* Deterministic simulated-cycle gates first: scheduler throughput
      scaling + ring amortization vs BENCH_PR4.json (PR 4), attested
-     serving throughput vs BENCH_PR5.json (PR 5), then the zero-copy
-     path (8-core throughput, OCALL reply ring, resumption) vs
-     BENCH_PR6.json (PR 6). *)
+     serving throughput vs BENCH_PR5.json (PR 5), the zero-copy path
+     (8-core throughput, OCALL reply ring, resumption) vs BENCH_PR6.json
+     (PR 6), then the allocation-free arena path (minor words/request,
+     8-core throughput, hot-tenant sharding) vs BENCH_PR7.json (PR 7). *)
   if Array.length Sys.argv > 2 then Bench_throughput.check_baseline Sys.argv.(2);
   if Array.length Sys.argv > 3 then Bench_serve.check_baseline Sys.argv.(3);
   if Array.length Sys.argv > 4 then Bench_zerocopy.check_baseline Sys.argv.(4);
+  if Array.length Sys.argv > 5 then Bench_arena.check_baseline Sys.argv.(5);
   let baseline_path = Sys.argv.(1) in
   match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
   | None ->

@@ -95,6 +95,7 @@ type perf_entry = {
   perf_name : string;
   wall_seconds : float;
   simulated_cycles : int;
+  minor_words : float;  (* GC minor words allocated regenerating it *)
 }
 
 let json_escape s =
@@ -124,9 +125,11 @@ let write_perf_json ~path ~smoke_wall_seconds entries =
   Printf.fprintf oc "  \"experiments\": [";
   List.iteri
     (fun i e ->
-      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_seconds\": %.3f, \"simulated_cycles\": %d }"
+      Printf.fprintf oc
+        "%s\n    { \"name\": \"%s\", \"wall_seconds\": %.3f, \"simulated_cycles\": %d, \"minor_words\": %.0f }"
         (if i = 0 then "" else ",")
-        (json_escape e.perf_name) e.wall_seconds e.simulated_cycles)
+        (json_escape e.perf_name) e.wall_seconds e.simulated_cycles
+        e.minor_words)
     entries;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;

@@ -60,6 +60,7 @@ type t = {
   switchless_wait : int;
   switchless_dispatch : int;
   batch_item_dispatch : int;
+  ring_slot_dispatch : int;
   sha256_per_block : int;
   aes_per_block : int;
   tpm_command : int;
@@ -146,6 +147,12 @@ let default =
     (* Batched call ring: per-slot in-enclave dispatch past the first —
        bounds-check + table lookup + frame walk, no world switch. *)
     batch_item_dispatch = 350;
+    (* Fixed-stride arena ring: the persistent in-enclave worker's
+       per-slot dispatch.  Cheaper than [batch_item_dispatch] because the
+       slot boundaries are pre-validated at a fixed stride — one bounds
+       check, one table lookup, one indirect call; no variable-length
+       frame walk. *)
+    ring_slot_dispatch = 110;
     sha256_per_block = 1200;
     aes_per_block = 60;
     tpm_command = 50_000;
@@ -183,4 +190,5 @@ let no_overhead =
     sgx_aex = 0;
     sgx_eresume = 0;
     batch_item_dispatch = 0;
+    ring_slot_dispatch = 0;
   }

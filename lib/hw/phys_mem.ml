@@ -60,6 +60,42 @@ let write_bytes t addr data =
     pos := !pos + chunk
   done
 
+(* Slice variants: the same page-walk as [read_bytes]/[write_bytes] but
+   over a caller-owned buffer, so steady-state paths that recycle their
+   staging images move bytes without allocating. *)
+let check_slice buf pos len op =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Phys_mem.%s: slice [%d, +%d) outside buffer of %d" op
+         pos len (Bytes.length buf))
+
+let write_sub t addr buf ~pos ~len =
+  check t addr len;
+  check_slice buf pos len "write_sub";
+  let p = ref 0 in
+  while !p < len do
+    let a = addr + !p in
+    let off = Addr.offset a in
+    let chunk = min (len - !p) (Addr.page_size - off) in
+    let page = frame_for t (Addr.page_of a) in
+    Bytes.blit buf (pos + !p) page off chunk;
+    p := !p + chunk
+  done
+
+let read_into t addr buf ~pos ~len =
+  check t addr len;
+  check_slice buf pos len "read_into";
+  let p = ref 0 in
+  while !p < len do
+    let a = addr + !p in
+    let off = Addr.offset a in
+    let chunk = min (len - !p) (Addr.page_size - off) in
+    (match Hashtbl.find_opt t.frames (Addr.page_of a) with
+    | None -> Bytes.fill buf (pos + !p) chunk '\000'
+    | Some page -> Bytes.blit page off buf (pos + !p) chunk);
+    p := !p + chunk
+  done
+
 let read_u64 t addr =
   let b = read_bytes t addr 8 in
   Bytes.get_int64_le b 0

@@ -29,6 +29,17 @@ val read_bytes : t -> int -> int -> bytes
 (** [read_bytes mem addr len]. *)
 
 val write_bytes : t -> int -> bytes -> unit
+
+val write_sub : t -> int -> bytes -> pos:int -> len:int -> unit
+(** [write_sub mem addr buf ~pos ~len] writes [buf[pos, pos+len)] at
+    [addr] without copying the slice out first — the allocation-free
+    counterpart of {!write_bytes} for recycled staging buffers. *)
+
+val read_into : t -> int -> bytes -> pos:int -> len:int -> unit
+(** [read_into mem addr buf ~pos ~len] reads [len] bytes at [addr]
+    straight into [buf[pos, pos+len)] — the allocation-free counterpart
+    of {!read_bytes}. *)
+
 val blit : t -> src:int -> dst:int -> len:int -> unit
 val fill : t -> addr:int -> len:int -> char -> unit
 

@@ -24,16 +24,26 @@ let default_config =
     drop_on_error = false;
   }
 
+(* A job's work is either a list of individual/batched ECALLs or one
+   arena ring whose slots were staged by the caller: the ring dispatches
+   as a single switchless unit, and the caller reads the replies out of
+   the ring's reply image afterwards (the scheduler only reports
+   per-slot success or failure). *)
+type work = Calls of (int * bytes) list | Ring of Urts.ring
+
 type job = {
   job_id : int;
   urts : Urts.t;
-  mutable pending : (int * bytes) list;
+  mutable work : work;
   mutable completed : int;
   mutable failed : int;
-  mutable next_index : int;  (* submission index of the head of [pending] *)
+  mutable next_index : int;  (* submission index of the head of [work] *)
   on_result : (index:int -> (bytes, string) result -> unit) option;
   on_slice : (cycles:int -> unit) option;
 }
+
+let drained (job : job) =
+  match job.work with Calls [] -> true | Calls _ | Ring _ -> false
 
 type core = {
   core_id : int;
@@ -102,7 +112,7 @@ let create ?on_preempt ~shared_clock ~telemetry (config : config) =
     aex_preempts = 0;
   }
 
-let submit t ?core ?on_result ?on_slice ~urts requests =
+let submit_work t ?core ?on_result ?on_slice ~urts work =
   let job_id = t.next_job in
   t.next_job <- job_id + 1;
   let home =
@@ -117,7 +127,7 @@ let submit t ?core ?on_result ?on_slice ~urts requests =
     {
       job_id;
       urts;
-      pending = requests;
+      work;
       completed = 0;
       failed = 0;
       next_index = 0;
@@ -128,6 +138,12 @@ let submit t ?core ?on_result ?on_slice ~urts requests =
   t.jobs <- job :: t.jobs;
   let target = t.cores.(home) in
   target.queue <- target.queue @ [ job ]
+
+let submit t ?core ?on_result ?on_slice ~urts requests =
+  submit_work t ?core ?on_result ?on_slice ~urts (Calls requests)
+
+let submit_ring t ?core ?on_result ?on_slice ~urts ring =
+  submit_work t ?core ?on_result ?on_slice ~urts (Ring ring)
 
 (* Discrete-event pick: the candidate core with the earliest local clock
    runs next; ties break to the lowest core id so runs are reproducible
@@ -178,51 +194,88 @@ let steal t (thief : core) =
    injected permanent fault or an SDK refusal — optionally drop the
    request so chaos schedules drain to completion; monitor violations
    always propagate. *)
+(* The scheduler never copies reply bytes out of an arena ring — the
+   submitter reads them in place from the ring's reply image — so a
+   successful slot reports this preallocated placeholder instead of
+   allocating a fresh [Ok] per request. *)
+let ok_in_ring : (bytes, string) result = Ok Bytes.empty
+
+let fail_msg = function
+  | Urts.Enclave_error m -> "enclave: " ^ m
+  | Fault.Injected { site; kind } ->
+      Printf.sprintf "injected %s fault at %s" (Fault.kind_name kind) site
+  | exn -> Printexc.to_string exn
+
 let run_requests t (job : job) =
-  let n = min t.config.batch (List.length job.pending) in
-  let rec split k = function
-    | rest when k = 0 -> ([], rest)
-    | [] -> ([], [])
-    | r :: rest ->
-        let taken, left = split (k - 1) rest in
-        (r :: taken, left)
-  in
-  let taken, rest = split n job.pending in
-  job.pending <- rest;
-  let count = List.length taken in
-  let base_index = job.next_index in
-  job.next_index <- base_index + count;
-  let deliver i result =
-    match job.on_result with
-    | Some f -> f ~index:(base_index + i) result
-    | None -> ()
-  in
-  match
-    if t.config.batch > 1 then Urts.ecall_batch job.urts ~reqs:taken ()
-    else
-      List.map
-        (fun (id, data) -> Urts.ecall job.urts ~id ~data ~direction:Edge.In_out ())
-        taken
-  with
-  | replies ->
-      List.iteri (fun i reply -> deliver i (Ok reply)) replies;
-      job.completed <- job.completed + count;
-      count
-  | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
-    when t.config.drop_on_error ->
-      (* The ring is all-or-nothing: every request of the dispatch gets
-         the same typed failure. *)
-      let msg =
-        match exn with
-        | Urts.Enclave_error m -> "enclave: " ^ m
-        | Fault.Injected { site; kind } ->
-            Printf.sprintf "injected %s fault at %s" (Fault.kind_name kind) site
-        | _ -> Printexc.to_string exn
+  match job.work with
+  | Ring ring -> (
+      (* The whole ring is one switchless dispatch unit; the job drains
+         in a single step either way. *)
+      let count = Urts.ring_staged ring in
+      job.work <- Calls [];
+      let base_index = job.next_index in
+      job.next_index <- base_index + count;
+      let deliver i result =
+        match job.on_result with
+        | Some f -> f ~index:(base_index + i) result
+        | None -> ()
       in
-      List.iteri (fun i _ -> deliver i (Error msg)) taken;
-      job.failed <- job.failed + count;
-      Telemetry.add t.telemetry "sched.request_failed" count;
-      count
+      match Urts.ring_dispatch ring with
+      | () ->
+          for i = 0 to count - 1 do
+            deliver i ok_in_ring
+          done;
+          job.completed <- job.completed + count;
+          count
+      | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
+        when t.config.drop_on_error ->
+          let msg = fail_msg exn in
+          for i = 0 to count - 1 do
+            deliver i (Error msg)
+          done;
+          job.failed <- job.failed + count;
+          Telemetry.add t.telemetry "sched.request_failed" count;
+          count)
+  | Calls pending -> (
+      let n = min t.config.batch (List.length pending) in
+      let rec split k = function
+        | rest when k = 0 -> ([], rest)
+        | [] -> ([], [])
+        | r :: rest ->
+            let taken, left = split (k - 1) rest in
+            (r :: taken, left)
+      in
+      let taken, rest = split n pending in
+      job.work <- Calls rest;
+      let count = List.length taken in
+      let base_index = job.next_index in
+      job.next_index <- base_index + count;
+      let deliver i result =
+        match job.on_result with
+        | Some f -> f ~index:(base_index + i) result
+        | None -> ()
+      in
+      match
+        if t.config.batch > 1 then Urts.ecall_batch job.urts ~reqs:taken ()
+        else
+          List.map
+            (fun (id, data) ->
+              Urts.ecall job.urts ~id ~data ~direction:Edge.In_out ())
+            taken
+      with
+      | replies ->
+          List.iteri (fun i reply -> deliver i (Ok reply)) replies;
+          job.completed <- job.completed + count;
+          count
+      | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
+        when t.config.drop_on_error ->
+          (* The ring is all-or-nothing: every request of the dispatch gets
+             the same typed failure. *)
+          let msg = fail_msg exn in
+          List.iteri (fun i _ -> deliver i (Error msg)) taken;
+          job.failed <- job.failed + count;
+          Telemetry.add t.telemetry "sched.request_failed" count;
+          count)
 
 (* One scheduling slice: execute requests on the shared platform clock
    until the quantum is consumed or the job drains, then charge the
@@ -243,7 +296,7 @@ let run_slice t (core : core) (job : job) =
     ();
   let finish () = Urts.disarm_timer job.urts in
   (try
-     while job.pending <> [] && consumed () < t.config.quantum do
+     while (not (drained job)) && consumed () < t.config.quantum do
        core.completed <- core.completed + run_requests t job
      done
    with exn ->
@@ -259,7 +312,7 @@ let run_slice t (core : core) (job : job) =
   core.busy <- core.busy + delta;
   (match job.on_slice with Some f -> f ~cycles:delta | None -> ());
   Telemetry.observe t.telemetry "sched.slice_cycles" (max 1 delta);
-  if job.pending <> [] then begin
+  if not (drained job) then begin
     (* Quantum expired with work left: requeue at the back. *)
     core.preempts <- core.preempts + 1;
     Telemetry.incr t.telemetry "sched.preempt";

@@ -90,6 +90,24 @@ val submit :
     scheduling slice's consumed cycle delta — the accounting hook the
     serving plane charges per-tenant quotas from. *)
 
+val submit_ring :
+  t ->
+  ?core:int ->
+  ?on_result:(index:int -> (bytes, string) result -> unit) ->
+  ?on_slice:(cycles:int -> unit) ->
+  urts:Urts.t ->
+  Urts.ring ->
+  unit
+(** Queue one staged arena ring ({!Urts.create_ring}/{!Urts.ring_stage})
+    as a job: the ring dispatches as a single switchless unit on its
+    core's next slice ({!Urts.ring_dispatch}), all-or-nothing under
+    [drop_on_error].  The scheduler does not read reply bytes out of the
+    ring — [on_result] reports [Ok Bytes.empty] per served slot (a
+    shared placeholder, no per-request allocation) and the submitter
+    reads replies in place via {!Urts.ring_read_replies} /
+    {!Urts.ring_reply_slot} after {!run}.  The submitter publishes the
+    staged image ({!Urts.ring_publish}) before [run]. *)
+
 val run : t -> stats
 (** Drain every queue to completion and return the run's statistics.
     Telemetry counters recorded along the way: [sched.steal],

@@ -129,6 +129,39 @@ let ms_raw rw t ~off data_or_len =
 let ms_raw_write t ~off data = ignore (ms_raw `Write t ~off (`Data data))
 let ms_raw_read t ~off ~len = ms_raw `Read t ~off (`Len len)
 
+(* Slice variants over caller-owned buffers: the same per-page walk as
+   [ms_raw], but the bytes land in (or come from) a reusable image — the
+   arena rings recycle theirs across flushes, so the steady-state flush
+   path moves payloads without allocating.  [ms_slice_nofault] is the
+   bare walk; the [ms_raw_*] wrappers add the edge fault site the
+   marshalling copies fire. *)
+let ms_slice_nofault rw t ~off buf ~pos ~len =
+  let mem = Kernel.mem (kernel t) in
+  let va = t.ms_base + off in
+  let p = ref 0 in
+  while !p < len do
+    let a = va + !p in
+    let chunk = min (len - !p) (Addr.page_size - Addr.offset a) in
+    let frame =
+      match Kernel.resolve_frame (kernel t) t.proc ~vpn:(Addr.page_of a) with
+      | Some frame -> frame
+      | None -> fail "marshalling page 0x%x not resident" (Addr.page_of a)
+    in
+    let pa = Addr.base_of_page frame lor Addr.offset a in
+    (match rw with
+    | `Write -> Phys_mem.write_sub mem pa buf ~pos:(pos + !p) ~len:chunk
+    | `Read -> Phys_mem.read_into mem pa buf ~pos:(pos + !p) ~len:chunk);
+    p := !p + chunk
+  done
+
+let ms_raw_write_slice t ~off buf ~pos ~len =
+  Fault.point Edge.fault_site_in;
+  ms_slice_nofault `Write t ~off buf ~pos ~len
+
+let ms_raw_read_into t ~off buf ~pos ~len =
+  Fault.point Edge.fault_site_out;
+  ms_slice_nofault `Read t ~off buf ~pos ~len
+
 (* --- switchless ring framing ------------------------------------------------ *)
 
 (* Ring slot framing in the marshalling buffer.  Requests are staged
@@ -555,7 +588,15 @@ and oret_batch t ~arg_off ~staged_len =
       (ms_raw_read t ~off:arg_off ~len:staged_len)
   in
   let replies =
-    List.map (fun (id, body) -> (id, (Hashtbl.find t.ocalls id) body)) slots
+    List.map
+      (fun (id, body) ->
+        (* An unregistered id in a drained slot must surface as the typed
+           refusal, not a bare [Not_found]: the frame came back from the
+           shared region, so its ids are untrusted input. *)
+        match Hashtbl.find_opt t.ocalls id with
+        | Some handler -> (id, handler body)
+        | None -> fail "unknown OCALL %d" id)
+      slots
   in
   let framed = frame_replies replies in
   if arg_off + Bytes.length framed > t.ms_size then
@@ -877,6 +918,194 @@ let run_ecall_batch t reqs =
 
 let ecall_batch t ~reqs () =
   Fault.with_retries ~backoff:(backoff t) (fun () -> run_ecall_batch t reqs)
+
+(* --- arena ring: sharded, allocation-free switchless ECALL dispatch --------- *)
+
+(* A fixed-stride slot ring per (tenant, shard) in the pinned marshalling
+   buffer.  Unlike the variable-length [ecall_batch] frame, every slot is
+   [16 + slot_bytes] wide, so a caller can seal and decrypt AEAD payloads
+   *in place* — the ring slot is the envelope — and the staging images
+   ([rbuf]/[pbuf]) are recycled across flushes: the steady-state path
+   allocates nothing per request on the staging side.
+
+   The dispatch is switchless: the plane publishes the staged image and a
+   persistent in-enclave worker picks it up — no TCS take, no
+   EENTER/EEXIT, no SDK soft path; the enclave pays one post fence plus
+   the fixed-stride per-slot dispatch ([Cost_model.ring_slot_dispatch]).
+   Two restrictions follow from having no entered TCS: ring handlers must
+   not OCALL (they get the typed "OCALL outside an ECALL" refusal), and
+   the AEX preemption timer never fires inside a ring dispatch.
+
+   Layout: the ECALL-input region [0, ms_out_region) splits into [shards]
+   equal request segments and the output region [ms_out_region,
+   ms_ocall_region) into [shards] reply segments; shard [i] owns segment
+   [i] of each.  A segment holds [count:8][slot_0][slot_1]... with
+   slot_i = [id:8][len:8][payload:slot_bytes] at [8 + i*(16+slot_bytes)],
+   replies echoing the same framing. *)
+type ring = {
+  rt : t;
+  shard : int;
+  req_off : int;  (* segment base in the input region *)
+  rep_off : int;  (* segment base in the output region *)
+  slots : int;
+  slot_bytes : int;
+  stride : int;  (* 16 + slot_bytes *)
+  rbuf : bytes;  (* reusable staged-request image, header included *)
+  pbuf : bytes;  (* reusable reply image, same framing *)
+  mutable staged : int;
+}
+
+let ring_staged r = r.staged
+let ring_capacity r = r.slots
+let ring_slot_bytes r = r.slot_bytes
+let ring_shard r = r.shard
+let ring_buf r = r.rbuf
+let ring_reply_buf r = r.pbuf
+let ring_reset r = r.staged <- 0
+
+let create_ring t ~shard ~shards ~slots ~slot_bytes =
+  if shards <= 0 then fail "create_ring: shards (%d) must be positive" shards;
+  if shard < 0 || shard >= shards then
+    fail "create_ring: shard %d outside [0, %d)" shard shards;
+  if slots <= 0 then fail "create_ring: slots (%d) must be positive" slots;
+  if slot_bytes <= 0 || slot_bytes land 7 <> 0 then
+    fail "create_ring: slot_bytes (%d) must be a positive multiple of 8"
+      slot_bytes;
+  let stride = 16 + slot_bytes in
+  let need = 8 + (slots * stride) in
+  let in_seg = (t.ms_out_region / shards) land lnot 7 in
+  let out_seg = ((t.ms_ocall_region - t.ms_out_region) / shards) land lnot 7 in
+  if need > in_seg || need > out_seg then
+    fail
+      "create_ring: %d slots x %d B need %d B per segment, but %d shards \
+       leave %d B (in) / %d B (out) — raise ms_bytes"
+      slots slot_bytes need shards in_seg out_seg;
+  {
+    rt = t;
+    shard;
+    req_off = shard * in_seg;
+    rep_off = t.ms_out_region + (shard * out_seg);
+    slots;
+    slot_bytes;
+    stride;
+    rbuf = Bytes.create need;
+    pbuf = Bytes.create need;
+    staged = 0;
+  }
+
+(* Staging writes the slot header and hands the caller the payload offset
+   into [ring_buf]: the caller (e.g. [Authenc.decrypt_into]) produces the
+   payload directly in the slot. *)
+let ring_stage r ~ecall_id ~len =
+  if len < 0 || len > r.slot_bytes then
+    fail "ring_stage: %d bytes exceed the %d-byte slot" len r.slot_bytes;
+  if r.staged >= r.slots then fail "ring_stage: ring full (%d slots)" r.slots;
+  let off = 8 + (r.staged * r.stride) in
+  Bytes.set_int64_le r.rbuf off (Int64.of_int ecall_id);
+  Bytes.set_int64_le r.rbuf (off + 8) (Int64.of_int len);
+  r.staged <- r.staged + 1;
+  off + 16
+
+let ring_reply_slot r ~slot =
+  if slot < 0 || slot >= r.staged then
+    fail "ring reply slot %d outside the %d staged" slot r.staged;
+  let off = 8 + (slot * r.stride) in
+  let len = Int64.to_int (Bytes.get_int64_le r.pbuf (off + 8)) in
+  if len < 0 || len > r.slot_bytes then
+    fail "ring reply slot %d has a corrupt length word (%d)" slot len;
+  (off + 16, len)
+
+(* Untrusted half, request direction: the plane publishes the staged
+   image into the shard's pinned request segment and pays the
+   marshalling-in rate.  Runs on the caller's (plane) clock. *)
+let ring_publish r =
+  let t = r.rt in
+  if r.staged > 0 then begin
+    let len = 8 + (r.staged * r.stride) in
+    Bytes.set_int64_le r.rbuf 0 (Int64.of_int r.staged);
+    ms_raw_write_slice t ~off:r.req_off r.rbuf ~pos:0 ~len;
+    Edge.charge_ms_in (cost t) (clock t) ~bytes:len
+  end
+
+(* The worker walks the segment's pages through its own mapping of the
+   pinned region — one translation per page, no byte copy (User_check
+   discipline).  [Monitor.touch] needs an entered TCS, which a
+   switchless dispatch never has; pinned marshalling pages cannot be
+   swapped out, so residency through the kernel mapping is the whole
+   check. *)
+let touch_segment t ~off ~len =
+  let c = cost t in
+  let first = Addr.page_of (t.ms_base + off) in
+  let last = Addr.page_of (t.ms_base + off + len - 1) in
+  for vpn = first to last do
+    Cycles.tick (clock t) c.Cost_model.tlb_hit;
+    match Kernel.resolve_frame (kernel t) t.proc ~vpn with
+    | Some _ -> ()
+    | None -> fail "ring segment page 0x%x not resident" vpn
+  done
+
+(* Trusted half: the persistent in-enclave worker.  It reads the slots
+   where they lie (User_check discipline: the segment's pages are
+   translated through the enclave's mapping — charged — but the payload
+   is not copied into enclave memory first) and frames replies at the
+   same stride in the shard's reply segment, storing the image through
+   its own mapping of the pinned region.  The only per-slot byte
+   movement charged is each handler's reply landing in its slot. *)
+let run_ring_dispatch r =
+  let t = r.rt in
+  let m = monitor t in
+  let c = cost t in
+  let k = r.staged in
+  if k > 0 then begin
+    count t "sdk.ring_dispatch";
+    Hyperenclave_obs.Telemetry.add (Monitor.telemetry m) "sdk.ring_slots" k;
+    Hyperenclave_obs.Telemetry.observe
+      (Monitor.telemetry m)
+      "ring.shard_occupancy" k;
+    let len = 8 + (k * r.stride) in
+    Cycles.tick (clock t)
+      (c.Cost_model.switchless_post + (k * c.Cost_model.ring_slot_dispatch));
+    touch_segment t ~off:r.req_off ~len;
+    let tenv = make_tenv t in
+    for slot = 0 to k - 1 do
+      let off = 8 + (slot * r.stride) in
+      let id = Int64.to_int (Bytes.get_int64_le r.rbuf off) in
+      let blen = Int64.to_int (Bytes.get_int64_le r.rbuf (off + 8)) in
+      if blen < 0 || blen > r.slot_bytes then
+        fail "ring_dispatch: slot %d has a corrupt length word" slot;
+      let handler = lookup_ecall t id in
+      let body = Bytes.sub r.rbuf (off + 16) blen in
+      let reply = handler tenv body in
+      let rlen = Bytes.length reply in
+      if rlen > r.slot_bytes then
+        fail "ring_dispatch: ECALL %d reply (%d bytes) exceeds the %d-byte slot"
+          id rlen r.slot_bytes;
+      Cycles.tick (clock t) (Cost_model.copy_cost c rlen);
+      Bytes.set_int64_le r.pbuf off (Int64.of_int id);
+      Bytes.set_int64_le r.pbuf (off + 8) (Int64.of_int rlen);
+      Bytes.blit reply 0 r.pbuf (off + 16) rlen
+    done;
+    Bytes.set_int64_le r.pbuf 0 (Int64.of_int k);
+    touch_segment t ~off:r.rep_off ~len;
+    ms_slice_nofault `Write t ~off:r.rep_off r.pbuf ~pos:0 ~len
+  end
+
+let ring_dispatch r =
+  Fault.with_retries ~backoff:(backoff r.rt) (fun () -> run_ring_dispatch r)
+
+(* Untrusted half, reply direction: pull the shard's reply image back
+   into [ring_reply_buf] and pay the marshalling-out rate.  Runs on the
+   caller's (plane) clock; callers that must absorb injected
+   marshalling faults wrap this in [Fault.with_retries]. *)
+let ring_read_replies r =
+  let t = r.rt in
+  if r.staged > 0 then begin
+    let len = 8 + (r.staged * r.stride) in
+    Edge.charge_ms_out (cost t) (clock t) ~bytes:len;
+    ms_raw_read_into t ~off:r.rep_off r.pbuf ~pos:0 ~len;
+    let k = Int64.to_int (Bytes.get_int64_le r.pbuf 0) in
+    if k <> r.staged then fail "ring replies: %d staged but %d served" r.staged k
+  end
 
 let destroy t = Kmod.ioctl_destroy_enclave t.kmod t.proc t.enclave
 

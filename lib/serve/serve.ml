@@ -86,6 +86,17 @@ type config = {
       (** replay-cache bound: only the last [nonce_cache] handshake /
           resume nonces are remembered *)
   ticket_ttl : int;  (** session-ticket lifetime, shared-clock cycles *)
+  arena : bool;
+      (** allocation-free data path: stage admissions into flat reusable
+          arenas and dispatch through per-shard marshalling-buffer rings
+          where the slot is the AEAD envelope.  Off = the list-structured
+          reference path (kept as the byte-identity oracle). *)
+  shard_block : int;
+      (** consecutive per-session requests assigned to one ring shard
+          before the plane rotor moves to the next — small enough that a
+          single hot session spreads across every core, large enough to
+          keep a session's replies mostly on one reply segment *)
+  slot_bytes : int;  (** ring slot payload capacity (multiple of 8) *)
 }
 
 let default_config =
@@ -96,10 +107,81 @@ let default_config =
     state_stride_pages = 16;
     nonce_cache = 1024;
     ticket_ttl = 1_000_000_000;
+    arena = true;
+    shard_block = 8;
+    slot_bytes = 256;
   }
+
+(* Placeholders the stage arrays are filled with so dead entries never
+   pin client envelopes (or stale fallback replies) against the GC. *)
+let dummy_sealed =
+  {
+    Authenc.nonce = Bytes.empty;
+    ciphertext = Bytes.empty;
+    tag = Bytes.empty;
+    aad = Bytes.empty;
+  }
+
+let dummy_outcome : (bytes, string) result = Ok Bytes.empty
+
+(* Flat admission arena: one slot per staged request, recycled across
+   flushes.  [sg_sids.(i) = -1] marks a slot whose session closed while
+   staged (the arena analogue of dropping [s.pending]).  [sg_shards] /
+   [sg_slots] / [sg_fb] are flush-time scratch columns: which ring shard
+   served entry [i] (or [-2] = the non-SDK fallback batch), the slot
+   index inside that ring, and the fallback outcome. *)
+type stage = {
+  mutable sg_sids : int array;
+  mutable sg_seqs : int array;
+  mutable sg_ecalls : int array;
+  mutable sg_envs : Authenc.sealed array;
+  mutable sg_shards : int array;
+  mutable sg_slots : int array;
+  mutable sg_fb : (bytes, string) result array;
+  mutable sg_n : int;
+}
+
+let fallback_shard = -2
+
+let stage_push (st : stage) ~sid ~seq ~ecall ~env =
+  let n = st.sg_n in
+  if n = Array.length st.sg_sids then begin
+    (* Doubling growth: the only allocation the admission path ever does,
+       and only until the arena reaches the tenant's high-water mark. *)
+    let cap = max 16 (2 * n) in
+    let grow_int a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    let grow_env a =
+      let b = Array.make cap dummy_sealed in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    let grow_fb a =
+      let b = Array.make cap dummy_outcome in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    st.sg_sids <- grow_int st.sg_sids;
+    st.sg_seqs <- grow_int st.sg_seqs;
+    st.sg_ecalls <- grow_int st.sg_ecalls;
+    st.sg_envs <- grow_env st.sg_envs;
+    st.sg_shards <- grow_int st.sg_shards;
+    st.sg_slots <- grow_int st.sg_slots;
+    st.sg_fb <- grow_fb st.sg_fb
+  end;
+  st.sg_sids.(n) <- sid;
+  st.sg_seqs.(n) <- seq;
+  st.sg_ecalls.(n) <- ecall;
+  st.sg_envs.(n) <- env;
+  st.sg_n <- n + 1
 
 type tenant = {
   t_name : string;
+  t_req_counter : string;  (* "serve.tenant.<name>.requests", precomputed *)
+  t_cyc_counter : string;  (* "serve.tenant.<name>.cycles" *)
   backend : Backend.t;
   mutable queued : int;
   mutable spent : int;
@@ -108,6 +190,10 @@ type tenant = {
   mutable free_slots : int list;
       (* state slots recycled by [close_session], reused before
          [next_slot] grows the stride arena *)
+  stage : stage;
+  rings : Urts.ring option array;  (* per shard, built on first use *)
+  ring_err : string option array;  (* per-shard failure, one flush *)
+  ring_gen : int array;  (* last flush generation that used the shard *)
 }
 
 type session = {
@@ -140,6 +226,19 @@ type t = {
   mutable next_session : int;
   mutable qe : Urts.t option;  (* lazily-built quoting enclave *)
   mutable destroyed : bool;
+  (* --- arena path --- *)
+  shards : int;  (* ring shards per tenant = scheduler cores *)
+  mutable rotor : int;
+      (* plane-wide block rotor: each [shard_block]-long run of staged
+         requests takes the next shard, so both many-tenant and single
+         hot-tenant flushes spread over every core *)
+  mutable flush_gen : int;
+  fault_msgs : (int, string) Hashtbl.t;  (* session faults, one flush *)
+  aad_scratch : bytes;  (* admission-path AAD render, no allocation *)
+  mutable sid_scratch : int array;  (* distinct staged sessions, sorted *)
+  mutable sid_count : int;
+  mutable hw_staged : int;  (* high-water marks behind the telemetry *)
+  mutable hw_shards : int;
 }
 
 let fault_site = "serve.session"
@@ -159,6 +258,10 @@ let create ~platform (config : config) =
     invalid_arg "Serve.create: nonce_cache must be positive";
   if config.ticket_ttl <= 0 then
     invalid_arg "Serve.create: ticket_ttl must be positive";
+  if config.shard_block <= 0 then
+    invalid_arg "Serve.create: shard_block must be positive";
+  if config.slot_bytes <= 0 || config.slot_bytes mod 8 <> 0 then
+    invalid_arg "Serve.create: slot_bytes must be a positive multiple of 8";
   let telemetry = Monitor.telemetry platform.Platform.monitor in
   let rng = Rng.split platform.Platform.rng in
   {
@@ -177,6 +280,15 @@ let create ~platform (config : config) =
     next_session = 0;
     qe = None;
     destroyed = false;
+    shards = max 1 config.sched.Sched.cores;
+    rotor = 0;
+    flush_gen = 0;
+    fault_msgs = Hashtbl.create 8;
+    aad_scratch = Bytes.create 34;
+    sid_scratch = Array.make 16 0;
+    sid_count = 0;
+    hw_staged = 0;
+    hw_shards = 0;
   }
 
 let reject t r =
@@ -267,16 +379,56 @@ let add_tenant t ~name (bc : Backend.config) =
       Backend.handlers = bc.Backend.handlers @ [ (state_ecall, state_handler) ];
     }
   in
+  let bc =
+    (* Arena tenants carve [shards] request and reply segments out of the
+       marshalling buffer, each big enough to ring the whole admission
+       queue: size the buffer up front so a worst-case flush (every
+       staged request landing on one shard) can never outgrow a ring.
+       Quadruple [need] because the input region is half the buffer and
+       the reply region a quarter, plus a page of alignment slack per
+       segment. *)
+    match bc.Backend.kind with
+    | Backend.Hyperenclave _ when t.config.arena ->
+        let need =
+          8 + (t.config.max_queue * (16 + t.config.slot_bytes))
+        in
+        let ms_min =
+          Addr.align_up ((4 * t.shards * need) + (4 * Addr.page_size))
+        in
+        let ms_bytes =
+          match bc.Backend.ms_bytes with
+          | Some b -> max b ms_min
+          | None -> max (Urts.default_config Sgx_types.GU).Urts.ms_bytes ms_min
+        in
+        { bc with Backend.ms_bytes = Some ms_bytes }
+    | _ -> bc
+  in
   let backend = Backend.create t.platform bc in
   let tenant =
     {
       t_name = name;
+      t_req_counter = "serve.tenant." ^ name ^ ".requests";
+      t_cyc_counter = "serve.tenant." ^ name ^ ".cycles";
       backend;
       queued = 0;
       spent = 0;
       budget = (match t.config.cycle_quota with Some q -> q | None -> max_int);
       next_slot = 0;
       free_slots = [];
+      stage =
+        {
+          sg_sids = [||];
+          sg_seqs = [||];
+          sg_ecalls = [||];
+          sg_envs = [||];
+          sg_shards = [||];
+          sg_slots = [||];
+          sg_fb = [||];
+          sg_n = 0;
+        };
+      rings = Array.make t.shards None;
+      ring_err = Array.make t.shards None;
+      ring_gen = Array.make t.shards 0;
     }
   in
   Hashtbl.replace t.tenants name tenant;
@@ -440,6 +592,18 @@ let aad_req ~session_id ~seq ~ecall_id =
 
 let aad_rep ~session_id ~seq = aad ~domain:"serve-rep:" ~session_id ~seq ~tag:0
 
+(* Admission-path AAD check: render the expected AAD into the plane's
+   scratch buffer and compare — same layout as [aad], no allocation. *)
+let aad_matches t ~domain ~session_id ~seq ~tag candidate =
+  Bytes.length candidate = 34
+  && begin
+       Bytes.blit_string domain 0 t.aad_scratch 0 10;
+       Bytes.set_int64_le t.aad_scratch 10 (Int64.of_int session_id);
+       Bytes.set_int64_le t.aad_scratch 18 (Int64.of_int seq);
+       Bytes.set_int64_le t.aad_scratch 26 (Int64.of_int tag);
+       Bytes.equal t.aad_scratch candidate
+     end
+
 (* ---------------------------------------------------------------------- *)
 (* Admission                                                              *)
 
@@ -454,12 +618,19 @@ let submit t (req : request) =
          the decrypt to the batched flush.  Per-byte MAC cost only — the
          AEAD setup was paid once when the session's keys were
          prepared. *)
-      charge_aead_bytes t ~bytes:(Bytes.length req.envelope.Authenc.ciphertext);
-      let expected_aad =
-        aad_req ~session_id:req.session_id ~seq:req.seq ~ecall_id:req.ecall_id
-      in
-      if not (Bytes.equal expected_aad req.envelope.Authenc.aad) then
-        reject t Bad_auth
+      let ct_len = Bytes.length req.envelope.Authenc.ciphertext in
+      charge_aead_bytes t ~bytes:ct_len;
+      if t.config.arena && ct_len > t.config.slot_bytes then
+        reject t
+          (Unsupported
+             (Printf.sprintf
+                "request ciphertext (%d bytes) exceeds the %d-byte ring slot"
+                ct_len t.config.slot_bytes))
+      else if
+        not
+          (aad_matches t ~domain:"serve-req:" ~session_id:req.session_id
+             ~seq:req.seq ~tag:req.ecall_id req.envelope.Authenc.aad)
+      then reject t Bad_auth
       else if not (Authenc.verify_sealed s.keys req.envelope) then
         reject t Bad_auth
       else if req.seq <> s.recv_seq then
@@ -496,11 +667,15 @@ let submit t (req : request) =
                            quota = tn.budget;
                          })
                   else begin
-                    s.pending <- (req.seq, req.ecall_id, req.envelope) :: s.pending;
+                    (if t.config.arena then
+                       stage_push tn.stage ~sid:s.s_id ~seq:req.seq
+                         ~ecall:req.ecall_id ~env:req.envelope
+                     else
+                       s.pending <-
+                         (req.seq, req.ecall_id, req.envelope) :: s.pending);
                     tn.queued <- tn.queued + 1;
                     Telemetry.incr t.telemetry "serve.request.admitted";
-                    Telemetry.incr t.telemetry
-                      ("serve.tenant." ^ tn.t_name ^ ".requests");
+                    Telemetry.incr t.telemetry tn.t_req_counter;
                     Ok ()
                   end
             end)
@@ -510,7 +685,7 @@ let submit t (req : request) =
 
 let charge t (tn : tenant) cycles =
   tn.spent <- tn.spent + cycles;
-  Telemetry.add t.telemetry ("serve.tenant." ^ tn.t_name ^ ".cycles") cycles
+  Telemetry.add t.telemetry tn.t_cyc_counter cycles
 
 let sessions_of t (tn : tenant) =
   Hashtbl.fold
@@ -532,7 +707,10 @@ let rec chunked k = function
       let c, rest = take k l in
       c :: chunked k rest
 
-let flush t =
+(* The list-structured dispatch path ([config.arena = false]).  Kept as
+   the reference oracle the arena path is property-tested against: both
+   must produce byte-identical reply envelopes for the same traffic. *)
+let flush_reference t =
   Telemetry.incr t.telemetry "serve.flush";
   (* Every staged request gets a stable admission-order index; results
      land keyed by it so replies come back in admission order no matter
@@ -685,6 +863,314 @@ let flush t =
              { r_session_id = s.s_id; r_seq = seq; r_result = Error rej })
 
 (* ---------------------------------------------------------------------- *)
+(* Arena dispatch                                                         *)
+
+(* Collect the distinct live sessions staged in [st] into the plane's
+   scratch array, ascending id — the same per-tenant session order the
+   reference path dispatches in.  Linear dedup: distinct sessions per
+   tenant per flush are few. *)
+let collect_sids t (st : stage) =
+  t.sid_count <- 0;
+  for i = 0 to st.sg_n - 1 do
+    let sid = st.sg_sids.(i) in
+    if sid >= 0 then begin
+      let n = t.sid_count in
+      let rec seen k = k < n && (t.sid_scratch.(k) = sid || seen (k + 1)) in
+      if not (seen 0) then begin
+        if n = Array.length t.sid_scratch then begin
+          let b = Array.make (2 * n) 0 in
+          Array.blit t.sid_scratch 0 b 0 n;
+          t.sid_scratch <- b
+        end;
+        t.sid_scratch.(n) <- sid;
+        t.sid_count <- n + 1
+      end
+    end
+  done;
+  (* in-place insertion sort over the live prefix *)
+  for i = 1 to t.sid_count - 1 do
+    let v = t.sid_scratch.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && t.sid_scratch.(!j) > v do
+      t.sid_scratch.(!j + 1) <- t.sid_scratch.(!j);
+      decr j
+    done;
+    t.sid_scratch.(!j + 1) <- v
+  done
+
+let ring_for t (tn : tenant) urts shard =
+  match tn.rings.(shard) with
+  | Some r -> r
+  | None ->
+      let r =
+        Urts.create_ring urts ~shard ~shards:t.shards
+          ~slots:t.config.max_queue ~slot_bytes:t.config.slot_bytes
+      in
+      tn.rings.(shard) <- Some r;
+      r
+
+(* The allocation-free dispatch path.  Staging, dispatch and reply bytes
+   all live in reusable arenas and the pinned marshalling rings; the only
+   per-request allocations left are the wire-facing reply envelopes. *)
+let flush_arena t =
+  Telemetry.incr t.telemetry "serve.flush";
+  t.flush_gen <- t.flush_gen + 1;
+  let gen = t.flush_gen in
+  Hashtbl.reset t.fault_msgs;
+  let cores = max 1 t.config.sched.Sched.cores in
+  let reply_ring = max 1 (min Urts.max_batch t.config.sched.Sched.batch) in
+  let tenants =
+    List.rev_map (fun name -> Hashtbl.find t.tenants name) t.tenant_order
+  in
+  let flush_total = ref 0 in
+  let rings_used = ref 0 in
+  (* Pass 1 per tenant: walk the staged entries per session in (session,
+     seq) order — exactly the reference dispatch order.  Permanent
+     session faults surface as typed errors in the assembly pass; live
+     entries decrypt straight into their ring slot (the slot IS the
+     envelope's plaintext cell) or, for backends without an SDK handle,
+     into the synchronous fallback batch. *)
+  List.iter
+    (fun tn ->
+      let st = tn.stage in
+      if st.sg_n > 0 then begin
+        Array.fill tn.ring_err 0 t.shards None;
+        collect_sids t st;
+        let urts_opt = tn.backend.Backend.urts in
+        let fb = ref [] in
+        (* rev (entry index, ecall, plaintext) for the fallback batch *)
+        for k = 0 to t.sid_count - 1 do
+          let sid = t.sid_scratch.(k) in
+          let s = Hashtbl.find t.sessions sid in
+          match
+            Fault.with_retries ~backoff:(backoff t) (fun () ->
+                Fault.point fault_site)
+          with
+          | exception Fault.Injected { site; kind } ->
+              Hashtbl.replace t.fault_msgs sid (injected_msg site kind);
+              for i = 0 to st.sg_n - 1 do
+                if st.sg_sids.(i) = sid then begin
+                  tn.queued <- tn.queued - 1;
+                  incr flush_total
+                end
+              done
+          | () ->
+              let stamp = ref 0 in
+              let shard = ref 0 in
+              for i = 0 to st.sg_n - 1 do
+                if st.sg_sids.(i) = sid then begin
+                  tn.queued <- tn.queued - 1;
+                  incr flush_total;
+                  let env = st.sg_envs.(i) in
+                  let len = Bytes.length env.Authenc.ciphertext in
+                  charge_aead_bytes t ~bytes:len;
+                  match urts_opt with
+                  | Some urts ->
+                      if !stamp mod t.config.shard_block = 0 then begin
+                        shard := t.rotor;
+                        t.rotor <- (t.rotor + 1) mod t.shards
+                      end;
+                      incr stamp;
+                      let ring = ring_for t tn urts !shard in
+                      if tn.ring_gen.(!shard) <> gen then begin
+                        tn.ring_gen.(!shard) <- gen;
+                        incr rings_used;
+                        (* one AEAD setup per (ring, flush): the batched
+                           analogue of the reference path's per-chunk
+                           setup charge *)
+                        charge_aead_setup t
+                      end;
+                      let off = Urts.ring_stage ring ~ecall_id:st.sg_ecalls.(i) ~len in
+                      Authenc.decrypt_into s.keys ~nonce:env.Authenc.nonce
+                        ~src:env.Authenc.ciphertext ~src_off:0
+                        ~dst:(Urts.ring_buf ring) ~dst_off:off ~len;
+                      st.sg_shards.(i) <- !shard;
+                      st.sg_slots.(i) <- Urts.ring_staged ring - 1
+                  | None ->
+                      let plaintext = Bytes.create len in
+                      Authenc.decrypt_into s.keys ~nonce:env.Authenc.nonce
+                        ~src:env.Authenc.ciphertext ~src_off:0 ~dst:plaintext
+                        ~dst_off:0 ~len;
+                      st.sg_shards.(i) <- fallback_shard;
+                      fb := (i, st.sg_ecalls.(i), plaintext) :: !fb
+                end
+              done
+        done;
+        match urts_opt with
+        | Some urts ->
+            (* Publish and enqueue every shard this tenant staged into:
+               shard [k] pins to core [k mod cores], so a single hot
+               tenant's rotor-spread blocks occupy every core. *)
+            for shard = 0 to t.shards - 1 do
+              match tn.rings.(shard) with
+              | Some ring
+                when tn.ring_gen.(shard) = gen && Urts.ring_staged ring > 0
+                -> (
+                  match
+                    Fault.with_retries ~backoff:(backoff t) (fun () ->
+                        Urts.ring_publish ring)
+                  with
+                  | exception Fault.Injected { site; kind } ->
+                      tn.ring_err.(shard) <- Some (injected_msg site kind)
+                  | () ->
+                      Sched.submit_ring t.sched ~core:(shard mod cores) ~urts
+                        ~on_result:(fun ~index:_ result ->
+                          match result with
+                          | Ok _ -> ()
+                          | Error msg -> tn.ring_err.(shard) <- Some msg)
+                        ~on_slice:(fun ~cycles -> charge t tn cycles)
+                        ring)
+              | Some _ | None -> ()
+            done
+        | None ->
+            (* No SDK handle (the SGX model): dispatch synchronously in
+               ring-sized chunks, charging the shared-clock delta as this
+               tenant's quota spend. *)
+            List.iter
+              (fun chunk ->
+                charge_aead_setup t;
+                let reqs = List.map (fun (_, e, pl) -> (e, pl)) chunk in
+                let clock = t.platform.Platform.clock in
+                let before = Cycles.now clock in
+                let outcomes = Backend.protected_batch tn.backend ~reqs () in
+                charge t tn (Cycles.now clock - before);
+                List.iter2
+                  (fun (i, _, _) outcome ->
+                    st.sg_fb.(i) <-
+                      (match outcome with
+                      | Backend.Success reply -> Ok reply
+                      | Backend.Typed_error m | Backend.Violation m -> Error m))
+                  chunk outcomes)
+              (chunked reply_ring (List.rev !fb))
+      end)
+    tenants;
+  ignore (Sched.run t.sched : Sched.stats);
+  (* Pull every dispatched ring's reply image back into its reusable
+     buffer — marshalling-out cost and fault site on the plane clock,
+     once per ring rather than per request. *)
+  List.iter
+    (fun tn ->
+      if tn.stage.sg_n > 0 && tn.backend.Backend.urts <> None then
+        for shard = 0 to t.shards - 1 do
+          match tn.rings.(shard) with
+          | Some ring
+            when tn.ring_gen.(shard) = gen
+                 && Urts.ring_staged ring > 0
+                 && tn.ring_err.(shard) = None -> (
+              match
+                Fault.with_retries ~backoff:(backoff t) (fun () ->
+                    Urts.ring_read_replies ring)
+              with
+              | () -> ()
+              | exception Fault.Injected { site; kind } ->
+                  tn.ring_err.(shard) <- Some (injected_msg site kind))
+          | Some _ | None -> ()
+        done)
+    tenants;
+  (* Assembly: seal replies in place inside the reply image — the served
+     slot is encrypted where it lies and only the wire-facing envelope
+     (nonce, AAD, ciphertext slice) is materialized.  Order matches the
+     reference path: tenant insertion order, then session id, then
+     sequence. *)
+  let sealed_in_batch = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun tn ->
+      let st = tn.stage in
+      if st.sg_n > 0 then begin
+        collect_sids t st;
+        for k = 0 to t.sid_count - 1 do
+          let sid = t.sid_scratch.(k) in
+          let s = Hashtbl.find t.sessions sid in
+          let fault = Hashtbl.find_opt t.fault_msgs sid in
+          let emit_err seq rej =
+            Telemetry.incr t.telemetry "serve.request.failed";
+            Telemetry.incr t.telemetry ("serve.reject." ^ reject_name rej);
+            out :=
+              { r_session_id = sid; r_seq = seq; r_result = Error rej } :: !out
+          in
+          let emit_sealed seq sealed =
+            Telemetry.incr t.telemetry "serve.request.ok";
+            out :=
+              { r_session_id = sid; r_seq = seq; r_result = Ok sealed } :: !out
+          in
+          let seal seq ~src ~src_off ~len ~dst ~dst_off =
+            if !sealed_in_batch = 0 then charge_aead_setup t;
+            sealed_in_batch := (!sealed_in_batch + 1) mod reply_ring;
+            charge_aead_bytes t ~bytes:len;
+            let nonce = envelope_nonce ~dir:'<' ~seq in
+            let aad = aad_rep ~session_id:sid ~seq in
+            let tag =
+              Authenc.seal_into s.keys ~aad ~nonce ~src ~src_off ~dst ~dst_off
+                ~len ()
+            in
+            let ciphertext =
+              if dst == src && dst_off = src_off then Bytes.sub dst dst_off len
+              else dst
+            in
+            emit_sealed seq { Authenc.nonce; ciphertext; tag; aad }
+          in
+          for i = 0 to st.sg_n - 1 do
+            if st.sg_sids.(i) = sid then begin
+              let seq = st.sg_seqs.(i) in
+              match fault with
+              | Some msg -> emit_err seq (Session_fault msg)
+              | None -> (
+                  match st.sg_shards.(i) with
+                  | shard when shard = fallback_shard -> (
+                      match st.sg_fb.(i) with
+                      | Ok body ->
+                          let len = Bytes.length body in
+                          let ciphertext = Bytes.create len in
+                          seal seq ~src:body ~src_off:0 ~len ~dst:ciphertext
+                            ~dst_off:0
+                      | Error m -> emit_err seq (Session_fault m))
+                  | shard -> (
+                      match tn.ring_err.(shard) with
+                      | Some msg -> emit_err seq (Session_fault msg)
+                      | None ->
+                          let ring =
+                            match tn.rings.(shard) with
+                            | Some r -> r
+                            | None -> assert false
+                          in
+                          let off, len =
+                            Urts.ring_reply_slot ring ~slot:st.sg_slots.(i)
+                          in
+                          let buf = Urts.ring_reply_buf ring in
+                          seal seq ~src:buf ~src_off:off ~len ~dst:buf
+                            ~dst_off:off))
+            end
+          done
+        done;
+        (* Recycle the arenas: drop envelope references, rewind the
+           stage cursor, rewind every ring used this flush. *)
+        Array.fill st.sg_envs 0 st.sg_n dummy_sealed;
+        Array.fill st.sg_fb 0 st.sg_n dummy_outcome;
+        st.sg_n <- 0;
+        Array.iter
+          (function Some ring -> Urts.ring_reset ring | None -> ())
+          tn.rings
+      end)
+    tenants;
+  (* High-water telemetry: monotone counters stepped by the delta to the
+     new maximum, so `stats` shows the deepest flush and widest shard
+     spread the plane has reached. *)
+  if !flush_total > t.hw_staged then begin
+    Telemetry.add t.telemetry "serve.arena.high_water"
+      (!flush_total - t.hw_staged);
+    t.hw_staged <- !flush_total
+  end;
+  if !rings_used > t.hw_shards then begin
+    Telemetry.add t.telemetry "serve.ring.shards_active"
+      (!rings_used - t.hw_shards);
+    t.hw_shards <- !rings_used
+  end;
+  List.rev !out
+
+let flush t = if t.config.arena then flush_arena t else flush_reference t
+
+(* ---------------------------------------------------------------------- *)
 (* Session state (EDMM)                                                   *)
 
 let resize_session t ~session ~pages =
@@ -741,8 +1227,23 @@ let close_session t ~session =
   | None -> reject t (Unknown_session session)
   | Some s ->
       let tn = s.tenant in
-      tn.queued <- tn.queued - List.length s.pending;
-      s.pending <- [];
+      (if t.config.arena then begin
+         (* Kill the session's staged arena slots in place: [-1] marks a
+            dead slot every flush pass skips, so closing mid-stage never
+            compacts the arena or leaves a dangling session lookup. *)
+         let st = tn.stage in
+         for i = 0 to st.sg_n - 1 do
+           if st.sg_sids.(i) = s.s_id then begin
+             st.sg_sids.(i) <- -1;
+             st.sg_envs.(i) <- dummy_sealed;
+             tn.queued <- tn.queued - 1
+           end
+         done
+       end
+       else begin
+         tn.queued <- tn.queued - List.length s.pending;
+         s.pending <- []
+       end);
       Hashtbl.remove t.sessions session;
       tn.free_slots <- s.state_slot :: tn.free_slots;
       Telemetry.incr t.telemetry "serve.session_close";

@@ -102,12 +102,31 @@ type config = {
           so session churn cannot grow the table without limit *)
   ticket_ttl : int;
       (** resumption-ticket lifetime in shared-clock cycles *)
+  arena : bool;
+      (** allocation-free data path (the default): admissions stage into
+          flat reusable arenas and {!flush} dispatches through per-shard
+          marshalling-buffer rings where the pinned slot {e is} the AEAD
+          envelope — requests decrypt into their ring slot, replies seal
+          in place in the reply image, and the only per-request
+          allocations left are the wire-facing reply envelopes.  [false]
+          selects the list-structured reference path, kept as the
+          byte-identity oracle the arena is property-tested against. *)
+  shard_block : int;
+      (** consecutive per-session staged requests assigned to one ring
+          shard before the plane-wide rotor advances — small enough that
+          one hot session spreads across every core, large enough that a
+          session's replies cluster per reply segment *)
+  slot_bytes : int;
+      (** ring slot payload capacity, a positive multiple of 8; arena
+          admissions whose ciphertext exceeds it are refused with
+          {!Unsupported} *)
 }
 
 val default_config : config
 (** 2 cores (scheduler defaults with [drop_on_error]), 64-request
     queues, unmetered quotas, 16-page session state stride, 1024-nonce
-    replay cache, 1e9-cycle ticket TTL. *)
+    replay cache, 1e9-cycle ticket TTL, arena path on with 8-request
+    shard blocks and 256-byte slots. *)
 
 type t
 

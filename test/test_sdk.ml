@@ -683,6 +683,38 @@ let test_ring_frame_parsing () =
   Bytes.set_int64_le oversized 16 (Int64.of_int (Bytes.length frame));
   expect_typed "slot overruns frame" oversized
 
+let test_oret_batch_unknown_ocall () =
+  (* The drained reply-ring frame comes back through the shared ms
+     region, so its OCALL ids are untrusted input: an id with no
+     registered handler must surface as the typed [Enclave_error]
+     refusal, never a bare [Not_found] out of the handler table. *)
+  let _, handle = fixture ~ecalls:[] ~ocalls:[ (7, fun data -> data) ] () in
+  let arg_off = Urts.ms_ocall_off handle in
+  let frame = Urts.frame_requests [ (99, Bytes.of_string "boom") ] in
+  Urts.ms_raw_write handle ~off:arg_off frame;
+  (try
+     ignore (Urts.oret_batch handle ~arg_off ~staged_len:(Bytes.length frame));
+     Alcotest.fail "unregistered OCALL id accepted"
+   with
+  | Urts.Enclave_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "typed refusal names the id: %s" msg)
+        true
+        (let needle = "unknown OCALL" in
+         let n = String.length needle in
+         let rec has i =
+           i + n <= String.length msg
+           && (String.sub msg i n = needle || has (i + 1))
+         in
+         has 0)
+  | Not_found -> Alcotest.fail "escaped as bare Not_found");
+  (* A registered id through the same direct path still round-trips. *)
+  let ok = Urts.frame_requests [ (7, Bytes.of_string "echo") ] in
+  Urts.ms_raw_write handle ~off:arg_off ok;
+  let len = Urts.oret_batch handle ~arg_off ~staged_len:(Bytes.length ok) in
+  Alcotest.(check bool) "reply frame written back" true (len > 0);
+  Urts.destroy handle
+
 let test_local_attestation () =
   (* Enclave B proves its identity to enclave A on the same platform:
      B produces an EREPORT binding a channel nonce, the untrusted app
@@ -904,6 +936,8 @@ let suite =
     Alcotest.test_case "ocall ring errors" `Quick test_ocall_ring_errors;
     Alcotest.test_case "ocall ring amortizes" `Quick test_ocall_ring_amortizes;
     Alcotest.test_case "ring frame parsing" `Quick test_ring_frame_parsing;
+    Alcotest.test_case "oret_batch unknown OCALL typed" `Quick
+      test_oret_batch_unknown_ocall;
     Alcotest.test_case "interrupt-frequency guard" `Quick test_interrupt_guard;
     Alcotest.test_case "interrupt guard is P-only" `Quick
       test_interrupt_guard_p_only;
