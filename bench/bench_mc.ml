@@ -1,0 +1,92 @@
+(* Model-checker throughput: end-to-end states/second at a fixed depth,
+   plus a component breakdown (apply+undo, oracle, encode, checkpoint/
+   rollback) over a representative mid-build state, so a regression in
+   one layer is attributable rather than a mystery slowdown. *)
+
+module Mc = Hyperenclave.Mc
+module World = Hyperenclave.Mc_world
+module Alphabet = Hyperenclave.Mc_alphabet
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Drive the world into a mid-exploration state: both enclaves built,
+   one initialized and entered, one page swapped out. *)
+let representative_world () =
+  let w = World.create World.default_config in
+  let ok tr =
+    match World.apply w tr with
+    | World.Applied -> ()
+    | World.Refused msg ->
+        failwith (Printf.sprintf "setup refused %s: %s"
+                    (Alphabet.to_string tr) msg)
+    | World.Crashed msg ->
+        failwith (Printf.sprintf "setup crashed %s: %s"
+                    (Alphabet.to_string tr) msg)
+  in
+  List.iter ok
+    [
+      Alphabet.Create 0; Alphabet.Add 0; Alphabet.Add 0; Alphabet.Add_tcs 0;
+      Alphabet.Init 0; Alphabet.Create 1; Alphabet.Add 1; Alphabet.Add_tcs 1;
+      Alphabet.Swap_out; Alphabet.Enter 0;
+    ];
+  w
+
+let component_pass ~iters =
+  let w = representative_world () in
+  let bench name f =
+    let (), dt = time_it (fun () -> for _ = 1 to iters do f () done) in
+    Printf.printf "  %-20s %8.2f us/op\n" name
+      (1e6 *. dt /. float_of_int iters)
+  in
+  bench "oracle" (fun () -> ignore (World.oracle w));
+  bench "encode" (fun () -> ignore (World.encode w));
+  bench "checkpoint+rollback" (fun () ->
+      let ck = World.checkpoint w in
+      World.rollback w ck);
+  let tr_bench tr =
+    bench
+      (Printf.sprintf "apply %s" (Alphabet.to_string tr))
+      (fun () ->
+        let ck = World.checkpoint w in
+        World.push_frame_log w;
+        (match World.apply w tr with
+        | World.Applied | World.Refused _ -> ()
+        | World.Crashed msg ->
+            failwith (Alphabet.to_string tr ^ " crashed: " ^ msg));
+        World.pop_restore_frames w;
+        World.rollback w ck)
+  in
+  (* Touch 0 swap-ins the evicted page (ELDU: unseal 4 KiB); Swap_out
+     seals one (EWB); einit attacks exercise the validation path;
+     Aex/Enter are world switches. *)
+  List.iter tr_bench
+    [
+      Alphabet.Touch 0; Alphabet.Swap_out; Alphabet.Aex 0;
+      Alphabet.Atk_remove_running 0; Alphabet.Atk_bad_sig 1;
+      Alphabet.Atk_ms_reserved 1; Alphabet.Init 1;
+    ]
+
+let end_to_end ~depth =
+  let result, dt = time_it (fun () -> Mc.run ~depth World.default_config) in
+  let s = result.Mc.stats in
+  Printf.printf
+    "  depth %d: %d states, %d transitions in %.2fs — %.0f states/s, %.0f \
+     transitions/s\n"
+    depth s.Mc.states s.Mc.transitions dt
+    (float_of_int s.Mc.states /. dt)
+    (float_of_int s.Mc.transitions /. dt);
+  match result.Mc.violation with
+  | None -> ()
+  | Some v ->
+      Printf.printf "  VIOLATION: %s\n" (Format.asprintf "%a" Mc.pp_violation v);
+      exit 1
+
+let run () =
+  Printf.printf "mc component costs (representative state):\n";
+  component_pass ~iters:2000;
+  Printf.printf "mc end-to-end:\n";
+  end_to_end ~depth:6;
+  end_to_end ~depth:7

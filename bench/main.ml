@@ -30,6 +30,9 @@ let experiments =
       ( "allocation-free data path: arenas, in-slot envelopes, sharding (PR 7)",
         Bench_arena.run ) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
+    ( "mc",
+      ( "model-checker throughput: states/s + component breakdown (PR 8)",
+        Bench_mc.run ) );
   ]
 
 let usage () =

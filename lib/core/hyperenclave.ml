@@ -74,3 +74,7 @@ module Mem_sim = Hyperenclave_tee.Mem_sim
 module Sched = Hyperenclave_sched.Sched
 module Serve = Hyperenclave_serve.Serve
 module Kx = Hyperenclave_crypto.Kx
+module Mc = Hyperenclave_mc.Explorer
+module Mc_world = Hyperenclave_mc.World
+module Mc_alphabet = Hyperenclave_mc.Alphabet
+module Mc_trace = Hyperenclave_mc.Trace

@@ -35,7 +35,10 @@ let xtime b =
   let b = b lsl 1 in
   if b land 0x100 <> 0 then (b lxor 0x1b) land 0xff else b
 
-type key = int array array (* 11 round keys of 16 bytes *)
+type key = {
+  rounds : int array array; (* 11 round keys of 16 bytes (decrypt path) *)
+  w : int array; (* the same schedule as 44 big-endian words (encrypt path) *)
+}
 
 let expand_key raw =
   if Bytes.length raw <> 16 then invalid_arg "Aes.expand_key: need 16 bytes";
@@ -64,10 +67,13 @@ let expand_key raw =
     end;
     w.(i) <- w.(i - 4) lxor !temp
   done;
-  Array.init 11 (fun r ->
-      Array.init 16 (fun b ->
-          let word = w.((4 * r) + (b / 4)) in
-          (word lsr (8 * (3 - (b mod 4)))) land 0xff))
+  let rounds =
+    Array.init 11 (fun r ->
+        Array.init 16 (fun b ->
+            let word = w.((4 * r) + (b / 4)) in
+            (word lsr (8 * (3 - (b mod 4)))) land 0xff))
+  in
+  { rounds; w }
 
 let add_round_key state rk =
   for i = 0 to 15 do
@@ -81,27 +87,7 @@ let sub_bytes state table =
   done
 
 (* State layout: state.(4*c + r) is row r, column c (column-major bytes,
-   matching the order bytes enter the cipher).  Row r rotates left by r;
-   spelled out as explicit rotation chains so no scratch copy of the
-   state is allocated per round. *)
-let shift_rows state =
-  let t = state.(1) in
-  state.(1) <- state.(5);
-  state.(5) <- state.(9);
-  state.(9) <- state.(13);
-  state.(13) <- t;
-  let t = state.(2) in
-  state.(2) <- state.(10);
-  state.(10) <- t;
-  let t = state.(6) in
-  state.(6) <- state.(14);
-  state.(14) <- t;
-  let t = state.(15) in
-  state.(15) <- state.(11);
-  state.(11) <- state.(7);
-  state.(7) <- state.(3);
-  state.(3) <- t
-
+   matching the order bytes enter the cipher). *)
 let inv_shift_rows state =
   let t = state.(13) in
   state.(13) <- state.(9);
@@ -120,21 +106,8 @@ let inv_shift_rows state =
   state.(11) <- state.(15);
   state.(15) <- t
 
-(* GF(2^8) multiplies by the MixColumns constants, as xtime chains
-   instead of the generic shift-and-add loop. *)
-let mix_columns state =
-  for c = 0 to 3 do
-    let a0 = state.(4 * c)
-    and a1 = state.((4 * c) + 1)
-    and a2 = state.((4 * c) + 2)
-    and a3 = state.((4 * c) + 3) in
-    let x0 = xtime a0 and x1 = xtime a1 and x2 = xtime a2 and x3 = xtime a3 in
-    state.(4 * c) <- x0 lxor x1 lxor a1 lxor a2 lxor a3;
-    state.((4 * c) + 1) <- a0 lxor x1 lxor x2 lxor a2 lxor a3;
-    state.((4 * c) + 2) <- a0 lxor a1 lxor x2 lxor x3 lxor a3;
-    state.((4 * c) + 3) <- x0 lxor a0 lxor a1 lxor a2 lxor x3
-  done
-
+(* GF(2^8) multiplies by the inverse MixColumns constants, as xtime
+   chains instead of the generic shift-and-add loop. *)
 let inv_mix_columns state =
   for c = 0 to 3 do
     let a0 = state.(4 * c)
@@ -179,19 +152,75 @@ let bytes_of_state state =
   Array.iteri (fun i v -> Bytes.set out i (Char.chr v)) state;
   out
 
+(* Encryption T-tables: te0.(x) packs S[x] times the MixColumns column
+   (02,01,01,03) into one big-endian word, and te1..te3 are its byte
+   rotations, so SubBytes + ShiftRows + MixColumns for an output column
+   collapse to four lookups and three XORs.  This is the hot path: CTR
+   runs [encrypt_state] 256 times per 4 KiB page. *)
+let te0 =
+  Array.init 256 (fun a ->
+      let s = sbox.(a) in
+      let s2 = xtime s in
+      (s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor (s lxor s2))
+
+let ror8 w = ((w lsr 8) lor (w lsl 24)) land 0xffffffff
+let te1 = Array.map ror8 te0
+let te2 = Array.map ror8 te1
+let te3 = Array.map ror8 te2
+
 let encrypt_state key state =
-  add_round_key state key.(0);
+  let kw = key.w in
+  let col c =
+    (Array.unsafe_get state (4 * c) lsl 24)
+    lor (Array.unsafe_get state ((4 * c) + 1) lsl 16)
+    lor (Array.unsafe_get state ((4 * c) + 2) lsl 8)
+    lor Array.unsafe_get state ((4 * c) + 3)
+  in
+  let s0 = ref (col 0 lxor kw.(0))
+  and s1 = ref (col 1 lxor kw.(1))
+  and s2 = ref (col 2 lxor kw.(2))
+  and s3 = ref (col 3 lxor kw.(3)) in
+  (* Output column j reads rows 0..3 from input columns j, j+1, j+2, j+3
+     (mod 4) — that byte walk IS ShiftRows. *)
+  let round_col a b c d k =
+    Array.unsafe_get te0 ((a lsr 24) land 0xff)
+    lxor Array.unsafe_get te1 ((b lsr 16) land 0xff)
+    lxor Array.unsafe_get te2 ((c lsr 8) land 0xff)
+    lxor Array.unsafe_get te3 (d land 0xff)
+    lxor k
+  in
   for round = 1 to 9 do
-    sub_bytes state sbox;
-    shift_rows state;
-    mix_columns state;
-    add_round_key state key.(round)
+    let k = 4 * round in
+    let t0 = round_col !s0 !s1 !s2 !s3 (Array.unsafe_get kw k)
+    and t1 = round_col !s1 !s2 !s3 !s0 (Array.unsafe_get kw (k + 1))
+    and t2 = round_col !s2 !s3 !s0 !s1 (Array.unsafe_get kw (k + 2))
+    and t3 = round_col !s3 !s0 !s1 !s2 (Array.unsafe_get kw (k + 3)) in
+    s0 := t0;
+    s1 := t1;
+    s2 := t2;
+    s3 := t3
   done;
-  sub_bytes state sbox;
-  shift_rows state;
-  add_round_key state key.(10)
+  (* Final round: SubBytes + ShiftRows only, straight from the S-box. *)
+  let last_col a b c d k =
+    (Array.unsafe_get sbox ((a lsr 24) land 0xff) lsl 24)
+    lor (Array.unsafe_get sbox ((b lsr 16) land 0xff) lsl 16)
+    lor (Array.unsafe_get sbox ((c lsr 8) land 0xff) lsl 8)
+    lor Array.unsafe_get sbox (d land 0xff)
+    lxor k
+  in
+  let put c w =
+    state.(4 * c) <- (w lsr 24) land 0xff;
+    state.((4 * c) + 1) <- (w lsr 16) land 0xff;
+    state.((4 * c) + 2) <- (w lsr 8) land 0xff;
+    state.((4 * c) + 3) <- w land 0xff
+  in
+  put 0 (last_col !s0 !s1 !s2 !s3 kw.(40));
+  put 1 (last_col !s1 !s2 !s3 !s0 kw.(41));
+  put 2 (last_col !s2 !s3 !s0 !s1 kw.(42));
+  put 3 (last_col !s3 !s0 !s1 !s2 kw.(43))
 
 let decrypt_state key state =
+  let key = key.rounds in
   add_round_key state key.(10);
   inv_shift_rows state;
   sub_bytes state inv_sbox;

@@ -124,6 +124,18 @@ let update ctx data = update_sub ctx data ~off:0 ~len:(Bytes.length data)
 
 let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
 
+(* The message schedule [w] is scratch space valid only inside [compress],
+   so a copy needs a fresh array but not the current contents. *)
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    w = Array.make 64 0;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    finalized = ctx.finalized;
+  }
+
 let finalize ctx =
   if ctx.finalized then invalid_arg "Sha256.finalize: already finalized";
   ctx.finalized <- true;

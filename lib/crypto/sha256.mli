@@ -19,6 +19,12 @@ val finalize : ctx -> bytes
 (** Finalizing consumes the context; further [update]s raise
     [Invalid_argument]. *)
 
+val copy : ctx -> ctx
+(** Independent clone of a running context.  Lets a caller peek at the
+    digest-so-far (finalize the copy) without consuming the original —
+    the monitor uses this so a failed EINIT cannot brick the enclave's
+    measurement, and lib/mc uses it to snapshot in-build enclaves. *)
+
 val digest_bytes : bytes -> bytes
 val digest_string : string -> bytes
 

@@ -73,3 +73,16 @@ let free_count t = t.free_count
 let used_count t = t.nframes - t.free_count
 let total t = t.nframes
 let base_frame t = t.base
+let hint t = t.hint
+
+type snapshot = { s_free : bool array; s_free_count : int; s_hint : int }
+
+let snapshot t =
+  { s_free = Array.copy t.free; s_free_count = t.free_count; s_hint = t.hint }
+
+let restore t snap =
+  if Array.length snap.s_free <> t.nframes then
+    invalid_arg "Frame_alloc.restore: snapshot from a different allocator";
+  Array.blit snap.s_free 0 t.free 0 t.nframes;
+  t.free_count <- snap.s_free_count;
+  t.hint <- snap.s_hint

@@ -29,3 +29,17 @@ val free_count : t -> int
 val used_count : t -> int
 val total : t -> int
 val base_frame : t -> int
+
+val hint : t -> int
+(** Next scan index [alloc] will try — part of the allocator's
+    behavioural state, so lib/mc folds it into canonical hashes. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the free map, count and scan hint (for lib/mc backtracking;
+    the hint is included so allocation order replays identically). *)
+
+val restore : t -> snapshot -> unit
+(** Restore in place.  @raise Invalid_argument if the snapshot came from
+    an allocator of a different size. *)

@@ -21,13 +21,18 @@ type entry = {
 
 type node = Table of node option array | Leaf of entry option array
 
-type t = { root : node; mutable mapped : int; mutable nodes : int }
+type t = {
+  root : node;
+  mutable mapped : int;
+  mutable nodes : int;
+  mutable generation : int;
+}
 
 let fanout = 512
 let new_table () = Table (Array.make fanout None)
 let new_leaf () = Leaf (Array.make fanout None)
 
-let create () = { root = new_table (); mapped = 0; nodes = 1 }
+let create () = { root = new_table (); mapped = 0; nodes = 1; generation = 0 }
 
 (* Descend from the root (level 3) to the leaf table (level 0), creating
    interior nodes on demand when [create_missing]. *)
@@ -55,6 +60,7 @@ let map t ~vpn ~frame ~perms =
   | Some slots ->
       let idx = leaf_index vpn in
       if slots.(idx) = None then t.mapped <- t.mapped + 1;
+      t.generation <- t.generation + 1;
       slots.(idx) <- Some { frame; perms; accessed = false; dirty = false }
 
 let unmap t ~vpn =
@@ -64,6 +70,7 @@ let unmap t ~vpn =
       let idx = leaf_index vpn in
       if slots.(idx) <> None then begin
         slots.(idx) <- None;
+        t.generation <- t.generation + 1;
         t.mapped <- t.mapped - 1
       end
 
@@ -75,7 +82,9 @@ let lookup t ~vpn =
 let protect t ~vpn ~perms =
   match lookup t ~vpn with
   | None -> raise Not_found
-  | Some e -> e.perms <- perms
+  | Some e ->
+      t.generation <- t.generation + 1;
+      e.perms <- perms
 
 let walk t ~vpn ~levels_visited =
   (* A real walk loads one entry per level including the leaf PTE. *)
@@ -118,6 +127,24 @@ let clear_accessed_dirty t =
   iter t (fun ~vpn:_ e ->
       e.accessed <- false;
       e.dirty <- false)
+
+type snapshot = { gen : int; entries : (int * int * perms) list }
+
+let snapshot t =
+  let entries = ref [] in
+  iter t (fun ~vpn e -> entries := (vpn, e.frame, e.perms) :: !entries);
+  { gen = t.generation; entries = !entries }
+
+let restore t snap =
+  if t.generation <> snap.gen then begin
+    let present = ref [] in
+    iter t (fun ~vpn _ -> present := vpn :: !present);
+    List.iter (fun vpn -> unmap t ~vpn) !present;
+    List.iter (fun (vpn, frame, perms) -> map t ~vpn ~frame ~perms) snap.entries;
+    t.generation <- snap.gen
+  end
+
+let generation t = t.generation
 
 let find_vpn_of_frame t ~frame =
   let found = ref None in

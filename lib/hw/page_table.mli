@@ -65,3 +65,25 @@ val clear_accessed_dirty : t -> unit
 val find_vpn_of_frame : t -> frame:int -> int option
 (** Reverse lookup (first match); used by security tests for alias
     detection. *)
+
+(** {2 Snapshot / restore}
+
+    Cheap structural snapshots for the model checker's DFS backtracking
+    (lib/mc).  A snapshot captures the translation set (vpn, frame,
+    perms); [restore] rebuilds exactly that set in place, so existing
+    [t] handles held elsewhere stay valid.  A generation counter bumped
+    on every [map]/[unmap]/[protect] lets [restore] skip tables that
+    did not change since the snapshot.  Hardware accessed/dirty bits are
+    deliberately not captured: they are observational, nothing in the
+    monitor branches on them. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore the translation set in place.  O(1) when the generation is
+    unchanged since [snapshot]. *)
+
+val generation : t -> int
+(** Monotonic modification counter (map/unmap/protect). *)

@@ -1,8 +1,17 @@
-type t = { size : int; frames : (int, bytes) Hashtbl.t }
+type t = {
+  size : int;
+  frames : (int, bytes) Hashtbl.t;
+  mutable observer : (int -> unit) option;
+}
 
 let create ~size_bytes =
   let size = Addr.align_up size_bytes in
-  { size; frames = Hashtbl.create 1024 }
+  { size; frames = Hashtbl.create 1024; observer = None }
+
+let set_write_observer t f = t.observer <- f
+
+let observe t fn =
+  match t.observer with None -> () | Some f -> f fn
 
 let size_bytes t = t.size
 let frames t = t.size / Addr.page_size
@@ -13,7 +22,10 @@ let check t addr len =
       (Printf.sprintf "Phys_mem: access [0x%x, +%d) outside 0x%x" addr len
          t.size)
 
+(* Every mutation path obtains its target page through [frame_for], so
+   the write observer fires exactly once per (write, frame) pair. *)
 let frame_for t fn =
+  observe t fn;
   match Hashtbl.find_opt t.frames fn with
   | Some page -> page
   | None ->
@@ -118,5 +130,7 @@ let write_page t ~frame data =
     invalid_arg "Phys_mem.write_page: not a whole page";
   write_bytes t (Addr.base_of_page frame) data
 
-let zero_page t ~frame = Hashtbl.remove t.frames frame
+let zero_page t ~frame =
+  observe t frame;
+  Hashtbl.remove t.frames frame
 let touched_frames t = Hashtbl.length t.frames

@@ -54,3 +54,10 @@ val zero_page : t -> frame:int -> unit
 
 val touched_frames : t -> int
 (** Number of frames materialized so far (for resource accounting tests). *)
+
+val set_write_observer : t -> (int -> unit) option -> unit
+(** [set_write_observer mem (Some f)] calls [f frame] just before any
+    mutation of [frame] (writes, fills, page zeroing).  Used by lib/mc
+    to keep a dirty-frame log so DFS backtracking restores only the
+    frames a transition actually touched.  [None] (the default) is a
+    single-branch fast path. *)

@@ -2,6 +2,7 @@ type t = { mutable state : int64 }
 
 let create ~seed = { state = seed }
 let set_seed t seed = t.state <- seed
+let state t = t.state
 
 (* splitmix64: fast, high-quality, and trivially reproducible; the standard
    choice for seeding deterministic simulations. *)

@@ -13,6 +13,10 @@ val set_seed : t -> int64 -> unit
 (** Reset the stream; afterwards the generator replays the sequence of a
     fresh [create ~seed]. *)
 
+val state : t -> int64
+(** Current stream position; [set_seed t (state t)] is the identity.
+    Lets lib/mc checkpoint and rewind the generator during DFS. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 

@@ -1,0 +1,125 @@
+type slot = int
+
+type t =
+  | Create of slot
+  | Add of slot
+  | Add_tcs of slot
+  | Init of slot
+  | Enter of slot
+  | Exit of slot
+  | Aex of slot
+  | Resume of slot
+  | Touch of slot
+  | Grow of slot
+  | Shrink of slot
+  | Restrict of slot
+  | Relax of slot
+  | Remove of slot
+  | Swap_out
+  | Atk_double_add of slot
+  | Atk_add_outside of slot
+  | Atk_bad_sig of slot
+  | Atk_forged_measure of slot
+  | Atk_ms_reserved of slot
+  | Atk_ms_overlap of slot
+  | Atk_enter_uninit of slot
+  | Atk_busy_enter of slot
+  | Atk_wrong_exit of slot
+  | Atk_remove_running of slot
+  | Atk_swap_replay
+  | Atk_swap_splice
+  | Sabotage
+
+let is_attack = function
+  | Atk_double_add _ | Atk_add_outside _ | Atk_bad_sig _ | Atk_forged_measure _
+  | Atk_ms_reserved _ | Atk_ms_overlap _ | Atk_enter_uninit _
+  | Atk_busy_enter _ | Atk_wrong_exit _ | Atk_remove_running _
+  | Atk_swap_replay | Atk_swap_splice | Sabotage ->
+      true
+  | Create _ | Add _ | Add_tcs _ | Init _ | Enter _ | Exit _ | Aex _
+  | Resume _ | Touch _ | Grow _ | Shrink _ | Restrict _ | Relax _ | Remove _
+  | Swap_out ->
+      false
+
+let expects_refusal = function
+  | Atk_double_add _ | Atk_add_outside _ | Atk_bad_sig _ | Atk_forged_measure _
+  | Atk_ms_reserved _ | Atk_ms_overlap _ | Atk_enter_uninit _
+  | Atk_busy_enter _ | Atk_wrong_exit _ | Atk_remove_running _ ->
+      true
+  | _ -> false
+
+let per_slot i =
+  [
+    Create i;
+    Add i;
+    Add_tcs i;
+    Init i;
+    Enter i;
+    Exit i;
+    Aex i;
+    Resume i;
+    Touch i;
+    Grow i;
+    Shrink i;
+    Restrict i;
+    Relax i;
+    Remove i;
+  ]
+
+let attacks_per_slot i =
+  [
+    Atk_double_add i;
+    Atk_add_outside i;
+    Atk_bad_sig i;
+    Atk_forged_measure i;
+    Atk_ms_reserved i;
+    Atk_ms_overlap i;
+    Atk_enter_uninit i;
+    Atk_busy_enter i;
+    Atk_wrong_exit i;
+    Atk_remove_running i;
+  ]
+
+let all ~nslots ~with_sabotage =
+  let slots = List.init nslots Fun.id in
+  List.concat_map per_slot slots
+  @ [ Swap_out ]
+  @ List.concat_map attacks_per_slot slots
+  @ [ Atk_swap_replay; Atk_swap_splice ]
+  @ (if with_sabotage then [ Sabotage ] else [])
+
+let to_string = function
+  | Create i -> Printf.sprintf "ecreate[%d]" i
+  | Add i -> Printf.sprintf "eadd[%d]" i
+  | Add_tcs i -> Printf.sprintf "eadd_tcs[%d]" i
+  | Init i -> Printf.sprintf "einit[%d]" i
+  | Enter i -> Printf.sprintf "eenter[%d]" i
+  | Exit i -> Printf.sprintf "eexit[%d]" i
+  | Aex i -> Printf.sprintf "aex[%d]" i
+  | Resume i -> Printf.sprintf "eresume[%d]" i
+  | Touch i -> Printf.sprintf "touch[%d]" i
+  | Grow i -> Printf.sprintf "grow[%d]" i
+  | Shrink i -> Printf.sprintf "shrink[%d]" i
+  | Restrict i -> Printf.sprintf "emodpr[%d]" i
+  | Relax i -> Printf.sprintf "emodpe[%d]" i
+  | Remove i -> Printf.sprintf "eremove[%d]" i
+  | Swap_out -> "swap_out"
+  | Atk_double_add i -> Printf.sprintf "atk_double_add[%d]" i
+  | Atk_add_outside i -> Printf.sprintf "atk_add_outside[%d]" i
+  | Atk_bad_sig i -> Printf.sprintf "atk_bad_sig[%d]" i
+  | Atk_forged_measure i -> Printf.sprintf "atk_forged_measure[%d]" i
+  | Atk_ms_reserved i -> Printf.sprintf "atk_ms_reserved[%d]" i
+  | Atk_ms_overlap i -> Printf.sprintf "atk_ms_overlap[%d]" i
+  | Atk_enter_uninit i -> Printf.sprintf "atk_enter_uninit[%d]" i
+  | Atk_busy_enter i -> Printf.sprintf "atk_busy_enter[%d]" i
+  | Atk_wrong_exit i -> Printf.sprintf "atk_wrong_exit[%d]" i
+  | Atk_remove_running i -> Printf.sprintf "atk_remove_running[%d]" i
+  | Atk_swap_replay -> "atk_swap_replay"
+  | Atk_swap_splice -> "atk_swap_splice"
+  | Sabotage -> "sabotage"
+
+let of_string s =
+  let candidates = all ~nslots:8 ~with_sabotage:true in
+  List.find_opt (fun t -> String.equal (to_string t) s) candidates
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,75 @@
+(** The bounded transition alphabet the model checker explores.
+
+    Each constructor is one atomic step the small-state world can take:
+    a legal hypercall on a numbered enclave slot, an asynchronous event
+    (AEX, EPC eviction), or an attacker move from the paper's threat
+    model (Fig. 9 mapping attacks, forged EINIT, swap-blob replay and
+    splicing).  Attacker moves carry an expectation: the monitor must
+    refuse them with a typed {!Hyperenclave_monitor.Monitor.Security_violation}
+    while every invariant stays green — an attack that [Applied]s is a
+    counterexample by definition. *)
+
+type slot = int
+(** Index into the world's fixed array of enclave slots (0-based). *)
+
+type t =
+  (* Legal lifecycle + data-path transitions, one slot each. *)
+  | Create of slot  (** ECREATE: SECS + empty enclave in slot *)
+  | Add of slot  (** EADD the next data page *)
+  | Add_tcs of slot  (** EADD SSA page(s) then EADD_TCS *)
+  | Init of slot  (** EINIT with a correctly signed SIGSTRUCT *)
+  | Enter of slot  (** EENTER through the slot's TCS *)
+  | Exit of slot  (** EEXIT to the recorded return address *)
+  | Aex of slot  (** asynchronous exit: spill to SSA, leave *)
+  | Resume of slot  (** ERESUME: reload the spilled frame *)
+  | Touch of slot  (** in-enclave read of data page 0 (drives ELDU) *)
+  | Grow of slot  (** EDMM EAUG-style dynamic page commit/write *)
+  | Shrink of slot  (** EDMM EREMOVE of the last dynamic page *)
+  | Restrict of slot  (** EMODPR data page 0 to read-only *)
+  | Relax of slot  (** EMODPE data page 0 back to read-write *)
+  | Remove of slot  (** EREMOVE the whole enclave *)
+  (* Global environment transitions. *)
+  | Swap_out  (** monitor evicts one EPC page (EWB analogue) *)
+  (* Attacker moves: malicious kmod / untrusted OS.  All must be refused. *)
+  | Atk_double_add of slot  (** EADD onto an already-mapped page (Fig. 9a) *)
+  | Atk_add_outside of slot  (** EADD outside ELRANGE *)
+  | Atk_bad_sig of slot  (** EINIT with a garbage signature *)
+  | Atk_forged_measure of slot  (** EINIT, valid signature, wrong MRENCLAVE *)
+  | Atk_ms_reserved of slot  (** marshalling buffer aimed at reserved memory *)
+  | Atk_ms_overlap of slot  (** marshalling buffer overlapping ELRANGE *)
+  | Atk_enter_uninit of slot  (** EENTER before EINIT *)
+  | Atk_busy_enter of slot  (** EENTER a TCS left busy by an AEX *)
+  | Atk_wrong_exit of slot  (** EEXIT to a non-sanctioned address *)
+  | Atk_remove_running of slot  (** EREMOVE while a thread is inside *)
+  (* Attacker moves against the untrusted swap store.  These mutate the
+     store silently (they [Applied]); the refusal is demanded later, at
+     swap-in, and a stale page ever becoming resident is a violation. *)
+  | Atk_swap_replay  (** put an old (rolled-back) blob back in the store *)
+  | Atk_swap_splice  (** serve one enclave's blob to another's slot *)
+  (* Deliberate monitor corruption, enabled only by [seed_bug] configs,
+     used to prove the checker actually finds and minimizes violations. *)
+  | Sabotage  (** map a monitor-private frame into a guest page table *)
+
+val is_attack : t -> bool
+(** Attacker moves, including the swap-store corruptions and [Sabotage]. *)
+
+val expects_refusal : t -> bool
+(** Attacks the monitor must refuse {e at this step} with a typed
+    [Security_violation].  [Atk_swap_replay]/[Atk_swap_splice] corrupt
+    state the monitor cannot see yet, so they are expected to apply
+    silently — their refusal is checked at swap-in time by the world's
+    poisoned-blob oracle.  [Sabotage] likewise applies (it models a
+    monitor bug, not a request). *)
+
+val all : nslots:int -> with_sabotage:bool -> t list
+(** The full alphabet over [nslots] slots, in a fixed deterministic
+    order (legal moves first, then attacks). *)
+
+val to_string : t -> string
+(** Canonical printable name, e.g. ["eadd[1]"], ["atk_swap_replay"].
+    Stable: traces printed by the explorer replay via {!of_string}. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (for slots 0–7). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,186 @@
+module Telemetry = Hyperenclave_obs.Telemetry
+
+type stats = {
+  mutable states : int;
+  mutable transitions : int;
+  mutable dedup_hits : int;
+  mutable refusals : int;
+  mutable attacks_refused : int;
+  mutable max_depth : int;
+  mutable complete : bool;
+}
+
+type violation_kind =
+  | Oracle_failed of string
+  | Attack_accepted
+  | Crash of string
+
+type violation = { trace : Alphabet.t list; kind : violation_kind }
+type result = { stats : stats; violation : violation option }
+
+exception Found of violation
+
+type stepped = Step_refused | Step_applied | Step_violation of violation
+
+(* One transition on a live world, with the full post-state check.
+   Shared by the explorer and replay so a counterexample means the same
+   thing in both.  The oracle runs after refusals too: a refusal that
+   leaves partial state behind is precisely the kind of bug (e.g. a
+   half-installed marshalling buffer) this harness exists to catch. *)
+let step w tr path =
+  let fail kind = Step_violation { trace = List.rev path; kind } in
+  let audit applied =
+    match World.oracle w with
+    | [] -> if applied then Step_applied else Step_refused
+    | findings -> fail (Oracle_failed (String.concat "; " findings))
+  in
+  match World.apply w tr with
+  | World.Crashed msg -> fail (Crash msg)
+  | World.Refused _ -> audit false
+  | World.Applied when Alphabet.expects_refusal tr -> fail Attack_accepted
+  | World.Applied -> audit true
+
+let replay cfg trace =
+  let w = World.create cfg in
+  let rec go acc = function
+    | [] -> None
+    | tr :: rest ->
+        if not (World.enabled w tr) then None
+        else
+          let acc = tr :: acc in
+          (match step w tr acc with
+          | Step_violation v -> Some v.kind
+          | Step_refused | Step_applied -> go acc rest)
+  in
+  match World.oracle w with
+  | findings when findings <> [] ->
+      (* A world broken at birth would make every candidate "fail". *)
+      Some (Oracle_failed (String.concat "; " findings))
+  | _ -> go [] trace
+
+let minimize cfg trace =
+  Trace.minimize ~replay:(fun cand -> replay cfg cand <> None) trace
+
+let to_trace trs =
+  List.map (fun tr -> Trace.step (Alphabet.to_string tr)) trs
+
+let pp_kind fmt = function
+  | Oracle_failed msg -> Format.fprintf fmt "oracle failed: %s" msg
+  | Attack_accepted ->
+      Format.pp_print_string fmt "attack applied without a typed refusal"
+  | Crash msg -> Format.fprintf fmt "untyped exception: %s" msg
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%a@.minimized trace (%d steps):@.%a" pp_kind v.kind
+    (List.length v.trace) Trace.pp (to_trace v.trace)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d states, %d transitions, %d dedup hits, %d refusals (%d of attacks), \
+     depth <= %d%s"
+    s.states s.transitions s.dedup_hits s.refusals s.attacks_refused
+    s.max_depth
+    (if s.complete then "" else " (state cap hit)")
+
+let run ?(depth = 8) ?(max_states = max_int) ?telemetry cfg =
+  let w = World.create cfg in
+  let stats =
+    {
+      states = 0;
+      transitions = 0;
+      dedup_hits = 0;
+      refusals = 0;
+      attacks_refused = 0;
+      max_depth = 0;
+      complete = true;
+    }
+  in
+  let alphabet = World.alphabet w in
+  (* Visited set keyed on the exact canonical encoding — no truncated
+     hashing, so no unsound merges — remembering the shallowest depth
+     each state was reached at.  A state met again at equal-or-greater
+     depth is cut; met again shallower it is re-expanded, because its
+     subtree now has more headroom under the depth bound. *)
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec explore path d =
+    if d < depth then begin
+      let ck = World.checkpoint w in
+      List.iter
+        (fun tr ->
+          if World.enabled w tr then begin
+            stats.transitions <- stats.transitions + 1;
+            World.push_frame_log w;
+            let path' = tr :: path in
+            let finish () =
+              World.pop_restore_frames w;
+              World.rollback w ck
+            in
+            let fail kind =
+              finish ();
+              raise (Found { trace = List.rev path'; kind })
+            in
+            (* Inlined variant of [step]: the oracle only runs on states
+               not yet in the visited set — an equal canonical encoding
+               means the audit already passed on the first visit. *)
+            (match World.apply w tr with
+            | World.Crashed msg -> fail (Crash msg)
+            | World.Refused _ -> (
+                match World.oracle w with
+                | [] ->
+                    stats.refusals <- stats.refusals + 1;
+                    if Alphabet.is_attack tr then
+                      stats.attacks_refused <- stats.attacks_refused + 1
+                | findings ->
+                    fail (Oracle_failed (String.concat "; " findings)))
+            | World.Applied when Alphabet.expects_refusal tr ->
+                fail Attack_accepted
+            | World.Applied -> (
+                let key = World.encode w in
+                match Hashtbl.find_opt visited key with
+                | Some d0 when d0 <= d + 1 ->
+                    stats.dedup_hits <- stats.dedup_hits + 1
+                | Some _ ->
+                    (* Shallower revisit: re-expand, not a new state. *)
+                    Hashtbl.replace visited key (d + 1);
+                    explore path' (d + 1)
+                | None -> (
+                    match World.oracle w with
+                    | findings when findings <> [] ->
+                        fail (Oracle_failed (String.concat "; " findings))
+                    | _ ->
+                        if stats.states >= max_states then
+                          stats.complete <- false
+                        else begin
+                          stats.states <- stats.states + 1;
+                          Hashtbl.replace visited key (d + 1);
+                          if d + 1 > stats.max_depth then
+                            stats.max_depth <- d + 1;
+                          explore path' (d + 1)
+                        end)));
+            finish ()
+          end)
+        alphabet
+    end
+  in
+  let violation =
+    match World.oracle w with
+    | findings when findings <> [] ->
+        Some
+          { trace = []; kind = Oracle_failed (String.concat "; " findings) }
+    | _ -> (
+        Hashtbl.replace visited (World.encode w) 0;
+        stats.states <- 1;
+        match explore [] 0 with
+        | () -> None
+        | exception Found v ->
+            Some { v with trace = minimize cfg v.trace })
+  in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+      Telemetry.add t "mc.states" stats.states;
+      Telemetry.add t "mc.transitions" stats.transitions;
+      Telemetry.add t "mc.dedup_hit" stats.dedup_hits;
+      Telemetry.add t "mc.refusals" stats.refusals;
+      Telemetry.raise_to t "mc.max_depth" stats.max_depth);
+  { stats; violation }

@@ -1,0 +1,64 @@
+(** Exhaustive bounded DFS over the {!World}'s transition alphabet.
+
+    From the seeded initial state the explorer tries every enabled
+    transition, recursing depth-first with in-place backtracking
+    (monitor snapshot/rollback + frame undo logs).  Reached states are
+    deduplicated on the exact canonical encoding ({!World.encode}); the
+    visited set remembers the shallowest depth each state was seen at
+    and re-expands a state reached again {e shallower}, so the depth
+    bound never hides states a shorter path could still reach.
+
+    Every reachable state is run through {!World.oracle} (the monitor's
+    full isolation audit plus the poisoned swap-blob check), after
+    refused transitions too.  Any oracle finding, any non-typed
+    exception, and any attack transition that applies instead of being
+    refused aborts the search with a counterexample trace, which is
+    then delta-debug minimized by replay on fresh worlds. *)
+
+type stats = {
+  mutable states : int;  (** distinct canonical states reached *)
+  mutable transitions : int;  (** transitions applied (incl. refused) *)
+  mutable dedup_hits : int;  (** states cut because already visited *)
+  mutable refusals : int;  (** typed [Security_violation] refusals *)
+  mutable attacks_refused : int;  (** refusals of attack transitions *)
+  mutable max_depth : int;  (** deepest path explored *)
+  mutable complete : bool;  (** false iff the [max_states] cap was hit *)
+}
+
+type violation_kind =
+  | Oracle_failed of string  (** invariant audit / stale-blob finding *)
+  | Attack_accepted  (** an [expects_refusal] transition applied *)
+  | Crash of string  (** untyped exception out of the monitor *)
+
+type violation = {
+  trace : Alphabet.t list;  (** minimized; replays from a fresh world *)
+  kind : violation_kind;
+}
+
+type result = { stats : stats; violation : violation option }
+
+val run :
+  ?depth:int ->
+  ?max_states:int ->
+  ?telemetry:Hyperenclave_obs.Telemetry.t ->
+  World.config ->
+  result
+(** Explore from a fresh world.  [depth] bounds the path length
+    (default 8); [max_states] caps the visited set (default unlimited)
+    and clears [stats.complete] when hit.  When [telemetry] is given,
+    [mc.states], [mc.transitions], [mc.dedup_hit] and [mc.refusals]
+    counters are bumped and [mc.max_depth] tracks the high-water mark.
+    The trace in a returned violation is already minimized. *)
+
+val replay : World.config -> Alphabet.t list -> violation_kind option
+(** Run a transition list against a fresh world; [Some kind] iff some
+    step (or the state it leads to) is a violation.  Steps whose guard
+    does not hold make the candidate invalid ([None]).  This is the
+    predicate minimization uses, exposed so tests can confirm that a
+    printed counterexample actually reproduces. *)
+
+val to_trace : Alphabet.t list -> Trace.step list
+(** Render for {!Trace.pp}. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_stats : Format.formatter -> stats -> unit

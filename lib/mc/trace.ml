@@ -1,0 +1,32 @@
+type step = { label : string; detail : string }
+
+let step ?(detail = "") label = { label; detail }
+
+let pp fmt steps =
+  let width =
+    List.fold_left (fun acc s -> max acc (String.length s.label)) 0 steps
+  in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      if s.detail = "" then Format.fprintf fmt "%3d. %s" (i + 1) s.label
+      else Format.fprintf fmt "%3d. %-*s  %s" (i + 1) width s.label s.detail)
+    steps
+
+let to_string steps = Format.asprintf "%a" pp steps
+
+let minimize ~replay trace =
+  if not (replay trace) then trace
+  else
+    let drop i l = List.filteri (fun j _ -> j <> i) l in
+    let rec shrink trace =
+      let n = List.length trace in
+      let rec attempt i =
+        if i >= n then trace
+        else
+          let cand = drop i trace in
+          if replay cand then shrink cand else attempt (i + 1)
+      in
+      attempt 0
+    in
+    shrink trace

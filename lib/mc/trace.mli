@@ -1,0 +1,34 @@
+(** Counterexample traces: numbered pretty-printing and greedy
+    delta-debug minimization.
+
+    The explorer, the chaos harness and the QCheck properties all report
+    failures as a list of labelled steps; this module gives them one
+    shared way to print a trace a human can replay by hand, and one
+    shared way to shrink a failing trace to a (locally) 1-minimal one
+    before printing it. *)
+
+type step = { label : string; detail : string }
+(** One transition in a trace.  [label] is the canonical, replayable
+    name (e.g. ["eadd[1]"]); [detail] is free-form context shown after
+    it (outcome, arguments), possibly empty. *)
+
+val step : ?detail:string -> string -> step
+
+val pp : Format.formatter -> step list -> unit
+(** Numbered, one step per line:
+    {v
+      1. ecreate[0]
+      2. eadd[0]      refused: ...
+    v} *)
+
+val to_string : step list -> string
+
+val minimize : replay:('a list -> bool) -> 'a list -> 'a list
+(** [minimize ~replay trace] greedily drops single elements while
+    [replay] still returns [true] (i.e. the candidate still fails),
+    restarting after every successful drop until no single element can
+    be removed.  The result is 1-minimal: removing any one remaining
+    element makes the failure disappear.  If [replay trace] is already
+    [false] the trace is returned unchanged (nothing to minimize
+    against).  [replay] is called O(n^2) times; traces here are tens of
+    steps, not thousands. *)

@@ -1,0 +1,112 @@
+(** The model checker's small world: a real monitor on a tiny platform.
+
+    This is not a re-model of the monitor — it instantiates the actual
+    {!Hyperenclave_monitor.Monitor} on a deliberately tiny platform
+    (default: 2 enclave slots, 8 EPC frames, 1 vCPU, 1 IOMMU device)
+    and exposes the {!Alphabet} transitions as guarded, deterministic
+    steps over it.  The explorer then enumerates interleavings by DFS,
+    backtracking through {!checkpoint}/{!rollback} (monitor snapshot +
+    world bookkeeping) plus a copy-on-write frame undo log fed by
+    {!Hyperenclave_hw.Phys_mem.set_write_observer}.
+
+    The world also plays the attacker's untrusted half: it owns the
+    swap store the monitor seals EWB blobs into, keeps an archive of
+    every blob ever stored (the attacker's wiretap), and marks store
+    entries it has rolled back or spliced as {e poisoned}.  The
+    {!oracle} then demands that a poisoned blob never becomes resident:
+    the monitor must refuse it at swap-in with a typed violation. *)
+
+open Hyperenclave_monitor
+
+type config = {
+  seed : int64;  (** platform RNG seed (nonce generation etc.) *)
+  epc_frames : int;  (** EPC pool size in frames *)
+  data_pages : int;  (** static data pages EADDed per enclave (>= 1) *)
+  dyn_pages : int;  (** EDMM-committable pages per enclave (0..8) *)
+  nssa : int;  (** SSA frames per TCS *)
+  modes : Sgx_types.operation_mode array;  (** one slot per element *)
+  seed_bug : bool;  (** enable the [Sabotage] transition *)
+}
+
+val default_config : config
+(** 2 slots (GU + HU), 8 EPC frames, 2 data pages, 2 dynamic pages,
+    1 SSA frame, no seeded bug. *)
+
+type t
+
+val create : config -> t
+(** Build the platform (memory, MMU, IOMMU, TPM), create and launch the
+    monitor, register the world's swap store as its backend, and install
+    the write observer for the frame undo log.
+    @raise Invalid_argument for out-of-range configs (at most 8 slots,
+    slot layout must fit the 16-page ELRANGE). *)
+
+val monitor : t -> Monitor.t
+val config : t -> config
+val nslots : t -> int
+
+val alphabet : t -> Alphabet.t list
+(** The transition alphabet for this config: all legal and attack moves
+    over [nslots] slots, plus [Sabotage] iff [seed_bug]. *)
+
+(** {1 Stepping} *)
+
+type outcome =
+  | Applied  (** the transition ran to completion *)
+  | Refused of string  (** typed [Monitor.Security_violation] *)
+  | Crashed of string  (** any other exception — always a finding *)
+
+val enabled : t -> Alphabet.t -> bool
+(** Whether the transition's guard holds in the current state.  Guards
+    are deliberately weak — they establish preconditions the {e world}
+    needs (a slot exists, a TCS was added), never the security checks
+    under test; those fire inside the monitor and show up as
+    [Refused]. *)
+
+val apply : t -> Alphabet.t -> outcome
+(** Run one transition.  Only call when {!enabled}; applying a disabled
+    transition may [Crashed] on world bookkeeping rather than exercise
+    the monitor. *)
+
+val oracle : t -> string list
+(** Everything that must hold in every reachable state: the monitor's
+    full isolation audit ({!Invariants.check}) plus the world's
+    poisoned-blob check (no rolled-back/spliced swap blob is resident).
+    Empty list = state is good.  Call after every [Applied] {e and}
+    every [Refused] — a refusal that leaves partial state behind is
+    exactly the kind of bug this harness exists to catch. *)
+
+(** {1 Backtracking} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture monitor + world bookkeeping (slots, store, archive,
+    poison marks).  Frame {e contents} are not captured here — they are
+    restored from the undo log, which only holds frames actually
+    written.  Checkpoints must be restored in LIFO order. *)
+
+val rollback : t -> checkpoint -> unit
+(** Restore in place; live handles stay valid.  A checkpoint may be
+    rolled back to multiple times (once per explored child). *)
+
+val push_frame_log : t -> unit
+(** Open a copy-on-write frame log: the first write to any frame saves
+    its prior contents.  Logs nest (one per DFS level). *)
+
+val pop_restore_frames : t -> unit
+(** Close the innermost log and write every saved frame back. *)
+
+(** {1 Canonical state encoding} *)
+
+val encode : t -> string
+(** A canonical, replay-relevant encoding of the current state, used as
+    the DFS visited-set key.  Includes: per-slot lifecycle/build
+    progress, TCS flags, guest and nested page-table entries, EPC
+    metadata with clock hand, allocation hint and reference bits, the
+    swapped-out set, poison marks, and whether a rollback candidate
+    exists in the blob archive.  Excludes observational state two equal
+    states may differ in (cycle counts, telemetry, raw enclave ids,
+    RNG position, accessed/dirty bits, blob ciphertexts).  Two states
+    with equal encodings are bisimilar under the alphabet — same guards
+    enabled, same outcomes — so deduplicating on it is sound. *)

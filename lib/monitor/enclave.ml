@@ -108,6 +108,15 @@ let finalize_measurement t =
       t.mrenclave <- digest;
       digest
 
+let peek_measurement t =
+  match t.measurement_ctx with
+  | None -> invalid_arg "Enclave.peek_measurement: measurement finalized"
+  | Some ctx -> Sha256.finalize (Sha256.copy ctx)
+
+let commit_measurement t digest =
+  t.measurement_ctx <- None;
+  t.mrenclave <- digest
+
 let register_handler t ~vector handler =
   t.handlers <- (vector, handler) :: List.remove_assoc vector t.handlers
 

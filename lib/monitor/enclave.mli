@@ -76,6 +76,16 @@ val measure_chunk : t -> bytes -> unit
 val finalize_measurement : t -> bytes
 (** MRENCLAVE; freezes the context. *)
 
+val peek_measurement : t -> bytes
+(** Digest-so-far without freezing: finalizes a copy of the running
+    context.  EINIT validates against this so a refused launch (bad
+    token, bad marshalling list) leaves the enclave buildable.
+    @raise Invalid_argument after the measurement is frozen. *)
+
+val commit_measurement : t -> bytes -> unit
+(** Freeze the measurement to a digest previously obtained from
+    {!peek_measurement} — the success half of EINIT. *)
+
 val register_handler : t -> vector:string -> exn_handler -> unit
 (** P-Enclave only (checked by the monitor, not here). *)
 

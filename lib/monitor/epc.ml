@@ -51,6 +51,12 @@ let free_enclave t ~enclave_id =
 
 let info t frame = Hashtbl.find_opt t.meta frame
 let owned_by t frame = Option.map (fun i -> i.owner) (info t frame)
+let clock_hand t = t.hand
+let alloc_hint t = Frame_alloc.hint t.alloc
+
+let referenced t frame =
+  let idx = frame - Frame_alloc.base_frame t.alloc in
+  idx >= 0 && idx < Bytes.length t.ref_bits && Bytes.get t.ref_bits idx <> '\000'
 let in_pool t frame = Frame_alloc.owns t.alloc frame
 let base_frame t = Frame_alloc.base_frame t.alloc
 let nframes t = Frame_alloc.total t.alloc
@@ -101,6 +107,28 @@ let find_victim ?(in_use = fun _ _ -> false) t ~prefer_not =
           match scan t ~exclude:prefer_not ~in_use:no_in_use ~second_chance:false with
           | Some v -> Some v
           | None -> scan t ~exclude:None ~in_use:no_in_use ~second_chance:false))
+
+type snapshot = {
+  s_alloc : Frame_alloc.snapshot;
+  s_meta : (int * frame_info) list;
+  s_hand : int;
+  s_ref_bits : Bytes.t;
+}
+
+let snapshot t =
+  {
+    s_alloc = Frame_alloc.snapshot t.alloc;
+    s_meta = Hashtbl.fold (fun frame info acc -> (frame, info) :: acc) t.meta [];
+    s_hand = t.hand;
+    s_ref_bits = Bytes.copy t.ref_bits;
+  }
+
+let restore t snap =
+  Frame_alloc.restore t.alloc snap.s_alloc;
+  Hashtbl.reset t.meta;
+  List.iter (fun (frame, info) -> Hashtbl.replace t.meta frame info) snap.s_meta;
+  t.hand <- snap.s_hand;
+  Bytes.blit snap.s_ref_bits 0 t.ref_bits 0 (Bytes.length t.ref_bits)
 
 let used_by t ~enclave_id =
   Hashtbl.fold

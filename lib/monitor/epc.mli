@@ -47,6 +47,18 @@ val used_count : t -> int
 val used_by : t -> enclave_id:int -> int
 (** Frames currently owned by the enclave. *)
 
+val clock_hand : t -> int
+(** Current position of the second-chance cursor. *)
+
+val alloc_hint : t -> int
+(** The free-list scan hint.  Together with {!clock_hand} and the
+    per-frame reference bits this pins down everything allocation and
+    victim selection depend on — lib/mc folds all three into canonical
+    state hashes so two states that only look equal are never merged. *)
+
+val referenced : t -> int -> bool
+(** Whether the frame's second-chance reference bit is set. *)
+
 val mark_referenced : t -> int -> unit
 (** Give the frame a second chance: set its reference bit so the clock
     hand skips it once before considering it for eviction.  Called on
@@ -65,3 +77,13 @@ val find_victim :
     with an active thread) and frames of [prefer_not] are skipped when
     possible, relaxing in that order if nothing else is evictable;
     control structures (SECS/TCS/SSA page types) are never evicted. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture frame metadata, the free map, the clock hand and reference
+    bits — everything victim selection and allocation order depend on —
+    for lib/mc DFS backtracking. *)
+
+val restore : t -> snapshot -> unit
+(** Restore in place; the [t] handle stays valid. *)

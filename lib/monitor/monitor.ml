@@ -59,6 +59,12 @@ type t = {
      storage through the kernel module's backend (EWB/ELDU analogue). *)
   mutable swap_backend : swap_backend option;
   swapped : (int * int, unit) Hashtbl.t; (* (enclave, vpn) currently out *)
+  (* Monotonic per-(enclave, vpn) write-back counter, the analogue of
+     EWB's version array.  The current value is sealed into the blob's
+     AAD at eviction and demanded back at swap-in, so re-serving an
+     older authentic blob for the same page (rollback) fails
+     authentication instead of silently restoring stale state. *)
+  swap_versions : (int * int, int) Hashtbl.t;
   mutable epc_swaps : int;
   telemetry : Telemetry.t;
 }
@@ -108,6 +114,7 @@ let create ~clock ~cost ~rng ~mem ~cpu ~iommu ~tpm config =
     saved_normal = None;
     swap_backend = None;
     swapped = Hashtbl.create 64;
+    swap_versions = Hashtbl.create 64;
     epc_swaps = 0;
     telemetry = Telemetry.create ();
   }
@@ -263,10 +270,17 @@ let evict_one_epc t ~prefer_not =
         | None -> violation "evict: victim page not mapped"
       in
       let content = Phys_mem.read_page t.mem ~frame in
+      let version =
+        1
+        + Option.value ~default:0
+            (Hashtbl.find_opt t.swap_versions (owner_id, vpn))
+      in
+      Hashtbl.replace t.swap_versions (owner_id, vpn) version;
       let aad =
         Bytes.of_string
-          (Printf.sprintf "%d:%x:%s" owner_id vpn
-             (Format.asprintf "%a" Page_table.pp_perms perms))
+          (Printf.sprintf "%d:%x:%s:%d" owner_id vpn
+             (Format.asprintf "%a" Page_table.pp_perms perms)
+             version)
       in
       let blob =
         Authenc.encode
@@ -409,9 +423,14 @@ let einit t (enclave : Enclave.t) ~sigstruct ~marshalling =
   require_building enclave "einit";
   count t "hypercall.einit";
   Cycles.tick t.clock t.cost.hypercall;
+  (* Validate-then-commit: every check below runs before any state is
+     mutated, so a refused launch — forged token, bad marshalling list —
+     leaves the enclave exactly as it was: measurement still open (a
+     later legitimate EINIT can succeed) and no stray mappings from a
+     half-validated page list. *)
   if not (Sgx_types.sigstruct_valid sigstruct) then
     violation "einit: SIGSTRUCT signature invalid";
-  let mrenclave = Enclave.finalize_measurement enclave in
+  let mrenclave = Enclave.peek_measurement enclave in
   if not (Sha256.equal mrenclave sigstruct.Sgx_types.enclave_hash) then
     violation "einit: measurement mismatch";
   (* Bind the marshalling buffer (Sec. 5.3).  The OS supplies the pinned
@@ -435,10 +454,15 @@ let einit t (enclave : Enclave.t) ~sigstruct ~marshalling =
           frame;
       if frame >= t.config.reserved_base_frame
          && frame < t.config.reserved_base_frame + t.config.reserved_nframes
-      then violation "einit: marshalling frame 0x%x in monitor memory" frame;
+      then violation "einit: marshalling frame 0x%x in monitor memory" frame)
+    pages;
+  (* All checks passed; commit. *)
+  List.iter
+    (fun (vpn, frame) ->
       install_mapping enclave ~vpn ~frame ~perms:Page_table.rw;
       Cycles.tick t.clock t.cost.pte_update)
     pages;
+  Enclave.commit_measurement enclave mrenclave;
   enclave.marshalling <- Some (base_va, size);
   enclave.mrsigner <- Sgx_types.mrsigner_of sigstruct;
   enclave.isv_prod_id <- sigstruct.Sgx_types.isv_prod_id;
@@ -471,6 +495,14 @@ let eremove t (enclave : Enclave.t) =
       | Some backend -> backend.delete (swap_slot_name id vpn)
       | None -> ())
     stale;
+  (* Version counters go with the enclave: a future enclave reusing the
+     id starts its write-back history from scratch. *)
+  let dead_versions =
+    Hashtbl.fold
+      (fun ((id, _) as key) _ acc -> if id = enclave.id then key :: acc else acc)
+      t.swap_versions []
+  in
+  List.iter (Hashtbl.remove t.swap_versions) dead_versions;
   enclave.lifecycle <- Enclave.Dead;
   Hashtbl.remove t.enclaves enclave.id;
   Log.debug (fun k ->
@@ -672,9 +704,19 @@ let swap_in_page t (enclave : Enclave.t) ~vpn =
   in
   let perms =
     match String.split_on_char ':' (Bytes.to_string sealed.Authenc.aad) with
-    | [ id; page; perms ]
+    | [ id; page; perms; version ]
       when int_of_string_opt id = Some enclave.id
            && int_of_string_opt ("0x" ^ page) = Some vpn ->
+        (* Freshness: only the *latest* write-back of this page is
+           acceptable; an older authentic blob is a rollback attempt. *)
+        let expected =
+          Option.value ~default:0
+            (Hashtbl.find_opt t.swap_versions (enclave.id, vpn))
+        in
+        if int_of_string_opt version <> Some expected then
+          violation
+            "swap-in: enclave %d page 0x%x stale write-back (rollback replay?)"
+            enclave.id vpn;
         parse_perms perms
     | _ -> violation "swap-in: blob bound to a different page (replay?)"
   in
@@ -1096,3 +1138,182 @@ let monitor_private_frames t = t.config.monitor_private_frames
 
 let frame_visible_to_normal_vm t ~frame =
   Page_table.lookup t.normal_npt ~vpn:frame <> None
+
+let swap_out_one t =
+  require_launched t "swap_out_one";
+  evict_one_epc t ~prefer_not:None
+
+(* --- snapshot / restore ---------------------------------------------------
+
+   Cheap whole-monitor checkpoints for lib/mc's DFS backtracking.  The
+   contract is *in-place* restoration: every [Enclave.t] and
+   [Sgx_types.tcs] handle held by callers stays valid across a restore,
+   because the mutable records are written back rather than replaced.
+   Snapshots follow a stack discipline (restore in LIFO order), which is
+   what makes the page-table generation short-circuit sound.
+
+   Out of scope, deliberately: the clock, telemetry and boot identity
+   (K_root, attestation key, boot log) — the first two are observational
+   and monotonic, the last is immutable after launch.  Physical page
+   *contents* are also not captured here; lib/mc tracks dirty frames
+   through [Phys_mem.set_write_observer] and restores only what a
+   transition actually wrote. *)
+
+type enclave_snapshot = {
+  es_enclave : Enclave.t;
+  es_lifecycle : Enclave.lifecycle;
+  es_ctx : Sha256.ctx option;
+  es_mrenclave : bytes;
+  es_mrsigner : bytes;
+  es_isv_prod_id : int;
+  es_isv_svn : int;
+  es_tcs : (Sgx_types.tcs * Sgx_types.tcs) list; (* (live, frozen copy) *)
+  es_marshalling : (int * int) option;
+  es_handlers : (string * Enclave.exn_handler) list;
+  es_guard : Enclave.interrupt_guard option; (* frozen copy *)
+  es_entered : bool;
+  es_return_va : int;
+  es_regs : Vcpu.regs; (* frozen copy *)
+  es_stats : Enclave.stats; (* frozen copy *)
+  es_gpt : Page_table.snapshot;
+  es_npt : Page_table.snapshot option;
+}
+
+type snapshot = {
+  ms_enclaves : (int * enclave_snapshot) list;
+  ms_next_id : int;
+  ms_current : int option;
+  ms_current_tcs : int option; (* tcs_vpn within the current enclave *)
+  ms_saved_normal : (Page_table.t * Page_table.t option) option;
+  ms_swapped : (int * int) list;
+  ms_swap_versions : ((int * int) * int) list;
+  ms_epc_swaps : int;
+  ms_epc : Epc.snapshot;
+  ms_normal_npt : Page_table.snapshot;
+  ms_rng : int64;
+}
+
+let copy_tcs (tcs : Sgx_types.tcs) = { tcs with Sgx_types.busy = tcs.busy }
+
+let copy_guard (g : Enclave.interrupt_guard) =
+  { g with Enclave.window_start = g.Enclave.window_start }
+
+let copy_stats (s : Enclave.stats) = { s with Enclave.ecalls = s.Enclave.ecalls }
+
+let snapshot_enclave (e : Enclave.t) =
+  {
+    es_enclave = e;
+    es_lifecycle = e.Enclave.lifecycle;
+    es_ctx = Option.map Sha256.copy e.Enclave.measurement_ctx;
+    (* mrenclave/mrsigner are replaced wholesale, never mutated in
+       place, so sharing the bytes is safe. *)
+    es_mrenclave = e.Enclave.mrenclave;
+    es_mrsigner = e.Enclave.mrsigner;
+    es_isv_prod_id = e.Enclave.isv_prod_id;
+    es_isv_svn = e.Enclave.isv_svn;
+    es_tcs = List.map (fun tcs -> (tcs, copy_tcs tcs)) e.Enclave.tcs_list;
+    es_marshalling = e.Enclave.marshalling;
+    es_handlers = e.Enclave.handlers;
+    es_guard = Option.map copy_guard e.Enclave.interrupt_guard;
+    es_entered = e.Enclave.entered;
+    es_return_va = e.Enclave.return_va;
+    es_regs = Vcpu.copy e.Enclave.regs;
+    es_stats = copy_stats e.Enclave.stats;
+    es_gpt = Page_table.snapshot e.Enclave.gpt;
+    es_npt = Option.map Page_table.snapshot e.Enclave.npt;
+  }
+
+let restore_enclave es =
+  let e = es.es_enclave in
+  e.Enclave.lifecycle <- es.es_lifecycle;
+  (* Copy out of the snapshot so it stays reusable after this restore. *)
+  e.Enclave.measurement_ctx <- Option.map Sha256.copy es.es_ctx;
+  e.Enclave.mrenclave <- es.es_mrenclave;
+  e.Enclave.mrsigner <- es.es_mrsigner;
+  e.Enclave.isv_prod_id <- es.es_isv_prod_id;
+  e.Enclave.isv_svn <- es.es_isv_svn;
+  List.iter
+    (fun ((live : Sgx_types.tcs), (saved : Sgx_types.tcs)) ->
+      live.Sgx_types.busy <- saved.Sgx_types.busy;
+      live.Sgx_types.current_ssa <- saved.Sgx_types.current_ssa)
+    es.es_tcs;
+  e.Enclave.tcs_list <- List.map fst es.es_tcs;
+  e.Enclave.marshalling <- es.es_marshalling;
+  e.Enclave.handlers <- es.es_handlers;
+  e.Enclave.interrupt_guard <- Option.map copy_guard es.es_guard;
+  e.Enclave.entered <- es.es_entered;
+  e.Enclave.return_va <- es.es_return_va;
+  e.Enclave.regs <- Vcpu.copy es.es_regs;
+  let s = e.Enclave.stats and saved = es.es_stats in
+  s.Enclave.ecalls <- saved.Enclave.ecalls;
+  s.Enclave.ocalls <- saved.Enclave.ocalls;
+  s.Enclave.aexs <- saved.Enclave.aexs;
+  s.Enclave.page_faults <- saved.Enclave.page_faults;
+  s.Enclave.dyn_pages <- saved.Enclave.dyn_pages;
+  s.Enclave.in_enclave_exceptions <- saved.Enclave.in_enclave_exceptions;
+  Page_table.restore e.Enclave.gpt es.es_gpt;
+  (match (e.Enclave.npt, es.es_npt) with
+  | Some npt, Some snap -> Page_table.restore npt snap
+  | None, None -> ()
+  | _ -> assert false)
+
+let snapshot t =
+  {
+    ms_enclaves =
+      Hashtbl.fold (fun id e acc -> (id, snapshot_enclave e) :: acc) t.enclaves [];
+    ms_next_id = t.next_id;
+    ms_current = Option.map (fun (e : Enclave.t) -> e.Enclave.id) t.current;
+    ms_current_tcs =
+      Option.map (fun (tcs : Sgx_types.tcs) -> tcs.Sgx_types.tcs_vpn) t.current_tcs;
+    ms_saved_normal = t.saved_normal;
+    ms_swapped = Hashtbl.fold (fun key () acc -> key :: acc) t.swapped [];
+    ms_swap_versions =
+      Hashtbl.fold (fun key v acc -> (key, v) :: acc) t.swap_versions [];
+    ms_epc_swaps = t.epc_swaps;
+    ms_epc = Epc.snapshot t.epc;
+    ms_normal_npt = Page_table.snapshot t.normal_npt;
+    ms_rng = Rng.state t.rng;
+  }
+
+let restore t snap =
+  Hashtbl.reset t.enclaves;
+  List.iter
+    (fun (id, es) ->
+      restore_enclave es;
+      Hashtbl.replace t.enclaves id es.es_enclave)
+    snap.ms_enclaves;
+  t.next_id <- snap.ms_next_id;
+  Hashtbl.reset t.swapped;
+  List.iter (fun key -> Hashtbl.replace t.swapped key ()) snap.ms_swapped;
+  Hashtbl.reset t.swap_versions;
+  List.iter
+    (fun (key, v) -> Hashtbl.replace t.swap_versions key v)
+    snap.ms_swap_versions;
+  t.epc_swaps <- snap.ms_epc_swaps;
+  Epc.restore t.epc snap.ms_epc;
+  Page_table.restore t.normal_npt snap.ms_normal_npt;
+  Rng.set_seed t.rng snap.ms_rng;
+  t.current <- Option.map (Hashtbl.find t.enclaves) snap.ms_current;
+  t.current_tcs <-
+    (match (t.current, snap.ms_current_tcs) with
+    | Some e, Some vpn -> Enclave.find_tcs e ~vpn
+    | _ -> None);
+  t.saved_normal <- snap.ms_saved_normal;
+  (* Re-point the MMU at the tables matching the restored world and drop
+     any translations cached inside the undone branch. *)
+  match t.current with
+  | Some e -> (
+      match e.Enclave.npt with
+      | Some npt -> Mmu.switch_context t.cpu ~gpt:e.Enclave.gpt ~npt ()
+      | None -> Mmu.switch_context t.cpu ~gpt:e.Enclave.gpt ())
+  | None -> (
+      match snap.ms_saved_normal with
+      | Some (gpt, npt) -> (
+          match npt with
+          | Some npt -> Mmu.switch_context t.cpu ~gpt ~npt ()
+          | None -> Mmu.switch_context t.cpu ~gpt ())
+      | None ->
+          (* The CPU already sits on the normal tables (monitor
+             operations always restore them on exit); only the TLB may
+             hold entries from the undone branch. *)
+          Mmu.flush_tlb t.cpu)

@@ -285,3 +285,26 @@ val monitor_private_frames : t -> int
     image/heap (never part of the EPC pool). *)
 
 val frame_visible_to_normal_vm : t -> frame:int -> bool
+
+val swap_out_one : t -> unit
+(** Force one EWB-style eviction (seal a victim page to the untrusted
+    store and reclaim its frame), exactly as EPC exhaustion would.
+    Exposed so lib/mc can schedule evictions as first-class transitions
+    rather than only as a side effect of allocation pressure.
+    @raise Security_violation if nothing is evictable or no swap
+    backend is registered. *)
+
+(** {1 Snapshot / restore}
+
+    Whole-monitor checkpoints for lib/mc's DFS backtracking.  Restoring
+    is in place: [Enclave.t] and [Sgx_types.tcs] handles held by the
+    caller stay valid.  Snapshots must be restored in LIFO (stack)
+    order — the page-table generation short-circuit relies on it.  The
+    clock, telemetry and boot identity are not part of a snapshot;
+    physical page contents are the caller's business (see
+    {!Hyperenclave_hw.Phys_mem.set_write_observer}). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

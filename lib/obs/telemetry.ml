@@ -35,6 +35,13 @@ let add t name n =
   | None -> Hashtbl.replace t.tbl_counters name (ref n)
 
 let incr t name = add t name 1
+
+let raise_to t name v =
+  if v < 0 then invalid_arg "Telemetry.raise_to: negative value";
+  match Hashtbl.find_opt t.tbl_counters name with
+  | Some cell -> if v > !cell then cell := v
+  | None -> Hashtbl.replace t.tbl_counters name (ref v)
+
 let counter t name =
   match Hashtbl.find_opt t.tbl_counters name with Some cell -> !cell | None -> 0
 

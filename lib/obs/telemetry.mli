@@ -30,6 +30,11 @@ val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 (** Bump a counter by [n >= 0]. *)
 
+val raise_to : t -> string -> int -> unit
+(** Monotonic maximum: set the counter to [v >= 0] if that is higher
+    than its current value (high-water marks, e.g. lib/mc's deepest
+    DFS level reached). *)
+
 val counter : t -> string -> int
 (** Current value; 0 for a counter never touched. *)
 

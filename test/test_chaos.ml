@@ -167,31 +167,64 @@ let run_schedule ~mode ~seed =
   let plan = Fault.plan_of_seed ~sites:run_sites ~faults:4 (Int64.of_int seed) in
   let plan_str = Fault.plan_to_string plan in
   let group = "run:" ^ Sgx_types.mode_name mode in
-  with_context ~group ~seed ~plan:plan_str (fun () ->
-      let p = small_platform seed in
-      let m = p.Platform.monitor in
-      let backend = Backend.hyperenclave p ~mode ~handlers ~ocalls () in
-      let inv_failures = ref [] in
-      Fault.install ~telemetry:tel plan;
-      arm_observer m inv_failures;
-      List.iter
-        (fun (id, data, expect) ->
-          match
-            Backend.protected_call backend ~id ~data ~direction:Edge.In_out ()
-          with
-          | Backend.Success reply as o ->
-              record o;
-              if Bytes.to_string reply <> expect then
-                failwith
-                  (Printf.sprintf
-                     "silent corruption on ECALL %d: got %S, wanted %S" id
-                     (Bytes.to_string reply) expect)
-          | o -> record o)
-        (call_list seed);
+  incr schedules;
+  (* The schedule body, parameterized over the ECALL list so a failure
+     can be replayed on sub-lists by the trace minimizer.  Replays skip
+     the aggregate counters — only the primary run is accounting. *)
+  let exec ~accounting calls =
+    let p = small_platform seed in
+    let m = p.Platform.monitor in
+    let backend = Backend.hyperenclave p ~mode ~handlers ~ocalls () in
+    let inv_failures = ref [] in
+    Fault.install ~telemetry:tel plan;
+    arm_observer m inv_failures;
+    List.iter
+      (fun (id, data, expect) ->
+        match
+          Backend.protected_call backend ~id ~data ~direction:Edge.In_out ()
+        with
+        | Backend.Success reply as o ->
+            if accounting then record o;
+            if Bytes.to_string reply <> expect then
+              failwith
+                (Printf.sprintf "silent corruption on ECALL %d: got %S, wanted %S"
+                   id
+                   (Bytes.to_string reply) expect)
+        | o -> if accounting then record o)
+      calls;
+    Fault.clear ();
+    assert_clean ~what:"schedule" m inv_failures;
+    backend.Backend.destroy ();
+    assert_clean ~what:"destroy" m inv_failures
+  in
+  match exec ~accounting:true (call_list seed) with
+  | () -> Fault.clear ()
+  | exception exn ->
       Fault.clear ();
-      assert_clean ~what:"schedule" m inv_failures;
-      backend.Backend.destroy ();
-      assert_clean ~what:"destroy" m inv_failures)
+      (* Shrink the failing schedule to a 1-minimal ECALL list (same
+         seed, same fault plan) and print it as a replayable trace next
+         to the seed, via the model checker's shared trace machinery. *)
+      let still_fails calls =
+        match exec ~accounting:false calls with
+        | () ->
+            Fault.clear ();
+            false
+        | exception _ ->
+            Fault.clear ();
+            true
+      in
+      let minimal = Mc_trace.minimize ~replay:still_fails (call_list seed) in
+      let steps =
+        List.map
+          (fun (id, data, _) ->
+            Mc_trace.step
+              ~detail:(Printf.sprintf "%d-byte payload" (Bytes.length data))
+              (Printf.sprintf "ecall[%d]" id))
+          minimal
+      in
+      Alcotest.failf "[%s] seed=%d plan=%s: %s@.minimized call trace (%d steps):@.%s"
+        group seed plan_str (Printexc.to_string exn) (List.length minimal)
+        (Mc_trace.to_string steps)
 
 (* ------------------------------------------------------------------ *)
 (* Group 2: faults injected during platform boot and enclave build     *)

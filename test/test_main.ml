@@ -23,4 +23,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("fault", Test_fault.suite);
       ("chaos", Test_chaos.suite);
+      ("mc", Test_mc.suite);
+      ("attacks", Test_attacks.suite);
     ]
