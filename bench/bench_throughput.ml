@@ -29,7 +29,7 @@ let request_stream ~seed n =
   List.init n (fun _ ->
       let parts =
         match Ycsb.next_op_a gen with
-        | Ycsb.Read key -> [ "GET"; key_name key ]
+        | Ycsb.Read key | Ycsb.Scan (key, _) -> [ "GET"; key_name key ]
         | Ycsb.Update key ->
             [
               "SET";

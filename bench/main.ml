@@ -29,6 +29,9 @@ let experiments =
     ( "arena",
       ( "allocation-free data path: arenas, in-slot envelopes, sharding (PR 7)",
         Bench_arena.run ) );
+    ( "workloads",
+      ( "LibOS services behind the attested plane: Fig. 8b-8d mixes (PR 9)",
+        Bench_workloads.run ) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
     ( "mc",
       ( "model-checker throughput: states/s + component breakdown (PR 8)",

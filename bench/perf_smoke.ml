@@ -17,11 +17,13 @@ let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline
       "usage: perf_smoke.exe BASELINE.json [THROUGHPUT_BASELINE.json] \
-       [SERVE_BASELINE.json] [ZEROCOPY_BASELINE.json] [ARENA_BASELINE.json]\n\
+       [SERVE_BASELINE.json] [ZEROCOPY_BASELINE.json] [ARENA_BASELINE.json] \
+       [WORKLOADS_BASELINE.json]\n\
       \       perf_smoke.exe --write-throughput FILE\n\
       \       perf_smoke.exe --write-serve FILE\n\
       \       perf_smoke.exe --write-zerocopy FILE\n\
       \       perf_smoke.exe --write-arena FILE\n\
+      \       perf_smoke.exe --write-workloads FILE\n\
       \       perf_smoke.exe --serve-smoke";
     exit 2
   end;
@@ -58,9 +60,19 @@ let () =
     Bench_arena.write_baseline Sys.argv.(2);
     exit 0
   end;
-  (* Fast 1-core attested-path sanity run (`dune build @serve_smoke`). *)
+  if Sys.argv.(1) = "--write-workloads" then begin
+    if Array.length Sys.argv < 3 then begin
+      prerr_endline "usage: perf_smoke.exe --write-workloads FILE";
+      exit 2
+    end;
+    Bench_workloads.write_baseline Sys.argv.(2);
+    exit 0
+  end;
+  (* Fast attested-path sanity run (`dune build @serve_smoke`): the echo
+     plane at 1 core, then every LibOS service end to end. *)
   if Sys.argv.(1) = "--serve-smoke" then begin
     Bench_serve.smoke ();
+    Bench_workloads.smoke ();
     exit 0
   end;
   (* Deterministic simulated-cycle gates first: scheduler throughput
@@ -73,6 +85,7 @@ let () =
   if Array.length Sys.argv > 3 then Bench_serve.check_baseline Sys.argv.(3);
   if Array.length Sys.argv > 4 then Bench_zerocopy.check_baseline Sys.argv.(4);
   if Array.length Sys.argv > 5 then Bench_arena.check_baseline Sys.argv.(5);
+  if Array.length Sys.argv > 6 then Bench_workloads.check_baseline Sys.argv.(6);
   let baseline_path = Sys.argv.(1) in
   match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
   | None ->

@@ -73,6 +73,7 @@ module Backend = Hyperenclave_tee.Backend
 module Mem_sim = Hyperenclave_tee.Mem_sim
 module Sched = Hyperenclave_sched.Sched
 module Serve = Hyperenclave_serve.Serve
+module Services = Hyperenclave_serve.Services
 module Kx = Hyperenclave_crypto.Kx
 module Mc = Hyperenclave_mc.Explorer
 module Mc_world = Hyperenclave_mc.World

@@ -650,6 +650,25 @@ let eresume t (enclave : Enclave.t) ~(tcs : Sgx_types.tcs) =
 
 let current t = t.current
 
+(* The switchless ring's persistent in-enclave worker: logically it
+   EENTERed once at startup and never exits, so a dispatch runs with the
+   enclave's translation current but takes no TCS and pays no world
+   switch — only the vCPU's context switches (the single simulated CPU
+   has to borrow the worker's address space for the duration). *)
+let with_worker t (enclave : Enclave.t) f =
+  require_initialized enclave "with_worker";
+  (match t.current with
+  | Some running ->
+      violation "with_worker: enclave %d already on this vCPU" running.id
+  | None -> ());
+  enclave.entered <- true;
+  t.current <- Some enclave;
+  enter_context t enclave;
+  Fun.protect f ~finally:(fun () ->
+      enclave.entered <- false;
+      t.current <- None;
+      leave_context t)
+
 (* --- enclave memory with demand paging ----------------------------------- *)
 
 let require_entered t (enclave : Enclave.t) op =

@@ -121,6 +121,17 @@ val aex : t -> Enclave.t -> unit
 val eresume : t -> Enclave.t -> tcs:Sgx_types.tcs -> unit
 val current : t -> Enclave.t option
 
+val with_worker : t -> Enclave.t -> (unit -> 'a) -> 'a
+(** Run [f] in the context of the enclave's persistent in-enclave worker
+    (the switchless ring dispatcher): the enclave's translation becomes
+    current for the duration — so the worker can touch enclave memory —
+    without an EENTER/EEXIT pair or a TCS take; the worker thread entered
+    once at startup and never leaves, so the only per-dispatch charge is
+    the pair of context switches of the single simulated vCPU.  The
+    normal context is restored even if [f] raises.
+    @raise Security_violation if not initialized or the vCPU is already
+    running an enclave. *)
+
 (** {1 Enclave memory (only while entered)} *)
 
 val enclave_read : t -> Enclave.t -> va:int -> len:int -> bytes

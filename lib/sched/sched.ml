@@ -40,6 +40,9 @@ type job = {
   mutable next_index : int;  (* submission index of the head of [work] *)
   on_result : (index:int -> (bytes, string) result -> unit) option;
   on_slice : (cycles:int -> unit) option;
+  svc_counter : string option;
+      (* "sched.svc.<label>": per-service completion counter, prefixed
+         once at submit so the hot path only increments *)
 }
 
 let drained (job : job) =
@@ -112,7 +115,7 @@ let create ?on_preempt ~shared_clock ~telemetry (config : config) =
     aex_preempts = 0;
   }
 
-let submit_work t ?core ?on_result ?on_slice ~urts work =
+let submit_work t ?core ?label ?on_result ?on_slice ~urts work =
   let job_id = t.next_job in
   t.next_job <- job_id + 1;
   let home =
@@ -133,17 +136,18 @@ let submit_work t ?core ?on_result ?on_slice ~urts work =
       next_index = 0;
       on_result;
       on_slice;
+      svc_counter = Option.map (fun l -> "sched.svc." ^ l) label;
     }
   in
   t.jobs <- job :: t.jobs;
   let target = t.cores.(home) in
   target.queue <- target.queue @ [ job ]
 
-let submit t ?core ?on_result ?on_slice ~urts requests =
-  submit_work t ?core ?on_result ?on_slice ~urts (Calls requests)
+let submit t ?core ?label ?on_result ?on_slice ~urts requests =
+  submit_work t ?core ?label ?on_result ?on_slice ~urts (Calls requests)
 
-let submit_ring t ?core ?on_result ?on_slice ~urts ring =
-  submit_work t ?core ?on_result ?on_slice ~urts (Ring ring)
+let submit_ring t ?core ?label ?on_result ?on_slice ~urts ring =
+  submit_work t ?core ?label ?on_result ?on_slice ~urts (Ring ring)
 
 (* Discrete-event pick: the candidate core with the earliest local clock
    runs next; ties break to the lowest core id so runs are reproducible
@@ -226,6 +230,9 @@ let run_requests t (job : job) =
             deliver i ok_in_ring
           done;
           job.completed <- job.completed + count;
+          (match job.svc_counter with
+          | Some c -> Telemetry.add t.telemetry c count
+          | None -> ());
           count
       | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
         when t.config.drop_on_error ->
@@ -266,6 +273,9 @@ let run_requests t (job : job) =
       | replies ->
           List.iteri (fun i reply -> deliver i (Ok reply)) replies;
           job.completed <- job.completed + count;
+          (match job.svc_counter with
+          | Some c -> Telemetry.add t.telemetry c count
+          | None -> ());
           count
       | exception ((Urts.Enclave_error _ | Fault.Injected _) as exn)
         when t.config.drop_on_error ->

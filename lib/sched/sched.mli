@@ -74,6 +74,7 @@ val create :
 val submit :
   t ->
   ?core:int ->
+  ?label:string ->
   ?on_result:(index:int -> (bytes, string) result -> unit) ->
   ?on_slice:(cycles:int -> unit) ->
   urts:Urts.t ->
@@ -82,6 +83,11 @@ val submit :
 (** Queue a job: a list of [(ecall_id, payload)] requests against one
     enclave.  Jobs land on [core] when given, else round-robin by
     submission order.  All requests use [In_out] marshalling.
+
+    [label] names the service this job belongs to: every completed
+    request additionally bumps the [sched.svc.<label>] telemetry counter,
+    giving per-service dispatch totals when many tenants share the
+    scheduler.
 
     [on_result] receives every request's ending keyed by its submission
     index: [Ok reply] on completion, or [Error msg] when [drop_on_error]
@@ -93,6 +99,7 @@ val submit :
 val submit_ring :
   t ->
   ?core:int ->
+  ?label:string ->
   ?on_result:(index:int -> (bytes, string) result -> unit) ->
   ?on_slice:(cycles:int -> unit) ->
   urts:Urts.t ->

@@ -1067,24 +1067,31 @@ let run_ring_dispatch r =
       (c.Cost_model.switchless_post + (k * c.Cost_model.ring_slot_dispatch));
     touch_segment t ~off:r.req_off ~len;
     let tenv = make_tenv t in
-    for slot = 0 to k - 1 do
-      let off = 8 + (slot * r.stride) in
-      let id = Int64.to_int (Bytes.get_int64_le r.rbuf off) in
-      let blen = Int64.to_int (Bytes.get_int64_le r.rbuf (off + 8)) in
-      if blen < 0 || blen > r.slot_bytes then
-        fail "ring_dispatch: slot %d has a corrupt length word" slot;
-      let handler = lookup_ecall t id in
-      let body = Bytes.sub r.rbuf (off + 16) blen in
-      let reply = handler tenv body in
-      let rlen = Bytes.length reply in
-      if rlen > r.slot_bytes then
-        fail "ring_dispatch: ECALL %d reply (%d bytes) exceeds the %d-byte slot"
-          id rlen r.slot_bytes;
-      Cycles.tick (clock t) (Cost_model.copy_cost c rlen);
-      Bytes.set_int64_le r.pbuf off (Int64.of_int id);
-      Bytes.set_int64_le r.pbuf (off + 8) (Int64.of_int rlen);
-      Bytes.blit reply 0 r.pbuf (off + 16) rlen
-    done;
+    (* The handlers run on the persistent in-enclave worker: enclave
+       translation is current (so they can reach the demand-paged heap —
+       a LibOS-backed service pages its VFS through it) but no TCS is
+       taken and no EENTER is paid. *)
+    Monitor.with_worker m t.enclave (fun () ->
+        for slot = 0 to k - 1 do
+          let off = 8 + (slot * r.stride) in
+          let id = Int64.to_int (Bytes.get_int64_le r.rbuf off) in
+          let blen = Int64.to_int (Bytes.get_int64_le r.rbuf (off + 8)) in
+          if blen < 0 || blen > r.slot_bytes then
+            fail "ring_dispatch: slot %d has a corrupt length word" slot;
+          let handler = lookup_ecall t id in
+          let body = Bytes.sub r.rbuf (off + 16) blen in
+          let reply = handler tenv body in
+          let rlen = Bytes.length reply in
+          if rlen > r.slot_bytes then
+            fail
+              "ring_dispatch: ECALL %d reply (%d bytes) exceeds the %d-byte \
+               slot"
+              id rlen r.slot_bytes;
+          Cycles.tick (clock t) (Cost_model.copy_cost c rlen);
+          Bytes.set_int64_le r.pbuf off (Int64.of_int id);
+          Bytes.set_int64_le r.pbuf (off + 8) (Int64.of_int rlen);
+          Bytes.blit reply 0 r.pbuf (off + 16) rlen
+        done);
     Bytes.set_int64_le r.pbuf 0 (Int64.of_int k);
     touch_segment t ~off:r.rep_off ~len;
     ms_slice_nofault `Write t ~off:r.rep_off r.pbuf ~pos:0 ~len

@@ -796,7 +796,7 @@ let flush_reference t =
           let reqs = List.map (fun (_, _, ecall, pl) -> (ecall, pl)) items in
           match tn.backend.Backend.urts with
           | Some urts ->
-              Sched.submit t.sched ~urts
+              Sched.submit t.sched ~urts ~label:tn.t_name
                 ~on_result:(fun ~index result ->
                   Hashtbl.replace record slots.(index) result)
                 ~on_slice:(fun ~cycles -> charge t tn cycles)
@@ -1014,6 +1014,7 @@ let flush_arena t =
                       tn.ring_err.(shard) <- Some (injected_msg site kind)
                   | () ->
                       Sched.submit_ring t.sched ~core:(shard mod cores) ~urts
+                        ~label:tn.t_name
                         ~on_result:(fun ~index:_ result ->
                           match result with
                           | Ok _ -> ()

@@ -1,0 +1,286 @@
+open Hyperenclave_tee
+module Libos = Hyperenclave_libos.Libos
+module Vfs = Hyperenclave_libos.Vfs
+module Resp_kv = Hyperenclave_workloads.Resp_kv
+module Kvdb = Hyperenclave_workloads.Kvdb
+module Httpd = Hyperenclave_workloads.Httpd
+module Ycsb = Hyperenclave_workloads.Ycsb
+
+let ecall_request = 0x5e01
+let ecall_admin = 0x5e02
+
+type kind = Resp_kv | Kvdb | Httpd
+
+let kind_name = function
+  | Resp_kv -> "resp_kv"
+  | Kvdb -> "kvdb"
+  | Httpd -> "httpd"
+
+(* --- in-enclave runtime plumbing ----------------------------------------- *)
+
+(* The LibOS instance a service runs on, built lazily from the first
+   call's [Backend.env] (the closures underneath are per-enclave, so the
+   cached instance stays valid across calls and ring dispatches).  The
+   VFS pages against the enclave's demand-paged heap, and all socket
+   traffic rides loopback queues — a ring-dispatched handler must not
+   OCALL, and with this runtime it never needs to. *)
+type instance = {
+  os : Libos.t;
+  sock : int; (* control: request in, reply out *)
+  body_sock : int; (* httpd body streaming, drained in-enclave *)
+  epfd : int;
+}
+
+let rt_of_env (env : Backend.env) =
+  {
+    Libos.rt_clock = env.Backend.clock;
+    rt_compute = env.Backend.compute;
+    rt_ocall = (fun ~id data -> env.Backend.ocall ~id ~data ());
+    rt_ocall_switchless = (fun ~id data -> env.Backend.ocall ~id ~data ());
+  }
+
+let pager_of_env (env : Backend.env) =
+  {
+    Vfs.p_read = (fun ~off ~len -> env.Backend.heap_read ~off ~len);
+    p_write = (fun ~off data -> env.Backend.heap_write ~off data);
+  }
+
+let make_instance (env : Backend.env) =
+  let os = Libos.create_rt (rt_of_env env) ~pager:(pager_of_env env) () in
+  let sock = Libos.socket ~loopback:true os in
+  let body_sock = Libos.socket ~loopback:true os in
+  let epfd = Libos.epoll_create os in
+  Libos.epoll_add os ~epfd ~fd:sock ~rd:true ~wr:false;
+  { os; sock; body_sock; epfd }
+
+let instance_of cell env =
+  match !cell with
+  | Some i -> i
+  | None ->
+      let i = make_instance env in
+      cell := Some i;
+      i
+
+(* One request through the event loop: deliver the decrypted payload to
+   the loopback socket, wait for readiness, recv, dispatch, send the
+   reply back, and hand the drained reply bytes to the caller (who seals
+   them into the ring slot). *)
+let drive (i : instance) ~dispatch input =
+  Libos.sock_deliver i.os i.sock input;
+  let ready = Libos.epoll_wait i.os ~epfd:i.epfd in
+  let readable =
+    List.exists (fun (fd, ev) -> fd = i.sock && ev.Libos.rd) ready
+  in
+  if not readable then Bytes.of_string "-ERR socket not ready"
+  else begin
+    let raw = Libos.recv i.os i.sock ~len:(Bytes.length input) in
+    let reply = dispatch (Bytes.to_string raw) in
+    ignore (Libos.send i.os i.sock (Bytes.of_string reply));
+    Libos.sock_drain i.os i.sock
+  end
+
+let parse_admin tag raw =
+  match String.split_on_char ':' raw with
+  | t :: rest when t = tag -> Some rest
+  | _ -> None
+
+(* --- resp_kv: RESP commands against a Store, SETs journaled to an AOF --- *)
+
+let aof_path = "/var/lib/resp/appendonly.aof"
+
+let resp_handlers () =
+  let store = Resp_kv.Store.create () in
+  let cell = ref None in
+  let aof = ref (-1) in
+  let get_instance env =
+    match !cell with
+    | Some i -> i
+    | None ->
+        let i = instance_of cell env in
+        aof := Libos.openf i.os ~path:aof_path [ Libos.O_creat; Libos.O_append ];
+        i
+  in
+  let exec_one i env parts =
+    let reply = Resp_kv.Store.exec store env parts in
+    (match parts with
+    | cmd :: _ when String.lowercase_ascii cmd = "set" ->
+        (* Journal mutations redis-AOF-style: O_APPEND lands each record
+           at the inode's EOF no matter who seeked the fd. *)
+        ignore (Libos.write i.os !aof (Resp_kv.encode_command parts))
+    | _ -> ());
+    reply
+  in
+  let request env input =
+    let i = get_instance env in
+    drive i input ~dispatch:(fun raw ->
+        match Resp_kv.parse_pipeline raw with
+        | Result.Error e -> "-ERR " ^ e
+        | Result.Ok commands ->
+            String.concat "\r" (List.map (exec_one i env) commands))
+  in
+  let admin env input =
+    let i = get_instance env in
+    match parse_admin "load" (Bytes.to_string input) with
+    | Some [ n ] ->
+        let records = int_of_string n in
+        for key = 0 to records - 1 do
+          ignore
+            (exec_one i env
+               [ "SET"; Resp_kv.key_name key; Resp_kv.value_for key ])
+        done;
+        Bytes.of_string (string_of_int (Resp_kv.Store.size store))
+    | Some _ | None -> invalid_arg "Services.resp_kv: bad admin request"
+  in
+  [ (ecall_request, request); (ecall_admin, admin) ]
+
+(* --- kvdb: SQL text against the engine, mutations journaled to a WAL --- *)
+
+let wal_path = "/var/lib/kv/wal"
+
+let kvdb_handlers () =
+  let engine = Kvdb.Engine.create () in
+  let cell = ref None in
+  let wal = ref (-1) in
+  let get_instance env =
+    match !cell with
+    | Some i -> i
+    | None ->
+        let i = instance_of cell env in
+        wal := Libos.openf i.os ~path:wal_path [ Libos.O_creat; Libos.O_append ];
+        i
+  in
+  let exec_sql i env stmt =
+    let result = Kvdb.Engine.exec engine stmt in
+    Kvdb.charge_engine env engine;
+    (match result with
+    | Result.Ok _
+      when String.length stmt > 0 && (stmt.[0] = 'I' || stmt.[0] = 'U'
+                                     || stmt.[0] = 'i' || stmt.[0] = 'u') ->
+        ignore (Libos.write i.os !wal (Bytes.of_string (stmt ^ "\n")))
+    | Result.Ok _ | Result.Error _ -> ());
+    result
+  in
+  let request env input =
+    let i = get_instance env in
+    drive i input ~dispatch:(fun stmt ->
+        match exec_sql i env stmt with
+        | Result.Ok v -> "+" ^ v
+        | Result.Error m -> "-ERR " ^ m)
+  in
+  let admin env input =
+    let i = get_instance env in
+    match parse_admin "load" (Bytes.to_string input) with
+    | Some [ n ] ->
+        let records = int_of_string n in
+        for key = 0 to records - 1 do
+          match
+            exec_sql i env
+              (Printf.sprintf "INSERT INTO kv VALUES (%d, '%s')" key
+                 (Kvdb.value_literal key))
+          with
+          | Result.Ok _ -> ()
+          | Result.Error m -> failwith ("Services.kvdb load: " ^ m)
+        done;
+        Bytes.of_string (string_of_int records)
+    | Some _ | None -> invalid_arg "Services.kvdb: bad admin request"
+  in
+  [ (ecall_request, request); (ecall_admin, admin) ]
+
+(* --- httpd: GETs against a file-backed VFS docroot ----------------------- *)
+
+let docroot_prefix = "/srv/www"
+
+let httpd_handlers () =
+  let cell = ref None in
+  let request env input =
+    let i = instance_of cell env in
+    drive i input ~dispatch:(fun raw ->
+        match Httpd.parse_request raw with
+        | Result.Error e -> "HTTP/1.1 400 " ^ e
+        | Result.Ok { Httpd.meth; path; headers = _ } ->
+            env.Backend.compute
+              (Httpd.per_request_cost
+              + (Httpd.per_parse_char * String.length raw));
+            if meth <> "GET" then "HTTP/1.1 405 method not allowed"
+            else
+              let full = docroot_prefix ^ path in
+              if not (Vfs.exists (Libos.vfs i.os) ~path:full) then
+                "HTTP/1.1 404 not found"
+              else begin
+                let fd = Libos.openf i.os ~path:full [ Libos.O_rdonly ] in
+                let size = Libos.fstat_size i.os fd in
+                env.Backend.compute (Httpd.body_cost size);
+                (* Stream the body through the loopback body socket in
+                   write() chunks, draining in-enclave: file pages fault
+                   in through the demand-paged heap as they are read. *)
+                let sent = ref 0 in
+                while !sent < size do
+                  let chunk = Libos.read i.os fd ~len:Httpd.chunk_bytes in
+                  if Bytes.length chunk = 0 then failwith "Services.httpd: short read"
+                  else begin
+                    ignore (Libos.send i.os i.body_sock chunk);
+                    ignore (Libos.sock_drain i.os i.body_sock);
+                    env.Backend.compute Httpd.per_chunk_net;
+                    sent := !sent + Bytes.length chunk
+                  end
+                done;
+                Libos.close i.os fd;
+                Printf.sprintf "HTTP/1.1 200 OK bytes=%d" size
+              end)
+  in
+  let admin env input =
+    let i = instance_of cell env in
+    match parse_admin "page" (Bytes.to_string input) with
+    | Some [ path; bytes ] ->
+        let size = int_of_string bytes in
+        let full = docroot_prefix ^ path in
+        let fd =
+          Libos.openf i.os ~path:full
+            [ Libos.O_creat; Libos.O_trunc; Libos.O_wronly ]
+        in
+        let written = ref 0 in
+        while !written < size do
+          let chunk = min Httpd.chunk_bytes (size - !written) in
+          ignore (Libos.write i.os fd (Ycsb.record_value ~key:!written ~size:chunk));
+          written := !written + chunk
+        done;
+        Libos.close i.os fd;
+        Bytes.of_string (string_of_int size)
+    | Some _ | None -> invalid_arg "Services.httpd: bad admin request"
+  in
+  [ (ecall_request, request); (ecall_admin, admin) ]
+
+(* --- registration -------------------------------------------------------- *)
+
+let handlers = function
+  | Resp_kv -> resp_handlers ()
+  | Kvdb -> kvdb_handlers ()
+  | Httpd -> httpd_handlers ()
+
+let backend_config ?(backend = Backend.Hyperenclave Hyperenclave_monitor.Sgx_types.GU)
+    kind =
+  { (Backend.config backend) with Backend.handlers = handlers kind }
+
+(* --- client-side request builders ---------------------------------------- *)
+
+let request_of_op kind op =
+  match kind with
+  | Resp_kv -> Resp_kv.encode_command (Resp_kv.parts_of_op op)
+  | Kvdb -> Bytes.of_string (Kvdb.stmt_of_op op)
+  | Httpd -> invalid_arg "Services.request_of_op: httpd serves paths, not ops"
+
+let http_request ~path =
+  Bytes.of_string (Printf.sprintf "GET %s HTTP/1.1\nhost: svc\n" path)
+
+let load_request ~records = Bytes.of_string (Printf.sprintf "load:%d" records)
+
+let page_request ~path ~bytes =
+  Bytes.of_string (Printf.sprintf "page:%s:%d" path bytes)
+
+let reply_ok kind reply =
+  let s = Bytes.to_string reply in
+  match kind with
+  | Resp_kv | Kvdb ->
+      String.length s > 0 && s.[0] <> '-'
+      && not (String.length s >= 4 && String.sub s 0 4 = "$-1\n")
+  | Httpd -> String.length s >= 12 && String.sub s 9 3 = "200"

@@ -158,6 +158,47 @@ let update t ~key value =
   end
   else false
 
+(* In-order walk from the first key >= lo, collecting up to [count]
+   records; every node on the visited frontier is touched so the memory
+   simulator sees the leaf-heavy access pattern of a range scan. *)
+let scan t ~lo ~count =
+  t.touched <- [];
+  let out = ref [] and n = ref 0 in
+  let collect key =
+    if key >= lo && !n < count then begin
+      touch_value t key;
+      match Hashtbl.find_opt t.values key with
+      | Some v ->
+          out := (key, v) :: !out;
+          incr n
+      | None -> ()
+    end
+  in
+  let rec go node =
+    if !n < count then begin
+      touch t node;
+      let i0 = find_slot node.keys lo in
+      if is_leaf node then
+        for i = i0 to Array.length node.keys - 1 do
+          collect node.keys.(i)
+        done
+      else begin
+        (* Child i0 may still hold keys >= lo (they sit below the first
+           separator >= lo), so descend there first, then alternate
+           key/child rightwards. *)
+        go node.children.(i0);
+        let i = ref i0 in
+        while !n < count && !i < Array.length node.keys do
+          collect node.keys.(!i);
+          incr i;
+          if !n < count then go node.children.(!i)
+        done
+      end
+    end
+  in
+  go t.root;
+  List.rev !out
+
 let size t = t.count
 
 let depth t =

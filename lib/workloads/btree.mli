@@ -17,6 +17,10 @@ val find : t -> key:int -> bytes option
 val update : t -> key:int -> bytes -> bool
 (** [false] if the key is absent. *)
 
+val scan : t -> lo:int -> count:int -> (int * bytes) list
+(** Up to [count] records with key >= [lo], ascending.  Like {!find},
+    records every node and value region visited for {!last_touched}. *)
+
 val size : t -> int
 val depth : t -> int
 

@@ -47,6 +47,7 @@ let body_per_byte_den = 4 (* content assembly + checksumming *)
    charged right after each write OCALL so every backend, enclave or
    native, pays the same network-stack price. *)
 let per_chunk_net = 12_600
+let body_cost size = size * body_per_byte_num / body_per_byte_den
 
 let ocalls () =
   [
@@ -70,7 +71,7 @@ let handlers ~pages =
           | None -> Bytes.of_string "HTTP/1.1 404 not found"
           | Some size ->
               (* Build and stream the body in write() chunks. *)
-              env.Backend.compute (size * body_per_byte_num / body_per_byte_den);
+              env.Backend.compute (body_cost size);
               Mem_sim.seq_scan env.Backend.mem ~base:0x5000_0000 ~bytes:size
                 ~write:false;
               let sent = ref 0 in

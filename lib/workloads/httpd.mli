@@ -14,6 +14,15 @@ val ecall_request : int
 val chunk_bytes : int
 (** 16 KiB write() chunks. *)
 
+(** {2 Cost model (shared with the service-layer variant)} *)
+
+val per_request_cost : int
+val per_parse_char : int
+val per_chunk_net : int
+
+val body_cost : int -> int
+(** Content assembly + checksumming cycles for a body of this size. *)
+
 val handlers : pages:(string * int) list -> (int * Backend.handler) list
 (** Document root: (path, size-in-bytes) pairs. *)
 

@@ -69,6 +69,19 @@ module Engine = struct
             | Some value -> Result.Ok (Bytes.to_string value)
             | None -> Result.Error "not found")
         | None -> Result.Error "bad key")
+    | [ "select"; "v"; "from"; "kv"; "where"; "k"; "between"; lo; "and"; hi ]
+      -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo <= hi ->
+            (* Range scans are bounded like SQLite's LIMIT would: the
+               engine never materializes more than 1024 rows. *)
+            let count = min (hi - lo + 1) 1024 in
+            let rows =
+              Btree.scan t.btree ~lo ~count
+              |> List.filter (fun (k, _) -> k <= hi)
+            in
+            Result.Ok (Printf.sprintf "%d rows" (List.length rows))
+        | _ -> Result.Error "bad range")
     | [ "update"; "kv"; "set"; "v"; value; "where"; "k"; key ]
       when String.length value > 0 && value.[0] = '\'' -> (
         match int_of_string_opt key with
@@ -112,6 +125,16 @@ let charge_engine (env : Backend.env) engine =
 
 let value_literal key = Bytes.to_string (Ycsb.record_value ~key ~size:stored_bytes)
 
+let stmt_of_op operation =
+  match operation with
+  | Ycsb.Read key -> Printf.sprintf "SELECT v FROM kv WHERE k = %d" key
+  | Ycsb.Update key ->
+      Printf.sprintf "UPDATE kv SET v = '%s' WHERE k = %d" (value_literal key)
+        key
+  | Ycsb.Scan (key, n) ->
+      Printf.sprintf "SELECT v FROM kv WHERE k BETWEEN %d AND %d" key
+        (key + n - 1)
+
 let parse_two tag input =
   match String.split_on_char ':' (Bytes.to_string input) with
   | [ t; a; b ] when t = tag -> (int_of_string a, int_of_string b)
@@ -152,13 +175,7 @@ let handlers () =
     let timer = Timer.create env in
     let errors = ref 0 in
     for _ = 1 to ops do
-      let stmt =
-        match Ycsb.next_op_a gen with
-        | Ycsb.Read key -> Printf.sprintf "SELECT v FROM kv WHERE k = %d" key
-        | Ycsb.Update key ->
-            Printf.sprintf "UPDATE kv SET v = '%s' WHERE k = %d"
-              (value_literal key) key
-      in
+      let stmt = stmt_of_op (Ycsb.next_op_a gen) in
       (match Engine.exec e stmt with
       | Result.Ok _ -> ()
       | Result.Error _ -> incr errors);

@@ -38,8 +38,19 @@ module Engine : sig
   val create : unit -> t
   val exec : t -> string -> (string, string) result
   (** Mini-SQL: [INSERT INTO kv VALUES (k, 'v')], [SELECT v FROM kv WHERE
-      k = n], [UPDATE kv SET v = 'x' WHERE k = n].  Returns the value for
-      SELECT, ["ok"] otherwise. *)
+      k = n], [UPDATE kv SET v = 'x' WHERE k = n], [SELECT v FROM kv
+      WHERE k BETWEEN a AND b] (range scan, capped at 1024 rows, returns
+      ["N rows"]).  Returns the value for SELECT, ["ok"] otherwise. *)
 
   val btree : t -> Btree.t
 end
+
+val charge_engine : Backend.env -> Engine.t -> unit
+(** Charge the fixed per-statement cost, heap scatter and the memory
+    touches of whatever the engine just executed — the cost model the
+    in-enclave handlers use, exposed for the service layer. *)
+
+val stmt_of_op : Ycsb.op -> string
+(** The SQL statement for a YCSB operation (scans become BETWEEN). *)
+
+val value_literal : int -> string

@@ -48,7 +48,19 @@ let parse_one raw pos =
               with
               | None -> Result.Error "bad bulk length"
               | Some size ->
-                  if !pos + size + 2 > len then Result.Error "truncated bulk"
+                  (* Bounds discipline: a negative $<size> must never
+                     reach String.sub, and the length check is written
+                     subtraction-side so a huge declared size cannot
+                     overflow past [len].  The payload's own CRLF is
+                     verified, not skipped blind — an over-declared size
+                     that swallows the terminator is a protocol error,
+                     not an exception out of the dispatch loop. *)
+                  if size < 0 then Result.Error "negative bulk length"
+                  else if size > len - !pos - 2 then
+                    Result.Error "truncated bulk"
+                  else if
+                    not (raw.[!pos + size] = '\r' && raw.[!pos + size + 1] = '\n')
+                  then Result.Error "missing bulk CRLF"
                   else begin
                     let s = String.sub raw !pos size in
                     pos := !pos + size + 2;
@@ -89,25 +101,27 @@ let decode_reply raw =
 let per_command_cost = 2_600 (* dispatch, object bookkeeping, expiry checks *)
 let per_chunk_net = 12_600
 
-let ocalls () =
-  [
-    (ocall_read, fun data -> data);
-    (ocall_write, fun data -> Bytes.of_string (string_of_int (Bytes.length data)));
-  ]
+(* The key-value store behind the protocol, factored out so the service
+   layer (resp_kv behind the attested plane) can run commands against its
+   own instance without the socket OCALLs of the closed-loop handler. *)
+module Store = struct
+  type t = (string, bytes) Hashtbl.t
 
-let handlers () =
-  let store : (string, bytes) Hashtbl.t = Hashtbl.create 4096 in
+  let create () : t = Hashtbl.create 4096
+
+  let size (t : t) = Hashtbl.length t
+
   let addr_of_key key =
     0x6000_0000 + (Hashtbl.hash key land 0xffff) * value_bytes
-  in
-  let run_command (env : Backend.env) parts =
+
+  let exec (t : t) (env : Backend.env) parts =
     env.Backend.compute per_command_cost;
     (* Value accesses are pointer chases into a 1 KB object. *)
     match List.map String.lowercase_ascii parts with
     | "set" :: _ :: _ -> (
         match parts with
         | [ _; key; value ] ->
-            Hashtbl.replace store key (Bytes.of_string value);
+            Hashtbl.replace t key (Bytes.of_string value);
             Mem_sim.touch_dependent env.Backend.mem ~addr:(addr_of_key key)
               ~len:value_bytes ~write:true;
             "+OK"
@@ -115,13 +129,23 @@ let handlers () =
     | [ "get"; key ] -> (
         Mem_sim.touch_dependent env.Backend.mem ~addr:(addr_of_key key)
           ~len:value_bytes ~write:false;
-        match Hashtbl.find_opt store key with
+        match Hashtbl.find_opt t key with
         | Some v -> Printf.sprintf "$%d\n%s" (Bytes.length v) (Bytes.to_string v)
         | None -> "$-1\n")
-    | [ "dbsize" ] -> Printf.sprintf "+%d" (Hashtbl.length store)
+    | [ "dbsize" ] -> Printf.sprintf "+%d" (Hashtbl.length t)
     | cmd :: _ -> "-ERR unknown command '" ^ cmd ^ "'"
     | [] -> "-ERR empty command"
-  in
+end
+
+let ocalls () =
+  [
+    (ocall_read, fun data -> data);
+    (ocall_write, fun data -> Bytes.of_string (string_of_int (Bytes.length data)));
+  ]
+
+let handlers () =
+  let store = Store.create () in
+  let run_command env parts = Store.exec store env parts in
   let handle (env : Backend.env) input =
     (* One socket read delivers the whole (possibly pipelined) request. *)
     ignore (env.Backend.ocall ~id:ocall_read ~data:input ());
@@ -160,12 +184,15 @@ let load backend ~records =
     | Result.Error e -> failwith ("Resp_kv.load: " ^ e)
   done
 
+(* RESP has no range primitive: a Scan degrades to a GET of the anchor
+   key, which is also what YCSB's Redis binding does. *)
+let parts_of_op operation =
+  match operation with
+  | Ycsb.Read key | Ycsb.Scan (key, _) -> [ "GET"; key_name key ]
+  | Ycsb.Update key -> [ "SET"; key_name key; value_for key ]
+
 let op (backend : Backend.t) operation =
-  let parts =
-    match operation with
-    | Ycsb.Read key -> [ "GET"; key_name key ]
-    | Ycsb.Update key -> [ "SET"; key_name key; value_for key ]
-  in
+  let parts = parts_of_op operation in
   let reply, cycles =
     Cycles.time backend.Backend.clock (fun () -> raw_call backend parts)
   in
@@ -187,12 +214,7 @@ let service_time backend ~records ~samples =
   for _ = 1 to batches do
     let buf = Buffer.create 512 in
     for _ = 1 to pipeline_depth do
-      let parts =
-        match Ycsb.next_op_a gen with
-        | Ycsb.Read key -> [ "GET"; key_name key ]
-        | Ycsb.Update key -> [ "SET"; key_name key; value_for key ]
-      in
-      Buffer.add_bytes buf (encode_command parts)
+      Buffer.add_bytes buf (encode_command (parts_of_op (Ycsb.next_op_a gen)))
     done;
     let _, cycles =
       Cycles.time backend.Backend.clock (fun () ->

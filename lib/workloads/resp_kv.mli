@@ -27,6 +27,27 @@ val load : Backend.t -> records:int -> unit
 val op : Backend.t -> Ycsb.op -> int
 (** One GET/SET through the backend; simulated cycles. *)
 
+val parts_of_op : Ycsb.op -> string list
+(** The RESP command for a YCSB operation (scans degrade to a GET of the
+    anchor key, like YCSB's Redis binding). *)
+
+val key_name : int -> string
+val value_for : int -> string
+
+(** The hash-table store behind the protocol, exposed so the service
+    layer can execute parsed commands against a per-tenant instance
+    (charging the same per-command and value-touch costs). *)
+module Store : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val exec : t -> Backend.env -> string list -> string
+  (** One command; returns the RESP-encoded reply (["-ERR ..."] for
+      protocol-level errors — never an exception). *)
+end
+
 val service_time : Backend.t -> records:int -> samples:int -> float
 (** Mean cycles per operation under YCSB-A. *)
 

@@ -1,6 +1,6 @@
 open Hyperenclave_hw
 
-type op = Read of int | Update of int
+type op = Read of int | Update of int | Scan of int * int
 
 type t = {
   rng : Rng.t;
@@ -56,6 +56,15 @@ let next_key t =
 let next_op_a t =
   let key = next_key t in
   if Rng.bool t.rng then Read key else Update key
+
+let next_op_b t =
+  let key = next_key t in
+  if Rng.int t.rng 100 < 95 then Read key else Update key
+
+let next_op_c t = Read (next_key t)
+
+let next_scan t ?(max_len = 16) () =
+  Scan (next_key t, 1 + Rng.int t.rng max_len)
 
 let uniform_key t = Rng.int t.rng t.records
 

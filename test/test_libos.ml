@@ -176,9 +176,228 @@ let test_switchless_net () =
     true
     (switchless * 2 < regular)
 
+(* --- PR 9 additions ------------------------------------------------------ *)
+
+let test_typed_seek () =
+  with_libos (fun os ->
+      let fd = Libos.openf os ~path:"/seek" [ Libos.O_creat; Libos.O_rdwr ] in
+      ignore (Libos.write os fd (Bytes.of_string "abcdef"));
+      ignore (Libos.lseek os fd ~pos:2);
+      (* Negative and overflowing positions are typed rejections, and a
+         failed seek must leave the cursor where it was. *)
+      (try
+         ignore (Libos.lseek os fd ~pos:(-1));
+         Alcotest.fail "negative seek accepted"
+       with Libos.Bad_seek -1 -> ());
+      (try
+         ignore (Libos.lseek os fd ~pos:(Libos.max_file_bytes + 1));
+         Alcotest.fail "overflowing seek accepted"
+       with Libos.Bad_seek _ -> ());
+      Alcotest.(check string)
+        "position survived the failed seeks" "cd"
+        (Bytes.to_string (Libos.read os fd ~len:2));
+      (* The boundary itself is legal (sparse files). *)
+      Alcotest.(check int) "seek to the limit" Libos.max_file_bytes
+        (Libos.lseek os fd ~pos:Libos.max_file_bytes);
+      (* Only files seek. *)
+      let s = Libos.socket ~loopback:true os in
+      (try
+         ignore (Libos.lseek os s ~pos:0);
+         Alcotest.fail "socket seeked"
+       with Libos.Bad_fd _ -> ());
+      let ep = Libos.epoll_create os in
+      (try
+         ignore (Libos.lseek os ep ~pos:0);
+         Alcotest.fail "epoll fd seeked"
+       with Libos.Bad_fd _ -> ());
+      true)
+  |> Alcotest.(check bool) "completed" true
+
+let test_unlink_staleness () =
+  with_libos (fun os ->
+      let fd = Libos.openf os ~path:"/stale" [ Libos.O_creat; Libos.O_rdwr ] in
+      ignore (Libos.write os fd (Bytes.of_string "orphan data"));
+      Libos.unlink os ~path:"/stale";
+      (* POSIX: the open fd keeps the inode alive and fully usable... *)
+      Alcotest.(check int) "fstat through the orphan fd" 11 (Libos.fstat_size os fd);
+      ignore (Libos.lseek os fd ~pos:0);
+      Alcotest.(check string)
+        "orphan still readable" "orphan data"
+        (Bytes.to_string (Libos.read os fd ~len:64));
+      Alcotest.(check int) "orphan still writable" 5
+        (Libos.write os fd (Bytes.of_string " more"));
+      Alcotest.(check int) "orphan grew" 16 (Libos.fstat_size os fd);
+      (* ...while the path is gone... *)
+      (try
+         ignore (Libos.stat_size os ~path:"/stale");
+         Alcotest.fail "unlinked path stats"
+       with Libos.No_such_file _ -> ());
+      (* ...and recreating the path mints a fresh inode — no resurrection. *)
+      let fd2 = Libos.openf os ~path:"/stale" [ Libos.O_creat; Libos.O_rdwr ] in
+      Alcotest.(check int) "fresh inode is empty" 0 (Libos.fstat_size os fd2);
+      ignore (Libos.write os fd2 (Bytes.of_string "new"));
+      Alcotest.(check int) "orphan untouched by the new file" 16
+        (Libos.fstat_size os fd);
+      (* Short reads past EOF: never an exception, possibly short/empty. *)
+      ignore (Libos.lseek os fd2 ~pos:1);
+      Alcotest.(check string)
+        "short read at the tail" "ew"
+        (Bytes.to_string (Libos.read os fd2 ~len:100));
+      ignore (Libos.lseek os fd2 ~pos:50);
+      Alcotest.(check string)
+        "read past EOF is empty" ""
+        (Bytes.to_string (Libos.read os fd2 ~len:10));
+      Libos.close os fd;
+      Libos.close os fd2;
+      true)
+  |> Alcotest.(check bool) "completed" true
+
+let test_epoll_readiness () =
+  with_libos (fun os ->
+      let ep = Libos.epoll_create os in
+      let fd = Libos.openf os ~path:"/ev" [ Libos.O_creat; Libos.O_rdwr ] in
+      let s = Libos.socket ~loopback:true os in
+      Libos.epoll_add os ~epfd:ep ~fd ~rd:true ~wr:false;
+      Libos.epoll_add os ~epfd:ep ~fd:s ~rd:true ~wr:true;
+      (* Empty file at pos 0, empty socket queue: only the socket's write
+         side is ready. *)
+      Alcotest.(check (list (pair int bool)))
+        "initially only sock-writable"
+        [ (s, false) ]
+        (List.map (fun (f, e) -> (f, e.Libos.rd)) (Libos.epoll_wait os ~epfd:ep));
+      (* Data behind the file cursor and bytes in the socket queue flip
+         both readable (level-triggered). *)
+      ignore (Libos.write os fd (Bytes.of_string "data"));
+      ignore (Libos.lseek os fd ~pos:0);
+      Libos.sock_deliver os s (Bytes.of_string "ping");
+      let ready () =
+        List.filter_map
+          (fun (f, e) -> if e.Libos.rd then Some f else None)
+          (Libos.epoll_wait os ~epfd:ep)
+      in
+      Alcotest.(check (list int)) "both readable, sorted" [ fd; s ] (ready ());
+      Alcotest.(check (list int)) "level-triggered: still readable" [ fd; s ]
+        (ready ());
+      (* Draining deasserts. *)
+      ignore (Libos.read os fd ~len:10);
+      ignore (Libos.recv os s ~len:10);
+      Alcotest.(check (list int)) "drained fds not readable" [] (ready ());
+      (* Deregistration and close both forget the fd. *)
+      Libos.sock_deliver os s (Bytes.of_string "x");
+      Libos.epoll_del os ~epfd:ep ~fd:s;
+      Alcotest.(check (list int)) "epoll_del removes interest" [] (ready ());
+      Libos.epoll_add os ~epfd:ep ~fd:s ~rd:true ~wr:false;
+      Alcotest.(check (list int)) "re-added and pending" [ s ] (ready ());
+      Libos.close os s;
+      Alcotest.(check (list int)) "close forgets the fd" [] (ready ());
+      (* No nested epoll. *)
+      (try
+         Libos.epoll_add os ~epfd:ep ~fd:(Libos.epoll_create os) ~rd:true
+           ~wr:false;
+         Alcotest.fail "nested epoll accepted"
+       with Libos.Bad_fd _ -> ());
+      true)
+  |> Alcotest.(check bool) "completed" true
+
+let test_loopback_sockets () =
+  let stats =
+    with_libos (fun os ->
+        let s = Libos.socket ~loopback:true os in
+        (* Empty queue: recv would-block as an empty read. *)
+        Alcotest.(check string)
+          "empty queue would-block" ""
+          (Bytes.to_string (Libos.recv os s ~len:8));
+        Libos.sock_deliver os s (Bytes.of_string "hello wo");
+        Libos.sock_deliver os s (Bytes.of_string "rld");
+        Alcotest.(check string)
+          "short read from the queue" "hello"
+          (Bytes.to_string (Libos.recv os s ~len:5));
+        Alcotest.(check string)
+          "cursor advances across deliveries" " world"
+          (Bytes.to_string (Libos.recv os s ~len:64));
+        ignore (Libos.send os s (Bytes.of_string "re"));
+        ignore (Libos.send os s (Bytes.of_string "ply"));
+        Alcotest.(check string)
+          "drain accumulates sends" "reply"
+          (Bytes.to_string (Libos.sock_drain os s));
+        Alcotest.(check string)
+          "drain empties the out queue" ""
+          (Bytes.to_string (Libos.sock_drain os s));
+        (* Plane-side injection only works on loopback fds. *)
+        let fwd = Libos.socket os in
+        (try
+           Libos.sock_deliver os fwd (Bytes.of_string "x");
+           Alcotest.fail "delivered to a forwarding socket"
+         with Libos.Bad_fd _ -> ());
+        Libos.stats os)
+  in
+  Alcotest.(check int) "loopback I/O never leaves the enclave" 0
+    stats.Libos.forwarded
+
+let test_paged_vfs () =
+  (* File extents backed by the demand-paged enclave heap: a multi-page
+     file round-trips through Tenv heap reads/writes (EPC commit under the
+     hood) and the VFS bump allocator reports the extent bytes. *)
+  let p = Platform.create ~seed:7002L () in
+  let ok = ref false in
+  let handle =
+    Urts.create ~kmod:p.Platform.kmod ~proc:p.Platform.proc ~rng:p.Platform.rng
+      ~signer:p.Platform.signer
+      ~config:(Urts.default_config Sgx_types.GU)
+      ~ecalls:
+        [
+          ( 1,
+            fun tenv _ ->
+              let pager =
+                {
+                  Vfs.p_read =
+                    (fun ~off ~len ->
+                      tenv.Tenv.read ~va:(tenv.Tenv.heap_base + off) ~len);
+                  p_write =
+                    (fun ~off data ->
+                      tenv.Tenv.write ~va:(tenv.Tenv.heap_base + off) data);
+                }
+              in
+              let os = Libos.create_rt (Libos.of_tenv tenv) ~pager () in
+              let fd =
+                Libos.openf os ~path:"/big" [ Libos.O_creat; Libos.O_rdwr ]
+              in
+              let chunk = Bytes.make 4096 'p' in
+              for page = 0 to 2 do
+                Bytes.set chunk 0 (Char.chr (Char.code 'a' + page));
+                ignore (Libos.write os fd chunk)
+              done;
+              Alcotest.(check int) "three pages" 12288 (Libos.fstat_size os fd);
+              ignore (Libos.lseek os fd ~pos:8192);
+              let back = Libos.read os fd ~len:4096 in
+              Alcotest.(check char) "page marker survives paging" 'c'
+                (Bytes.get back 0);
+              Alcotest.(check char) "page body survives paging" 'p'
+                (Bytes.get back 4095);
+              ignore (Libos.lseek os fd ~pos:4000);
+              Alcotest.(check int)
+                "cross-page read" 2000
+                (Bytes.length (Libos.read os fd ~len:2000));
+              Alcotest.(check bool) "extents came from the heap" true
+                (Vfs.paged_bytes (Libos.vfs os) >= 12288);
+              ok := true;
+              Bytes.empty );
+        ]
+      ~ocalls:[]
+  in
+  ignore (Urts.ecall handle ~id:1 ~direction:Edge.In ());
+  Urts.destroy handle;
+  Alcotest.(check bool) "ecall body ran" true !ok
+
 let suite =
   [
     Alcotest.test_case "file lifecycle" `Quick test_file_lifecycle;
+    Alcotest.test_case "typed seek errors" `Quick test_typed_seek;
+    Alcotest.test_case "unlink staleness (POSIX fds)" `Quick
+      test_unlink_staleness;
+    Alcotest.test_case "epoll readiness" `Quick test_epoll_readiness;
+    Alcotest.test_case "loopback sockets" `Quick test_loopback_sockets;
+    Alcotest.test_case "file-backed VFS pages the heap" `Quick test_paged_vfs;
     Alcotest.test_case "errors" `Quick test_errors;
     Alcotest.test_case "directory listing" `Quick test_directory_listing;
     Alcotest.test_case "network forwarding + stats" `Quick

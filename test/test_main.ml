@@ -18,6 +18,7 @@ let () =
       ("tee", Test_tee.suite);
       ("backend_api", Test_backend_api.suite);
       ("serve", Test_serve.suite);
+      ("services", Test_services.suite);
       ("workloads", Test_workloads.suite);
       ("golden", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);

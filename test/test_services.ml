@@ -1,0 +1,267 @@
+(* Real LibOS workloads behind the attested plane: every request enters
+   as an AEAD envelope, decrypts into its ring slot, rides a loopback
+   socket through the service's in-enclave event loop, and the reply is
+   sealed in place.  These are the Fig. 8b-8d request mixes, end to end. *)
+
+open Hyperenclave
+
+let golden_of (p : Platform.t) =
+  Verifier.golden_of_boot_log
+    ~ek_public:(Tpm.ek_public p.Platform.tpm)
+    (Monitor.boot_log p.Platform.monitor)
+
+let identity_of (backend : Backend.t) =
+  match backend.Backend.identity with
+  | Some id -> id
+  | None -> Bytes.empty
+
+let client_for p ~seed backend =
+  let identity = identity_of backend in
+  Serve.Client.create
+    ~rng:(Rng.create ~seed)
+    ~golden:(golden_of p)
+    ~policy:
+      {
+        Verifier.expected_mrenclave = Some identity;
+        expected_mrsigner = None;
+        allow_debug = false;
+      }
+    ~expected_tenant:identity ()
+
+(* One plane, one service tenant, one established session. *)
+let build kind ~seed =
+  let p = Platform.create ~seed () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  let name = Services.kind_name kind in
+  let backend = Serve.add_tenant plane ~name (Services.backend_config kind) in
+  let client = client_for p ~seed:(Int64.add seed 1L) backend in
+  (match Serve.handshake plane ~tenant:name (Serve.Client.hello client) with
+  | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+  | Ok accept -> (
+      match Serve.Client.establish client accept with
+      | Error r -> Alcotest.failf "establish failed: %a" Serve.pp_reject r
+      | Ok () -> ()));
+  (p, plane, backend, client)
+
+let admin (backend : Backend.t) data =
+  backend.Backend.call ~id:Services.ecall_admin ~data ~direction:Edge.In_out ()
+
+let serve_one plane client request =
+  match
+    Serve.Client.roundtrip plane client [ (Services.ecall_request, request) ]
+  with
+  | [ Ok reply ] -> reply
+  | [ Error r ] -> Alcotest.failf "request rejected: %a" Serve.pp_reject r
+  | results -> Alcotest.failf "expected one reply, got %d" (List.length results)
+
+let check_invariants (p : Platform.t) =
+  match Invariants.check p.Platform.monitor with
+  | [] -> ()
+  | findings ->
+      Alcotest.failf "monitor invariants violated: %s"
+        (Invariants.summary findings)
+
+let prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+(* ------------------------------------------------------------------ *)
+
+let test_resp_kv_end_to_end () =
+  let p, plane, backend, client = build Services.Resp_kv ~seed:9100L in
+  (* Operator bulk-load, off-session. *)
+  Alcotest.(check string)
+    "loaded store size" "100"
+    (Bytes.to_string (admin backend (Services.load_request ~records:100)));
+  (* YCSB-shaped RESP traffic over the AEAD session: zipfian point
+     reads/updates plus scan anchors, every reply affirmative. *)
+  let gen = Hyperenclave.Workloads.Ycsb.create ~rng:(Rng.create ~seed:91L) ~records:100 () in
+  for i = 1 to 30 do
+    let op =
+      if i mod 5 = 0 then Hyperenclave.Workloads.Ycsb.next_scan gen ~max_len:4 ()
+      else if i mod 2 = 0 then Hyperenclave.Workloads.Ycsb.next_op_b gen
+      else Hyperenclave.Workloads.Ycsb.next_op_a gen
+    in
+    let reply =
+      serve_one plane client (Services.request_of_op Services.Resp_kv op)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "op %d served (%s)" i (Bytes.to_string reply))
+      true
+      (Services.reply_ok Services.Resp_kv reply)
+  done;
+  (* Explicit SET/GET through the session round-trips the value. *)
+  let set =
+    Hyperenclave.Workloads.Resp_kv.encode_command [ "SET"; "paper"; "hyperenclave" ]
+  in
+  Alcotest.(check string) "SET ok" "+OK" (Bytes.to_string (serve_one plane client set));
+  let get = Hyperenclave.Workloads.Resp_kv.encode_command [ "GET"; "paper" ] in
+  Alcotest.(check string)
+    "GET returns the value" "$12\nhyperenclave"
+    (Bytes.to_string (serve_one plane client get));
+  (* A miss is a typed nil, not an error and not a hit. *)
+  let miss =
+    serve_one plane client
+      (Hyperenclave.Workloads.Resp_kv.encode_command [ "GET"; "absent" ])
+  in
+  Alcotest.(check bool) "miss is nil" false (Services.reply_ok Services.Resp_kv miss);
+  check_invariants p;
+  Serve.destroy plane
+
+let test_kvdb_end_to_end () =
+  let p, plane, backend, client = build Services.Kvdb ~seed:9200L in
+  Alcotest.(check string)
+    "loaded rows" "200"
+    (Bytes.to_string (admin backend (Services.load_request ~records:200)));
+  let module Ycsb = Hyperenclave.Workloads.Ycsb in
+  let gen = Ycsb.create ~rng:(Rng.create ~seed:92L) ~records:200 () in
+  (* The three YCSB mixes plus range scans, as SQL over the session. *)
+  let ops =
+    List.init 12 (fun _ -> Ycsb.next_op_a gen)
+    @ List.init 12 (fun _ -> Ycsb.next_op_b gen)
+    @ List.init 12 (fun _ -> Ycsb.next_op_c gen)
+    @ List.init 6 (fun _ -> Ycsb.next_scan gen ~max_len:8 ())
+  in
+  List.iteri
+    (fun i op ->
+      let reply = serve_one plane client (Services.request_of_op Services.Kvdb op) in
+      let s = Bytes.to_string reply in
+      Alcotest.(check bool)
+        (Printf.sprintf "stmt %d served (%s)" i s)
+        true
+        (Services.reply_ok Services.Kvdb reply);
+      match op with
+      | Ycsb.Scan (_, _) ->
+          Alcotest.(check bool) ("scan counts rows: " ^ s) true
+            (prefix "+" s
+            && String.length s > 5
+            && String.sub s (String.length s - 4) 4 = "rows")
+      | Ycsb.Read _ | Ycsb.Update _ -> ())
+    ops;
+  (* Malformed SQL over a valid envelope: typed engine error in-band. *)
+  let bad =
+    serve_one plane client (Bytes.of_string "DROP TABLE kv; --")
+  in
+  Alcotest.(check bool)
+    ("bad SQL is -ERR: " ^ Bytes.to_string bad)
+    true
+    (prefix "-ERR" (Bytes.to_string bad));
+  (* And the session is still healthy afterwards. *)
+  let again =
+    serve_one plane client
+      (Services.request_of_op Services.Kvdb (Ycsb.Read 0))
+  in
+  Alcotest.(check bool) "session survives the error" true
+    (Services.reply_ok Services.Kvdb again);
+  check_invariants p;
+  Serve.destroy plane
+
+let test_httpd_end_to_end () =
+  let p, plane, backend, client = build Services.Httpd ~seed:9300L in
+  (* Populate the file-backed docroot: one multi-chunk page (body
+     streaming crosses chunk_bytes twice), one small page. *)
+  Alcotest.(check string)
+    "docroot page" "40000"
+    (Bytes.to_string
+       (admin backend (Services.page_request ~path:"/index.html" ~bytes:40000)));
+  Alcotest.(check string)
+    "small page" "100"
+    (Bytes.to_string
+       (admin backend (Services.page_request ~path:"/favicon.ico" ~bytes:100)));
+  let get path = serve_one plane client (Services.http_request ~path) in
+  let index = Bytes.to_string (get "/index.html") in
+  Alcotest.(check bool) ("200 with full body: " ^ index) true
+    (Services.reply_ok Services.Httpd (Bytes.of_string index)
+    && prefix "HTTP/1.1 200 OK bytes=40000" index);
+  Alcotest.(check bool) "small file served" true
+    (prefix "HTTP/1.1 200 OK bytes=100" (Bytes.to_string (get "/favicon.ico")));
+  (* Typed protocol failures, all in-band: missing file, bad method,
+     unparseable request line. *)
+  Alcotest.(check bool) "404 on a miss" true
+    (prefix "HTTP/1.1 404" (Bytes.to_string (get "/missing.html")));
+  let post =
+    serve_one plane client (Bytes.of_string "POST /index.html HTTP/1.1\nhost: svc\n")
+  in
+  Alcotest.(check bool) "405 on POST" true
+    (prefix "HTTP/1.1 405" (Bytes.to_string post));
+  let garbage = serve_one plane client (Bytes.of_string "\x00\x01not-http") in
+  Alcotest.(check bool) "400 on garbage" true
+    (prefix "HTTP/1.1 400" (Bytes.to_string garbage));
+  check_invariants p;
+  Serve.destroy plane
+
+let test_negative_paths () =
+  (* One plane, two service tenants, independent sessions. *)
+  let p = Platform.create ~seed:9400L () in
+  let plane = Serve.create ~platform:p Serve.default_config in
+  let resp_backend =
+    Serve.add_tenant plane ~name:"resp_kv" (Services.backend_config Services.Resp_kv)
+  in
+  let kv_backend =
+    Serve.add_tenant plane ~name:"kvdb" (Services.backend_config Services.Kvdb)
+  in
+  let establish name client =
+    match Serve.handshake plane ~tenant:name (Serve.Client.hello client) with
+    | Error r -> Alcotest.failf "handshake rejected: %a" Serve.pp_reject r
+    | Ok accept -> (
+        match Serve.Client.establish client accept with
+        | Error r -> Alcotest.failf "establish failed: %a" Serve.pp_reject r
+        | Ok () -> ())
+  in
+  let c_resp = client_for p ~seed:941L resp_backend in
+  let c_kv = client_for p ~seed:942L kv_backend in
+  establish "resp_kv" c_resp;
+  establish "kvdb" c_kv;
+  ignore (admin resp_backend (Services.load_request ~records:10));
+  ignore (admin kv_backend (Services.load_request ~records:10));
+  let expect_reject expected = function
+    | Ok _ -> Alcotest.failf "expected %s rejection" expected
+    | Error r ->
+        Alcotest.(check string) "reject kind" expected (Serve.reject_name r)
+  in
+  (* Malformed RESP inside a perfectly valid envelope: the parser's
+     typed error comes back in-band and the plane keeps serving. *)
+  let bad =
+    serve_one plane c_resp (Bytes.of_string "*2\r\n$5\r\nab\r\n")
+  in
+  Alcotest.(check bool)
+    ("parser bound violation is -ERR: " ^ Bytes.to_string bad)
+    true
+    (prefix "-ERR" (Bytes.to_string bad));
+  let healthy =
+    serve_one plane c_resp
+      (Hyperenclave.Workloads.Resp_kv.encode_command [ "DBSIZE" ])
+  in
+  Alcotest.(check string) "plane still serving" "+10" (Bytes.to_string healthy);
+  (* Oversize request: ciphertext exceeding the ring slot is refused at
+     admission with a typed Unsupported, not a truncation.  (A rejected
+     submit still consumes the client's sequence number, so the typed
+     rejects run after the in-band traffic above.) *)
+  expect_reject "unsupported"
+    (Serve.submit plane
+       (Serve.Client.request c_resp ~ecall:Services.ecall_request
+          (Bytes.make 300 'x')));
+  (* Cross-tenant key confusion: a request sealed under kvdb's session
+     key replayed into the resp_kv session fails AEAD authentication. *)
+  let stolen =
+    Serve.Client.request c_kv ~ecall:Services.ecall_request
+      (Bytes.of_string "SELECT v FROM kv WHERE k = 1")
+  in
+  expect_reject "bad-auth"
+    (Serve.submit plane
+       { stolen with Serve.session_id = Serve.Client.session_id c_resp });
+  (* Per-service request accounting surfaced through the scheduler. *)
+  let telemetry = Monitor.telemetry p.Platform.monitor in
+  Alcotest.(check bool) "resp_kv requests labeled" true
+    (Telemetry.counter telemetry "sched.svc.resp_kv" > 0);
+  check_invariants p;
+  Serve.destroy plane
+
+let suite =
+  [
+    Alcotest.test_case "resp_kv over AEAD sessions" `Quick test_resp_kv_end_to_end;
+    Alcotest.test_case "kvdb YCSB A/B/C + scans over AEAD" `Quick
+      test_kvdb_end_to_end;
+    Alcotest.test_case "httpd file-backed docroot over AEAD" `Quick
+      test_httpd_end_to_end;
+    Alcotest.test_case "negative paths stay typed" `Quick test_negative_paths;
+  ]

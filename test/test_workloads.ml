@@ -43,7 +43,7 @@ let test_ycsb_zipfian () =
   for _ = 1 to samples do
     match W.Ycsb.next_op_a gen with
     | W.Ycsb.Read _ -> incr reads
-    | W.Ycsb.Update _ -> ()
+    | W.Ycsb.Update _ | W.Ycsb.Scan _ -> ()
   done;
   let ratio = float_of_int !reads /. float_of_int samples in
   Alcotest.(check bool)
@@ -340,9 +340,102 @@ let test_spec_kernel_names () =
        (fun n -> String.length n > 4 && n.[3] = '.')
        W.Spec_cpu.kernel_names)
 
+(* --- PR 9 additions: parser bounds, YCSB B/C mixes, range scans ---------- *)
+
+let test_resp_parser_bounds () =
+  let expect_error label raw =
+    match W.Resp_kv.parse_resp raw with
+    | Result.Error _ -> ()
+    | Result.Ok _ -> Alcotest.fail (label ^ ": accepted malformed input")
+  in
+  (* Every one of these must come back as a typed parse error — never an
+     exception out of the dispatch loop (a malicious tenant reaches this
+     parser through the attested plane). *)
+  expect_error "negative bulk length" "*1\r\n$-5\r\nhello\r\n";
+  expect_error "truncated bulk" "*1\r\n$5\r\nab\r\n";
+  expect_error "over-declared length" "*2\r\n$3\r\nfoo\r\n$100\r\nbar\r\n";
+  expect_error "missing CRLF terminator" "*1\r\n$3\r\nabcXY";
+  expect_error "huge declared length (no overflow)"
+    (Printf.sprintf "*1\r\n$%d\r\nx\r\n" max_int);
+  expect_error "truncated header" "*2\r\n$3\r\nfoo";
+  (* CRLF verification: payload of the right length but the terminator
+     overwritten. *)
+  expect_error "corrupt terminator" "*1\r\n$3\r\nabc\r,";
+  (* And the happy path still parses. *)
+  match W.Resp_kv.parse_resp "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n" with
+  | Result.Ok [ "GET"; "k" ] -> ()
+  | Result.Ok _ | Result.Error _ -> Alcotest.fail "well-formed command rejected"
+
+let test_ycsb_mixes () =
+  let gen = W.Ycsb.create ~rng:(Rng.create ~seed:31L) ~records:1000 () in
+  let samples = 10_000 in
+  let reads = ref 0 in
+  for _ = 1 to samples do
+    match W.Ycsb.next_op_b gen with
+    | W.Ycsb.Read _ -> incr reads
+    | W.Ycsb.Update _ | W.Ycsb.Scan _ -> ()
+  done;
+  let ratio = float_of_int !reads /. float_of_int samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "B is 95/5 (%.3f)" ratio)
+    true
+    (ratio > 0.93 && ratio < 0.97);
+  for _ = 1 to 1000 do
+    (match W.Ycsb.next_op_c gen with
+    | W.Ycsb.Read _ -> ()
+    | W.Ycsb.Update _ | W.Ycsb.Scan _ -> Alcotest.fail "C must be read-only");
+    match W.Ycsb.next_scan gen ~max_len:8 () with
+    | W.Ycsb.Scan (key, len) ->
+        Alcotest.(check bool) "scan anchor in range" true (key >= 0 && key < 1000);
+        Alcotest.(check bool) "scan length in [1,8]" true (len >= 1 && len <= 8)
+    | W.Ycsb.Read _ | W.Ycsb.Update _ -> Alcotest.fail "next_scan must scan"
+  done
+
+let test_btree_scan () =
+  let t = W.Btree.create ~addr_base:0x1000 ~record_bytes:64 () in
+  for key = 0 to 199 do
+    W.Btree.insert t ~key (Bytes.of_string (Printf.sprintf "v%03d" key))
+  done;
+  W.Btree.check_invariants t;
+  let got = W.Btree.scan t ~lo:17 ~count:5 in
+  Alcotest.(check (list int)) "five keys from 17" [ 17; 18; 19; 20; 21 ]
+    (List.map fst got);
+  Alcotest.(check string) "values ride along" "v019"
+    (Bytes.to_string (List.assoc 19 got));
+  Alcotest.(check bool) "scan touches nodes for the memory simulator" true
+    (List.length (W.Btree.last_touched t) > 0);
+  Alcotest.(check (list int)) "scan past the end is empty" []
+    (List.map fst (W.Btree.scan t ~lo:500 ~count:4));
+  Alcotest.(check int) "short scan at the tail" 2
+    (List.length (W.Btree.scan t ~lo:198 ~count:10))
+
+let test_kvdb_between () =
+  let e = W.Kvdb.Engine.create () in
+  for key = 0 to 49 do
+    match
+      W.Kvdb.Engine.exec e
+        (Printf.sprintf "INSERT INTO kv VALUES (%d, 'r%d')" key key)
+    with
+    | Result.Ok _ -> ()
+    | Result.Error m -> Alcotest.fail m
+  done;
+  (match W.Kvdb.Engine.exec e "SELECT v FROM kv WHERE k BETWEEN 10 AND 14" with
+  | Result.Ok reply -> Alcotest.(check string) "inclusive range" "5 rows" reply
+  | Result.Error m -> Alcotest.fail m);
+  (match W.Kvdb.Engine.exec e "SELECT v FROM kv WHERE k BETWEEN 100 AND 200" with
+  | Result.Ok reply -> Alcotest.(check string) "empty range" "0 rows" reply
+  | Result.Error m -> Alcotest.fail m);
+  match W.Kvdb.Engine.exec e "SELECT v FROM kv WHERE k BETWEEN 9 AND 2" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "inverted range must be a typed error"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest btree_qcheck;
+    Alcotest.test_case "resp parser bounds" `Quick test_resp_parser_bounds;
+    Alcotest.test_case "ycsb B/C mixes + scans" `Quick test_ycsb_mixes;
+    Alcotest.test_case "btree range scan" `Quick test_btree_scan;
+    Alcotest.test_case "kvdb BETWEEN scan" `Quick test_kvdb_between;
     Alcotest.test_case "timer counts" `Quick test_timer_counts;
     Alcotest.test_case "kvdb misuse" `Quick test_kvdb_misuse;
     Alcotest.test_case "httpd errors" `Quick test_httpd_method_and_errors;
