@@ -70,7 +70,7 @@ let attested_client plane ~p ~name =
 let minor_words_per_request ~arena =
   let p = Platform.create ~seed:971L () in
   let plane =
-    Serve.create ~platform:p
+    Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
       {
         Serve.default_config with
         Serve.arena;
@@ -134,7 +134,7 @@ type hot_run = { h_cores : int; h_rps : float; h_served : int }
 let measure_hot ~cores =
   let p = Platform.create ~seed:972L () in
   let plane =
-    Serve.create ~platform:p
+    Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
       {
         Serve.default_config with
         Serve.sched =

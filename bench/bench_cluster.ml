@@ -1,0 +1,293 @@
+(* PR 10 tentpole bench: the multi-monitor fleet.  Three headline
+   numbers gate regressions (BENCH_PR10.json, perf_smoke.ml, 25%
+   budget, plus a hard cross-node scaling floor):
+
+   - cluster_rps_4x8: aggregate attested req/s over 4 nodes x 8 cores,
+     16 tenants sharded by the consistent-hash LB, every request sealed
+     under a per-session AEAD key and charged for its wire crossing;
+   - scaling 1 -> 2 -> 4 nodes at fixed offered load: each doubling
+     must gain at least 1.6x (nodes have independent clocks, so the
+     fleet rate is total served over the slowest node's makespan);
+   - cluster_p99_upgrade_cycles: p99 per-request simulated cost while a
+     rolling monitor upgrade live-migrates every tenant out and home
+     again under traffic;
+   - cluster_pause_cycles: worst single live-migration pause (source
+     export + wire + destination rebuild). *)
+
+open Hyperenclave
+
+let clock_hz = 2.2e9
+let cores = 8
+let tenants = 16
+let rounds = 3
+let batch = 8
+let scaling_floor = 1.6
+
+let tenant_gen () =
+  {
+    (Backend.config (Backend.Hyperenclave Sgx_types.GU)) with
+    Backend.handlers = [ (1, fun _env input -> input) ];
+  }
+
+let build ~nodes ~seed =
+  let cl =
+    Cluster.create
+      {
+        Cluster.default_config with
+        Cluster.nodes;
+        seed;
+        vnodes = 64;
+        serve =
+          {
+            Serve.default_config with
+            Serve.sched =
+              {
+                Sched.default_config with
+                Sched.cores;
+                batch = 16;
+                drop_on_error = true;
+              };
+            max_queue = 256;
+          };
+      }
+  in
+  let names = List.init tenants (Printf.sprintf "tenant-%d") in
+  List.iter (fun name -> ignore (Cluster.add_tenant cl ~name tenant_gen : int)) names;
+  let clients =
+    List.mapi
+      (fun i name ->
+        match
+          Cluster.Client.connect cl
+            ~rng:(Rng.create ~seed:(Int64.add seed (Int64.of_int (100 + i))))
+            ~tenant:name ()
+        with
+        | Ok c -> c
+        | Error e ->
+            Format.eprintf "bench_cluster: connect %s failed: %a@." name
+              Cluster.pp_error e;
+            exit 2)
+      names
+  in
+  (cl, clients)
+
+let payload = Bytes.make 64 'x'
+
+(* One batch per client; any rejected request is fatal.  Returns the
+   per-call simulated cost samples (all clocks: node work + wire). *)
+let drive_round clients =
+  List.map
+    (fun c ->
+      let t0 = Cycles.total_ticked () in
+      (match Cluster.Client.call c (List.init batch (fun _ -> (1, payload))) with
+      | Ok replies ->
+          List.iter
+            (function
+              | Ok _ -> ()
+              | Error r ->
+                  Format.eprintf "bench_cluster: request rejected: %a@."
+                    Serve.pp_reject r;
+                  exit 2)
+            replies
+      | Error e ->
+          Format.eprintf "bench_cluster: call failed: %a@." Cluster.pp_error e;
+          exit 2);
+      (Cycles.total_ticked () - t0) / batch)
+    clients
+
+(* Aggregate attested rate: total scheduler throughput over the
+   slowest node — nodes run on independent simulated clocks, so the
+   fleet finishes when its most loaded node does. *)
+let fleet_rate cl =
+  let served = ref 0 and slowest = ref 1 in
+  List.iter
+    (fun n ->
+      if Cluster.Node.alive n then begin
+        let s = Serve.sched_stats (Cluster.Node.plane n) in
+        served := !served + s.Sched.total_requests;
+        if s.Sched.makespan > !slowest then slowest := s.Sched.makespan
+      end)
+    (Cluster.nodes cl);
+  float_of_int !served *. clock_hz /. float_of_int !slowest
+
+let measure_rate ~nodes ~seed =
+  let cl, clients = build ~nodes ~seed in
+  for _ = 1 to rounds do
+    ignore (drive_round clients : int list)
+  done;
+  let rate = fleet_rate cl in
+  List.iter Cluster.Client.close clients;
+  Cluster.destroy cl;
+  rate
+
+(* p99 per-request cost while a rolling upgrade migrates every tenant
+   out and back under live traffic, plus the worst migration pause. *)
+let measure_upgrade ~seed =
+  let cl, clients = build ~nodes:4 ~seed in
+  let samples = ref (drive_round clients) in
+  List.iter
+    (fun n ->
+      (match Cluster.upgrade_node cl (Cluster.Node.id n) with
+      | Ok () -> ()
+      | Error e ->
+          Format.eprintf "bench_cluster: upgrade failed: %a@." Cluster.pp_error e;
+          exit 2);
+      samples := drive_round clients @ !samples)
+    (Cluster.nodes cl);
+  let sorted = List.sort compare !samples in
+  let n = List.length sorted in
+  let p99 = List.nth sorted (min (n - 1) (n * 99 / 100)) in
+  let stats = Cluster.stats cl in
+  List.iter Cluster.Client.close clients;
+  Cluster.destroy cl;
+  (p99, stats.Cluster.max_pause, stats.Cluster.migrations)
+
+type summary = {
+  rps_by_nodes : (int * float) list;
+  rps_4x8 : float;
+  scaling_1_2 : float;
+  scaling_2_4 : float;
+  p99_upgrade : int;
+  pause : int;
+  upgrade_migrations : int;
+}
+
+let summarize () =
+  let rps_by_nodes =
+    List.map (fun nodes -> (nodes, measure_rate ~nodes ~seed:1001L)) [ 1; 2; 4 ]
+  in
+  let rate n = List.assoc n rps_by_nodes in
+  let p99_upgrade, pause, upgrade_migrations = measure_upgrade ~seed:1002L in
+  {
+    rps_by_nodes;
+    rps_4x8 = rate 4;
+    scaling_1_2 = rate 2 /. rate 1;
+    scaling_2_4 = rate 4 /. rate 2;
+    p99_upgrade;
+    pause;
+    upgrade_migrations;
+  }
+
+let run () =
+  Util.set_experiment "cluster";
+  Util.banner "Cluster"
+    "Fleet-scale attested serving: 4 monitors x 8 cores, 16 tenants \
+     behind the consistent-hash LB, live migration and rolling \
+     upgrades under traffic on the deterministic network.";
+  let s = summarize () in
+  Printf.printf "\n  cross-node scaling (fixed offered load, %d tenants):\n\n"
+    tenants;
+  Util.print_table
+    ~columns:[ "nodes"; "attested req/s"; "scaling vs half" ]
+    (List.map
+       (fun (nodes, rps) ->
+         [
+           string_of_int nodes;
+           Printf.sprintf "%.0f" rps;
+           (if nodes = 1 then "-"
+            else
+              Printf.sprintf "%.2fx"
+                (rps /. List.assoc (nodes / 2) s.rps_by_nodes));
+         ])
+       s.rps_by_nodes);
+  Printf.printf
+    "\n  rolling upgrade: %d live migrations, p99 request cost %d cycles,\n\
+    \  worst migration pause %d cycles (%.1f us at %.1f GHz)\n"
+    s.upgrade_migrations s.p99_upgrade s.pause
+    (float_of_int s.pause /. clock_hz *. 1e6)
+    (clock_hz /. 1e9);
+  Printf.printf "\n  headline: %.0f attested req/s at 4 nodes x %d cores\n"
+    s.rps_4x8 cores
+
+(* Fast sanity slice for @serve_smoke: two nodes, live migration under
+   an open session, everything served. *)
+let smoke () =
+  let cl, clients = build ~nodes:2 ~seed:1003L in
+  ignore (drive_round clients : int list);
+  let victim = "tenant-0" in
+  let dst = 1 - Cluster.owner cl ~tenant:victim in
+  (match Cluster.migrate cl ~tenant:victim ~dst with
+  | Ok _ -> ()
+  | Error e ->
+      Format.eprintf "cluster_smoke: FAIL — migrate: %a@." Cluster.pp_error e;
+      exit 1);
+  ignore (drive_round clients : int list);
+  let bad =
+    List.concat_map
+      (fun (node, findings) ->
+        List.map (fun _ -> node) findings)
+      (Cluster.check cl)
+  in
+  if bad <> [] then begin
+    Printf.eprintf "cluster_smoke: FAIL — invariant violations on nodes %s\n"
+      (String.concat "," (List.map string_of_int bad));
+    exit 1
+  end;
+  List.iter Cluster.Client.close clients;
+  Cluster.destroy cl;
+  Printf.printf "cluster_smoke: OK — %d tenants served across migration\n"
+    tenants
+
+let write_baseline path =
+  let s = summarize () in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"hyperenclave-perf/1\",\n";
+  Printf.fprintf oc "  \"cluster_rps_4x8\": %.1f,\n" s.rps_4x8;
+  Printf.fprintf oc "  \"cluster_scaling_1_2\": %.2f,\n" s.scaling_1_2;
+  Printf.fprintf oc "  \"cluster_scaling_2_4\": %.2f,\n" s.scaling_2_4;
+  Printf.fprintf oc "  \"cluster_p99_upgrade_cycles\": %d,\n" s.p99_upgrade;
+  Printf.fprintf oc "  \"cluster_pause_cycles\": %d\n}\n" s.pause;
+  close_out oc;
+  Printf.printf "cluster baseline written to %s\n" path
+
+(* Deterministic gate: the 4-node rate within 25% of baseline, cost
+   metrics within 25% the other way, and — unconditionally — at least
+   1.6x per node-count doubling. *)
+let check_baseline path =
+  let tolerance = 1.25 in
+  let s = summarize () in
+  let need key =
+    match Util.perf_json_number ~path ~key with
+    | Some v -> v
+    | None ->
+        Printf.eprintf
+          "cluster gate: no \"%s\" in %s — regenerate with: perf_smoke.exe \
+           --write-cluster %s\n"
+          key path path;
+        exit 2
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf
+          "cluster gate: FAIL — %s.\nFix the regression or consciously \
+           re-baseline with: perf_smoke.exe --write-cluster %s\n"
+          msg path;
+        exit 1)
+      fmt
+  in
+  let rps_base = need "cluster_rps_4x8" in
+  Printf.printf "cluster gate: 4x8 %.0f req/s vs %.0f baseline (%.2fx)\n"
+    s.rps_4x8 rps_base (rps_base /. s.rps_4x8);
+  if rps_base /. s.rps_4x8 > tolerance then
+    fail "4-node rate regressed %.0f%% past the 25%% budget"
+      ((rps_base /. s.rps_4x8 -. 1.0) *. 100.0);
+  List.iter
+    (fun (label, ratio) ->
+      Printf.printf "cluster gate: scaling %s = %.2fx (floor %.1fx)\n" label
+        ratio scaling_floor;
+      if ratio < scaling_floor then
+        fail "cross-node scaling %s fell to %.2fx, under the %.1fx floor" label
+          ratio scaling_floor)
+    [ ("1->2", s.scaling_1_2); ("2->4", s.scaling_2_4) ];
+  let p99_base = need "cluster_p99_upgrade_cycles" in
+  Printf.printf "cluster gate: upgrade p99 %d cycles vs %.0f baseline\n"
+    s.p99_upgrade p99_base;
+  if float_of_int s.p99_upgrade > p99_base *. tolerance then
+    fail "rolling-upgrade p99 grew %.0f%% past the 25%% budget"
+      ((float_of_int s.p99_upgrade /. p99_base -. 1.0) *. 100.0);
+  let pause_base = need "cluster_pause_cycles" in
+  Printf.printf "cluster gate: migration pause %d cycles vs %.0f baseline\n"
+    s.pause pause_base;
+  if float_of_int s.pause > pause_base *. tolerance then
+    fail "migration pause grew %.0f%% past the 25%% budget"
+      ((float_of_int s.pause /. pause_base -. 1.0) *. 100.0)

@@ -48,7 +48,7 @@ type run = {
 let measure ~cores =
   let p = Platform.create ~seed:951L () in
   let plane =
-    Serve.create ~platform:p
+    Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
       {
         Serve.default_config with
         Serve.sched =

@@ -26,7 +26,7 @@ let reqs_per_round = 16
 let build kind ~seed =
   let p = Platform.create ~seed () in
   let plane =
-    Serve.create ~platform:p
+    Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
       {
         Serve.default_config with
         Serve.sched =

@@ -72,7 +72,7 @@ let ocall_ring_amortization ~k =
    and verification. *)
 let resume_vs_handshake () =
   let p = Platform.create ~seed:962L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let backend =
     Serve.add_tenant plane ~name:"resume-tenant"
       {

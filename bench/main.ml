@@ -32,6 +32,9 @@ let experiments =
     ( "workloads",
       ( "LibOS services behind the attested plane: Fig. 8b-8d mixes (PR 9)",
         Bench_workloads.run ) );
+    ( "cluster",
+      ( "multi-monitor fleet: scaling, live migration, rolling upgrade (PR 10)",
+        Bench_cluster.run ) );
     ("isa", ("Sec. 8 cross-platform cost projection", Bench_isa.run));
     ( "mc",
       ( "model-checker throughput: states/s + component breakdown (PR 8)",

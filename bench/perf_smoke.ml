@@ -24,6 +24,7 @@ let () =
       \       perf_smoke.exe --write-zerocopy FILE\n\
       \       perf_smoke.exe --write-arena FILE\n\
       \       perf_smoke.exe --write-workloads FILE\n\
+      \       perf_smoke.exe --write-cluster FILE\n\
       \       perf_smoke.exe --serve-smoke";
     exit 2
   end;
@@ -68,11 +69,20 @@ let () =
     Bench_workloads.write_baseline Sys.argv.(2);
     exit 0
   end;
+  if Sys.argv.(1) = "--write-cluster" then begin
+    if Array.length Sys.argv < 3 then begin
+      prerr_endline "usage: perf_smoke.exe --write-cluster FILE";
+      exit 2
+    end;
+    Bench_cluster.write_baseline Sys.argv.(2);
+    exit 0
+  end;
   (* Fast attested-path sanity run (`dune build @serve_smoke`): the echo
      plane at 1 core, then every LibOS service end to end. *)
   if Sys.argv.(1) = "--serve-smoke" then begin
     Bench_serve.smoke ();
     Bench_workloads.smoke ();
+    Bench_cluster.smoke ();
     exit 0
   end;
   (* Deterministic simulated-cycle gates first: scheduler throughput
@@ -86,6 +96,7 @@ let () =
   if Array.length Sys.argv > 4 then Bench_zerocopy.check_baseline Sys.argv.(4);
   if Array.length Sys.argv > 5 then Bench_arena.check_baseline Sys.argv.(5);
   if Array.length Sys.argv > 6 then Bench_workloads.check_baseline Sys.argv.(6);
+  if Array.length Sys.argv > 7 then Bench_cluster.check_baseline Sys.argv.(7);
   let baseline_path = Sys.argv.(1) in
   match Util.perf_json_number ~path:baseline_path ~key:"perf_smoke_wall_seconds" with
   | None ->

@@ -19,6 +19,7 @@ type failure =
   | Event_log_mismatch
   | Boot_component_mismatch of string
   | Hapk_not_measured
+  | Hapk_mismatch
   | Bad_ems
   | Policy_violation of string
   | Stale_nonce
@@ -30,6 +31,9 @@ let pp_failure fmt = function
   | Event_log_mismatch -> Format.pp_print_string fmt "event log does not replay to quoted PCRs"
   | Boot_component_mismatch c -> Format.fprintf fmt "boot component %s does not match golden measurement" c
   | Hapk_not_measured -> Format.pp_print_string fmt "hapk not bound to the measured log"
+  | Hapk_mismatch ->
+      Format.pp_print_string fmt
+        "quote signed by a different monitor than the pinned trust anchor"
   | Bad_ems -> Format.pp_print_string fmt "enclave measurement signature invalid"
   | Policy_violation m -> Format.fprintf fmt "enclave policy violation: %s" m
   | Stale_nonce -> Format.pp_print_string fmt "nonce mismatch"
@@ -82,7 +86,7 @@ let check_policy ~policy (report : Sgx_types.report) =
             Some "MRSIGNER mismatch"
         | Some _ | None -> None)
 
-let verify ~golden ~policy ~nonce (q : Monitor.quote) =
+let verify ~golden ~policy ?expected_hapk ~nonce (q : Monitor.quote) =
   if not (Tpm.verify_quote q.tpm_quote ~expected_ek:golden.ek_public) then
     Error Bad_tpm_signature
   else if not (Sha256.equal q.tpm_quote.Tpm.nonce nonce) then Error Stale_nonce
@@ -93,6 +97,15 @@ let verify ~golden ~policy ~nonce (q : Monitor.quote) =
     | Some component -> Error (Boot_component_mismatch component)
     | None ->
         if not (hapk_bound q) then Error Hapk_not_measured
+        else if
+          (* The verifying party's trust anchor: in a fleet every monitor
+             has its own measured-boot state and hapk, so a verifier that
+             knows which node it is talking to pins that node's key — a
+             quote from any *other* honestly-booted monitor must fail. *)
+          match expected_hapk with
+          | Some pin -> not (Signature.equal_public pin q.hapk)
+          | None -> false
+        then Error Hapk_mismatch
         else begin
           let body =
             Bytes.cat (Bytes.of_string "ems:")

@@ -36,6 +36,10 @@ type failure =
   | Event_log_mismatch  (** replayed PCRs don't match the quoted digest *)
   | Boot_component_mismatch of string
   | Hapk_not_measured
+  | Hapk_mismatch
+      (** the quote verifies but was produced by a {e different} monitor
+          than the pinned trust anchor — an honestly-booted sibling node
+          cannot answer for the one the verifier addressed *)
   | Bad_ems
   | Policy_violation of string
   | Stale_nonce
@@ -51,4 +55,18 @@ val golden_of_boot_log :
 (** Build the golden reference from a trusted build's event log — what a
     deployer records at provisioning time. *)
 
-val verify : golden:golden -> policy:policy -> nonce:bytes -> Monitor.quote -> result
+val verify :
+  golden:golden ->
+  policy:policy ->
+  ?expected_hapk:Hyperenclave_crypto.Signature.public_key ->
+  nonce:bytes ->
+  Monitor.quote ->
+  result
+(** [expected_hapk] is the verifying party's trust anchor for a {e
+    specific} monitor: in a multi-monitor fleet every node derives its
+    own attestation key, so golden boot measurements alone no longer
+    identify one machine — a verifier that knows which node it addressed
+    pins that node's hapk and gets {!Hapk_mismatch} for a quote signed by
+    any other (even honestly booted) monitor.  Omitting it keeps the
+    single-platform behaviour: any monitor whose boot chain replays
+    against [golden] is accepted. *)

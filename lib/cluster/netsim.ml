@@ -1,0 +1,108 @@
+open Hyperenclave_hw
+
+type config = {
+  base_latency : int;
+  cycles_per_byte : int;
+  jitter : int;
+  loss_per_mille : int;
+}
+
+let default_config =
+  { base_latency = 12_000; cycles_per_byte = 2; jitter = 4_000;
+    loss_per_mille = 0 }
+
+let front = -1
+
+type delivery = Delivered of int | Dropped
+
+type t = {
+  clock : Cycles.t;
+  rng : Rng.t;
+  config : config;
+  nodes : int;
+  down : bool array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes_moved : int;
+  mutable cycles_charged : int;
+}
+
+let create ~clock ~seed ~nodes config =
+  if nodes <= 0 then invalid_arg "Netsim.create: nodes must be positive";
+  if config.base_latency < 0 || config.cycles_per_byte < 0 || config.jitter < 0
+  then invalid_arg "Netsim.create: negative latency parameters";
+  if config.loss_per_mille < 0 || config.loss_per_mille > 1000 then
+    invalid_arg "Netsim.create: loss_per_mille must be in [0, 1000]";
+  {
+    clock;
+    rng = Rng.create ~seed;
+    config;
+    nodes;
+    down = Array.make nodes false;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes_moved = 0;
+    cycles_charged = 0;
+  }
+
+let check_endpoint t who =
+  if who < front || who >= t.nodes then
+    invalid_arg (Printf.sprintf "Netsim: endpoint %d outside the fleet" who)
+
+let endpoint_down t who = who >= 0 && t.down.(who)
+
+let transfer t ~src ~dst ~bytes =
+  check_endpoint t src;
+  check_endpoint t dst;
+  if bytes < 0 then invalid_arg "Netsim.transfer: negative size";
+  t.sent <- t.sent + 1;
+  (* Draw jitter and loss unconditionally so the stream position — and
+     therefore every later delivery — does not depend on partition
+     state: killing a node never reshuffles the rest of the schedule. *)
+  let jitter =
+    if t.config.jitter > 0 then Rng.int t.rng t.config.jitter else 0
+  in
+  let lost =
+    t.config.loss_per_mille > 0
+    && Rng.int t.rng 1000 < t.config.loss_per_mille
+  in
+  if endpoint_down t src || endpoint_down t dst || lost then begin
+    t.dropped <- t.dropped + 1;
+    Dropped
+  end
+  else begin
+    let latency =
+      t.config.base_latency + (t.config.cycles_per_byte * bytes) + jitter
+    in
+    Cycles.tick t.clock latency;
+    t.delivered <- t.delivered + 1;
+    t.bytes_moved <- t.bytes_moved + bytes;
+    t.cycles_charged <- t.cycles_charged + latency;
+    Delivered latency
+  end
+
+let set_down t node v =
+  if node < 0 || node >= t.nodes then
+    invalid_arg "Netsim.set_down: not a node";
+  t.down.(node) <- v
+
+let is_down t node = node >= 0 && node < t.nodes && t.down.(node)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  bytes_moved : int;
+  cycles_charged : int;
+}
+
+let stats (t : t) =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    bytes_moved = t.bytes_moved;
+    cycles_charged = t.cycles_charged;
+  }

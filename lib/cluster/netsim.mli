@@ -1,0 +1,57 @@
+(** Deterministic network simulator for the fleet.
+
+    Every byte that moves between nodes — client traffic through the
+    load balancer, migration offers and sealed state blobs — crosses
+    [transfer], which charges latency to the shared cycle clock and
+    draws jitter and loss from a seeded splitmix64 stream (the same
+    discipline as {!Hyperenclave_fault.Fault}: equal seeds give equal
+    delivery schedules, so cluster runs replay bit-identically).
+
+    Endpoints are node ids; {!front} is the load-balancer tier standing
+    outside the fleet.  A node marked down partitions completely: every
+    transfer to or from it drops. *)
+
+type config = {
+  base_latency : int;  (** cycles charged per message before size *)
+  cycles_per_byte : int;
+  jitter : int;  (** uniform extra latency in [\[0, jitter)] *)
+  loss_per_mille : int;  (** per-message drop probability, in 1/1000 *)
+}
+
+val default_config : config
+(** 12k-cycle base (a few µs at GHz scale), 2 cycles/byte, 4k jitter,
+    lossless. *)
+
+val front : int
+(** The off-fleet endpoint ([-1]) clients and the LB tier send from. *)
+
+type delivery =
+  | Delivered of int  (** latency charged, in cycles *)
+  | Dropped
+
+type t
+
+val create :
+  clock:Hyperenclave_hw.Cycles.t -> seed:int64 -> nodes:int -> config -> t
+
+val transfer : t -> src:int -> dst:int -> bytes:int -> delivery
+(** Move [bytes] from [src] to [dst]: charge
+    [base_latency + cycles_per_byte * bytes + jitter] to the shared
+    clock on delivery, or drop (loss draw, or either endpoint down —
+    partitions drop without charging latency).
+    @raise Invalid_argument for an endpoint outside [\[front, nodes)]. *)
+
+val set_down : t -> int -> bool -> unit
+(** Partition a node off ([true]) or heal it ([false]). *)
+
+val is_down : t -> int -> bool
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  bytes_moved : int;  (** payload bytes successfully delivered *)
+  cycles_charged : int;
+}
+
+val stats : t -> stats

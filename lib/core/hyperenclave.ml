@@ -74,6 +74,8 @@ module Mem_sim = Hyperenclave_tee.Mem_sim
 module Sched = Hyperenclave_sched.Sched
 module Serve = Hyperenclave_serve.Serve
 module Services = Hyperenclave_serve.Services
+module Cluster = Hyperenclave_cluster.Cluster
+module Netsim = Hyperenclave_cluster.Netsim
 module Kx = Hyperenclave_crypto.Kx
 module Mc = Hyperenclave_mc.Explorer
 module Mc_world = Hyperenclave_mc.World

@@ -22,6 +22,7 @@ let generate rng =
   (sk, pk)
 
 let public_of_private = derive_public
+let equal_public = Bytes.equal
 let sign sk msg = Hmac.hmac ~key:sk msg
 
 let verify pk msg ~signature =

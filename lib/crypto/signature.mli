@@ -23,6 +23,10 @@ val generate : Hyperenclave_hw.Rng.t -> private_key * public_key
 
 val public_of_private : private_key -> public_key
 
+val equal_public : public_key -> public_key -> bool
+(** Structural equality on public keys — what a relying party uses to
+    pin a specific monitor's hapk as its trust anchor. *)
+
 val sign : private_key -> bytes -> bytes
 (** 32-byte signature. *)
 

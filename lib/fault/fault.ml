@@ -24,6 +24,7 @@ let sites =
     "sdk.aex_storm";
     "os.ioctl";
     "serve.session";
+    "cluster.migrate";
   ]
 
 (* A private splitmix64 keeps plan derivation independent of the

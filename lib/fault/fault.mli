@@ -54,7 +54,9 @@ val sites : string list
     ["sdk.aex_storm"] (interrupt burst right after EENTER),
     ["os.ioctl"] (kernel-module ioctl forwarding),
     ["serve.session"] (serving-plane session work: handshake acceptance
-    and per-session dispatch staging). *)
+    and per-session dispatch staging),
+    ["cluster.migrate"] (fleet migration protocol steps: the offer,
+    seal and install phases of a live enclave migration). *)
 
 (** {1 Plans} *)
 

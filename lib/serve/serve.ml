@@ -11,6 +11,9 @@ module Wire = Hyperenclave_attestation.Wire
 module Kx = Hyperenclave_crypto.Kx
 module Authenc = Hyperenclave_crypto.Authenc
 module Sha256 = Hyperenclave_crypto.Sha256
+module Signature = Hyperenclave_crypto.Signature
+module Tpm = Hyperenclave_tpm.Tpm
+module Pcr = Hyperenclave_tpm.Pcr
 module Fault = Hyperenclave_fault.Fault
 module Telemetry = Hyperenclave_obs.Telemetry
 
@@ -33,6 +36,10 @@ type reject =
   | Session_fault of string
   | Bad_ticket of string
   | Ticket_expired
+  | Session_migrated of { to_node : int }
+  | Tenant_migrated of { tenant : string; to_node : int }
+  | Tenant_busy of { tenant : string; staged : int }
+  | Import_conflict of string
 
 let reject_name = function
   | Handshake_failed _ -> "handshake-failed"
@@ -50,6 +57,10 @@ let reject_name = function
   | Session_fault _ -> "session-fault"
   | Bad_ticket _ -> "bad-ticket"
   | Ticket_expired -> "ticket-expired"
+  | Session_migrated _ -> "session-migrated"
+  | Tenant_migrated _ -> "tenant-migrated"
+  | Tenant_busy _ -> "tenant-busy"
+  | Import_conflict _ -> "import-conflict"
 
 let pp_reject fmt = function
   | Handshake_failed f ->
@@ -73,6 +84,14 @@ let pp_reject fmt = function
   | Session_fault m -> Format.fprintf fmt "session fault: %s" m
   | Bad_ticket m -> Format.fprintf fmt "bad session ticket: %s" m
   | Ticket_expired -> Format.pp_print_string fmt "session ticket expired"
+  | Session_migrated { to_node } ->
+      Format.fprintf fmt "session migrated to node %d" to_node
+  | Tenant_migrated { tenant; to_node } ->
+      Format.fprintf fmt "tenant %s migrated to node %d" tenant to_node
+  | Tenant_busy { tenant; staged } ->
+      Format.fprintf fmt "tenant %s has %d staged requests mid-flush" tenant
+        staged
+  | Import_conflict m -> Format.fprintf fmt "migration import conflict: %s" m
 
 (* ---------------------------------------------------------------------- *)
 (* Plane state                                                            *)
@@ -190,6 +209,9 @@ type tenant = {
   mutable free_slots : int list;
       (* state slots recycled by [close_session], reused before
          [next_slot] grows the stride arena *)
+  mutable t_migrated_to : int option;
+      (* set by [retire_tenant] at migration cutover: new handshakes and
+         resumes answer with a typed forward to the destination node *)
   stage : stage;
   rings : Urts.ring option array;  (* per shard, built on first use *)
   ring_err : string option array;  (* per-shard failure, one flush *)
@@ -205,14 +227,39 @@ type session = {
          one-shot seal/unseal paths pay is amortized to zero here *)
   state_slot : int;
   mutable recv_seq : int;
+  mutable s_pages : int;
+      (* high-water EDMM page count: what a migration must carry so the
+         destination can rebuild the session's committed state *)
   mutable pending : (int * int * Authenc.sealed) list;
       (* rev (seq, ecall, envelope): envelopes are admitted
          tag-verified but still encrypted — the in-place decrypt is
          deferred to the batched flush *)
 }
 
+(* The attested name a serve plane answers under in a fleet: which node
+   it is, which monitor speaks for it, and that monitor's measured-boot
+   digest.  Threaded explicitly (rather than read off the platform at
+   use sites) so every quote-verification decision names its trust
+   anchor. *)
+type identity = {
+  node_id : int;
+  hapk : Signature.public_key;
+  pcr_digest : bytes;
+}
+
+let identity_of_platform ?(node_id = 0) (p : Platform.t) =
+  {
+    node_id;
+    hapk = Monitor.hapk p.Platform.monitor;
+    pcr_digest =
+      Pcr.selection_digest
+        (Tpm.pcrs p.Platform.tpm)
+        ~indices:Monitor.quote_pcr_selection;
+  }
+
 type t = {
   platform : Platform.t;
+  identity : identity;
   config : config;
   rng : Rng.t;
   telemetry : Telemetry.t;
@@ -220,6 +267,10 @@ type t = {
   tenants : (string, tenant) Hashtbl.t;
   mutable tenant_order : string list;  (* reverse insertion order *)
   sessions : (int, session) Hashtbl.t;
+  migrated : (int, int) Hashtbl.t;
+      (* session id -> destination node: after cutover a straggler
+         addressing a moved session gets a typed forward, not a bare
+         unknown-session *)
   seen_nonces : (string, unit) Hashtbl.t;
   nonce_order : string Queue.t;  (* FIFO eviction for the replay cache *)
   ticket_key : bytes;  (* plane sealing key for resumption tickets *)
@@ -243,29 +294,52 @@ type t = {
 
 let fault_site = "serve.session"
 
-let create ~platform (config : config) =
+module Node_config = struct
+  type serve_config = config
+
+  type t = { identity : identity; serve : serve_config }
+
+  let v ?node_id ~platform serve =
+    { identity = identity_of_platform ?node_id platform; serve }
+end
+
+let create_node ~platform (nc : Node_config.t) =
+  let config = nc.Node_config.serve in
   let config =
     { config with sched = { config.sched with Sched.drop_on_error = true } }
   in
   if config.max_queue <= 0 then
-    invalid_arg "Serve.create: max_queue must be positive";
+    invalid_arg "Serve.create_node: max_queue must be positive";
   if config.state_stride_pages <= 0 then
-    invalid_arg "Serve.create: state_stride_pages must be positive";
+    invalid_arg "Serve.create_node: state_stride_pages must be positive";
   (match config.cycle_quota with
-  | Some q when q <= 0 -> invalid_arg "Serve.create: cycle_quota must be positive"
+  | Some q when q <= 0 ->
+      invalid_arg "Serve.create_node: cycle_quota must be positive"
   | _ -> ());
   if config.nonce_cache <= 0 then
-    invalid_arg "Serve.create: nonce_cache must be positive";
+    invalid_arg "Serve.create_node: nonce_cache must be positive";
   if config.ticket_ttl <= 0 then
-    invalid_arg "Serve.create: ticket_ttl must be positive";
+    invalid_arg "Serve.create_node: ticket_ttl must be positive";
   if config.shard_block <= 0 then
-    invalid_arg "Serve.create: shard_block must be positive";
+    invalid_arg "Serve.create_node: shard_block must be positive";
   if config.slot_bytes <= 0 || config.slot_bytes mod 8 <> 0 then
-    invalid_arg "Serve.create: slot_bytes must be a positive multiple of 8";
+    invalid_arg "Serve.create_node: slot_bytes must be a positive multiple of 8";
+  let identity = nc.Node_config.identity in
+  (* The identity must speak for THIS platform's monitor: a plane that
+     advertised another node's hapk would hand out quotes its own
+     monitor cannot back. *)
+  if
+    not
+      (Signature.equal_public identity.hapk
+         (Monitor.hapk platform.Platform.monitor))
+  then
+    invalid_arg
+      "Serve.create_node: identity hapk does not match this platform's monitor";
   let telemetry = Monitor.telemetry platform.Platform.monitor in
   let rng = Rng.split platform.Platform.rng in
   {
     platform;
+    identity;
     config;
     rng;
     telemetry;
@@ -274,10 +348,15 @@ let create ~platform (config : config) =
     tenants = Hashtbl.create 8;
     tenant_order = [];
     sessions = Hashtbl.create 16;
+    migrated = Hashtbl.create 16;
     seen_nonces = Hashtbl.create 64;
     nonce_order = Queue.create ();
     ticket_key = Rng.bytes rng 32;
-    next_session = 0;
+    (* Node-prefixed session id space: ids stay distinct across a fleet,
+       so a migrated session keeps its id on the destination without
+       colliding with locally-opened ones.  Node 0 (the single-node
+       case) keeps the familiar 0, 1, 2, ... *)
+    next_session = identity.node_id lsl 20;
     qe = None;
     destroyed = false;
     shards = max 1 config.sched.Sched.cores;
@@ -291,9 +370,18 @@ let create ~platform (config : config) =
     hw_shards = 0;
   }
 
+let identity t = t.identity
+
 let reject t r =
   Telemetry.incr t.telemetry ("serve.reject." ^ reject_name r);
   Error r
+
+(* A session id that is neither live nor migrated is unknown; a migrated
+   one forwards the caller to the node that now owns it. *)
+let session_reject t id =
+  match Hashtbl.find_opt t.migrated id with
+  | Some to_node -> Session_migrated { to_node }
+  | None -> Unknown_session id
 
 let backoff t attempt =
   Cycles.tick t.platform.Platform.clock
@@ -366,17 +454,54 @@ let state_handler (env : Backend.env) input =
   Bytes.set_int64_le reply 0 (Int64.of_int pages);
   reply
 
+(* Migration-time state movers: read a session's committed heap range out
+   for export, write it back on the destination.  [off:8][len:8] in /
+   raw bytes out, and [off:8][data...] in / [written:8] out. *)
+let state_read_ecall = 0x5e56
+
+let state_read_handler (env : Backend.env) input =
+  if Bytes.length input <> 16 then
+    invalid_arg "serve: malformed session-state read";
+  let off = Int64.to_int (Bytes.get_int64_le input 0) in
+  let len = Int64.to_int (Bytes.get_int64_le input 8) in
+  if off < 0 || len < 0 then invalid_arg "serve: negative session-state range";
+  env.Backend.heap_read ~off ~len
+
+let state_write_ecall = 0x5e57
+
+let state_write_handler (env : Backend.env) input =
+  if Bytes.length input < 8 then
+    invalid_arg "serve: malformed session-state write";
+  let off = Int64.to_int (Bytes.get_int64_le input 0) in
+  if off < 0 then invalid_arg "serve: negative session-state offset";
+  let data = Bytes.sub input 8 (Bytes.length input - 8) in
+  env.Backend.heap_write ~off data;
+  let reply = Bytes.create 8 in
+  Bytes.set_int64_le reply 0 (Int64.of_int (Bytes.length data));
+  reply
+
+let reserved_ecalls = [ state_ecall; state_read_ecall; state_write_ecall ]
+
 let add_tenant t ~name (bc : Backend.config) =
   if Hashtbl.mem t.tenants name then
     invalid_arg (Printf.sprintf "Serve.add_tenant: duplicate tenant %s" name);
-  if List.mem_assoc state_ecall bc.Backend.handlers then
-    invalid_arg
-      (Printf.sprintf "Serve.add_tenant: ECALL %#x is reserved for session state"
-         state_ecall);
+  List.iter
+    (fun id ->
+      if List.mem_assoc id bc.Backend.handlers then
+        invalid_arg
+          (Printf.sprintf
+             "Serve.add_tenant: ECALL %#x is reserved for session state" id))
+    reserved_ecalls;
   let bc =
     {
       bc with
-      Backend.handlers = bc.Backend.handlers @ [ (state_ecall, state_handler) ];
+      Backend.handlers =
+        bc.Backend.handlers
+        @ [
+            (state_ecall, state_handler);
+            (state_read_ecall, state_read_handler);
+            (state_write_ecall, state_write_handler);
+          ];
     }
   in
   let bc =
@@ -415,6 +540,7 @@ let add_tenant t ~name (bc : Backend.config) =
       budget = (match t.config.cycle_quota with Some q -> q | None -> max_int);
       next_slot = 0;
       free_slots = [];
+      t_migrated_to = None;
       stage =
         {
           sg_sids = [||];
@@ -454,6 +580,13 @@ let quoting_urts t =
 
 let quoting_identity t = Urts.mrenclave (quoting_urts t)
 
+(* The node's own attestation voice: a quote from the plane's quoting
+   enclave, signed by this node's monitor — what a migration peer or
+   fleet control plane verifies before trusting the node with sealed
+   state. *)
+let node_quote t ~report_data ~nonce =
+  Urts.gen_quote (quoting_urts t) ~report_data ~nonce
+
 (* ---------------------------------------------------------------------- *)
 (* Handshake                                                              *)
 
@@ -461,6 +594,7 @@ type hello = { nonce : bytes; client_kx : Kx.public }
 
 type accept = {
   session_id : int;
+  node_id : int;  (** which fleet node accepted — clients route follow-ups *)
   server_kx : Kx.public;
   quote_wire : bytes;
   tenant_identity : bytes;
@@ -493,6 +627,8 @@ let injected_msg site kind =
 let handshake t ~tenant hello =
   match Hashtbl.find_opt t.tenants tenant with
   | None -> reject t (Unknown_tenant tenant)
+  | Some { t_migrated_to = Some to_node; _ } ->
+      reject t (Tenant_migrated { tenant; to_node })
   | Some tn -> (
       (* Burn the nonce even when the handshake later fails: a replayed
          challenge must never get a second quote. *)
@@ -550,11 +686,19 @@ let handshake t ~tenant hello =
                         keys = Authenc.prepare key;
                         state_slot;
                         recv_seq = 0;
+                        s_pages = 0;
                         pending = [];
                       };
                     Telemetry.incr t.telemetry "serve.handshake";
                     Telemetry.incr t.telemetry "serve.session_open";
-                    Ok { session_id; server_kx; quote_wire; tenant_identity }))
+                    Ok
+                      {
+                        session_id;
+                        node_id = t.identity.node_id;
+                        server_kx;
+                        quote_wire;
+                        tenant_identity;
+                      }))
       end)
 
 (* ---------------------------------------------------------------------- *)
@@ -610,7 +754,7 @@ let aad_matches t ~domain ~session_id ~seq ~tag candidate =
 let submit t (req : request) =
   Telemetry.incr t.telemetry "serve.request";
   match Hashtbl.find_opt t.sessions req.session_id with
-  | None -> reject t (Unknown_session req.session_id)
+  | None -> reject t (session_reject t req.session_id)
   | Some s -> (
       let tn = s.tenant in
       (* Zero-copy admission: authenticate the envelope where it lies (a
@@ -1180,7 +1324,7 @@ let resize_session t ~session ~pages =
       (Printf.sprintf "Serve.resize_session: pages must be in [0, %d]"
          t.config.state_stride_pages);
   match Hashtbl.find_opt t.sessions session with
-  | None -> reject t (Unknown_session session)
+  | None -> reject t (session_reject t session)
   | Some s -> (
       match s.tenant.backend.Backend.kind with
       | Backend.Sgx ->
@@ -1199,6 +1343,7 @@ let resize_session t ~session ~pages =
                ~direction:Edge.In_out ()
            with
           | Backend.Success reply ->
+              s.s_pages <- max s.s_pages pages;
               Ok (Int64.to_int (Bytes.get_int64_le reply 0))
           | Backend.Typed_error m | Backend.Violation m ->
               reject t (Session_fault m)))
@@ -1225,7 +1370,7 @@ let sched_stats t = Sched.stats t.sched
    state slot through the tenant's free list, drop the table entry. *)
 let close_session t ~session =
   match Hashtbl.find_opt t.sessions session with
-  | None -> reject t (Unknown_session session)
+  | None -> reject t (session_reject t session)
   | Some s ->
       let tn = s.tenant in
       (if t.config.arena then begin
@@ -1250,6 +1395,270 @@ let close_session t ~session =
       Telemetry.incr t.telemetry "serve.session_close";
       Ok ()
 
+(* ---------------------------------------------------------------------- *)
+(* Live migration: export / retire / import                               *)
+
+type session_export = {
+  x_session : int;
+  x_key : bytes;
+  x_recv_seq : int;
+  x_pages : int;
+  x_state : bytes;
+}
+
+type tenant_export = {
+  x_tenant : string;
+  x_identity : bytes;
+  x_sessions : session_export list;
+  x_nonces : string list;
+}
+
+(* Pull a session's committed EDMM pages out through the enclave's own
+   state-read ECALL, one page per protected call — the simulation
+   analogue of EWB-style page eviction into the migration blob. *)
+let read_state t (tn : tenant) (s : session) =
+  let stride_bytes = t.config.state_stride_pages * Addr.page_size in
+  let base = s.state_slot * stride_bytes in
+  let buf = Buffer.create (s.s_pages * Addr.page_size) in
+  let rec go pg =
+    if pg = s.s_pages then Ok (Buffer.to_bytes buf)
+    else begin
+      let data = Bytes.create 16 in
+      Bytes.set_int64_le data 0 (Int64.of_int (base + (pg * Addr.page_size)));
+      Bytes.set_int64_le data 8 (Int64.of_int Addr.page_size);
+      match
+        Backend.protected_call tn.backend ~id:state_read_ecall ~data
+          ~direction:Edge.In_out ()
+      with
+      | Backend.Success page ->
+          Buffer.add_bytes buf page;
+          go (pg + 1)
+      | Backend.Typed_error m | Backend.Violation m -> Error (Session_fault m)
+    end
+  in
+  go 0
+
+let export_tenant t ~tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> reject t (Unknown_tenant tenant)
+  | Some { t_migrated_to = Some to_node; _ } ->
+      reject t (Tenant_migrated { tenant; to_node })
+  | Some tn -> (
+      if tn.queued > 0 then
+        (* Staged-but-unflushed envelopes are in-flight work: exporting
+           under them would either drop admitted requests or replay them
+           on the destination.  The migration driver flushes first. *)
+        reject t (Tenant_busy { tenant; staged = tn.queued })
+      else
+        match tn.backend.Backend.identity with
+        | None ->
+            reject t
+              (Unsupported "native backend has no enclave identity to migrate")
+        | Some x_identity -> (
+            let sessions =
+              Hashtbl.fold
+                (fun _ s acc -> if s.tenant == tn then s :: acc else acc)
+                t.sessions []
+              |> List.sort (fun a b -> compare a.s_id b.s_id)
+            in
+            let rec pack acc = function
+              | [] -> Ok (List.rev acc)
+              | s :: rest -> (
+                  match read_state t tn s with
+                  | Error _ as e -> e
+                  | Ok x_state ->
+                      pack
+                        ({
+                           x_session = s.s_id;
+                           x_key = Bytes.copy s.key;
+                           x_recv_seq = s.recv_seq;
+                           x_pages = s.s_pages;
+                           x_state;
+                         }
+                        :: acc)
+                        rest)
+            in
+            match pack [] sessions with
+            | Error rej -> reject t rej
+            | Ok x_sessions ->
+                (* Carry the replay cache in FIFO order: a nonce burnt
+                   before the move must stay burnt after it, or a recorded
+                   handshake replays against the destination. *)
+                let x_nonces =
+                  List.rev (Queue.fold (fun acc n -> n :: acc) [] t.nonce_order)
+                in
+                Telemetry.incr t.telemetry "serve.migrate.export";
+                Ok { x_tenant = tenant; x_identity; x_sessions; x_nonces }))
+
+(* Cutover: the source stops answering for the tenant and forwards
+   stragglers.  Live sessions become typed forwards; their state slots
+   recycle. *)
+let retire_tenant t ~tenant ~to_node =
+  match Hashtbl.find_opt t.tenants tenant with
+  | None -> reject t (Unknown_tenant tenant)
+  | Some tn ->
+      if tn.queued > 0 then
+        reject t (Tenant_busy { tenant; staged = tn.queued })
+      else begin
+        let sessions =
+          Hashtbl.fold
+            (fun id s acc -> if s.tenant == tn then (id, s) :: acc else acc)
+            t.sessions []
+        in
+        List.iter
+          (fun (id, s) ->
+            Hashtbl.remove t.sessions id;
+            tn.free_slots <- s.state_slot :: tn.free_slots;
+            Hashtbl.replace t.migrated id to_node)
+          sessions;
+        tn.t_migrated_to <- Some to_node;
+        Telemetry.incr t.telemetry "serve.migrate.retire";
+        Ok (List.length sessions)
+      end
+
+(* Replay an exported session's bytes into the destination enclave's
+   heap, page-sized protected writes after re-committing the pages. *)
+let write_state t (tn : tenant) ~slot (sx : session_export) =
+  let stride_bytes = t.config.state_stride_pages * Addr.page_size in
+  let base = slot * stride_bytes in
+  let total = Bytes.length sx.x_state in
+  let rec go off =
+    if off >= total then Ok ()
+    else begin
+      let len = min Addr.page_size (total - off) in
+      let data = Bytes.create (8 + len) in
+      Bytes.set_int64_le data 0 (Int64.of_int (base + off));
+      Bytes.blit sx.x_state off data 8 len;
+      match
+        Backend.protected_call tn.backend ~id:state_write_ecall ~data
+          ~direction:Edge.In_out ()
+      with
+      | Backend.Success _ -> go (off + len)
+      | Backend.Typed_error m | Backend.Violation m -> Error (Session_fault m)
+    end
+  in
+  go 0
+
+let import_tenant t (x : tenant_export) =
+  match Hashtbl.find_opt t.tenants x.x_tenant with
+  | None -> reject t (Unknown_tenant x.x_tenant)
+  | Some tn -> (
+      match tn.backend.Backend.identity with
+      | None ->
+          reject t
+            (Unsupported "native backend has no enclave identity to verify")
+      | Some local when not (Bytes.equal local x.x_identity) ->
+          (* The destination rebuilt the tenant enclave from the same
+             registry config; if it does not measure identically the
+             sealed sessions would resume inside a different program. *)
+          reject t
+            (Import_conflict
+               "enclave identity does not match the destination's measurement")
+      | Some _ -> (
+          (* A live session with the same id is a hard conflict; an entry
+             in [migrated] is only a forwarding address and clears when
+             the session comes home (migrate-back / rolling upgrade). *)
+          match
+            List.find_opt
+              (fun (sx : session_export) -> Hashtbl.mem t.sessions sx.x_session)
+              x.x_sessions
+          with
+          | Some sx ->
+              reject t
+                (Import_conflict
+                   (Printf.sprintf "session id %d is live on this node"
+                      sx.x_session))
+          | None -> (
+              match
+                List.find_opt
+                  (fun (sx : session_export) ->
+                    sx.x_pages > t.config.state_stride_pages)
+                  x.x_sessions
+              with
+              | Some sx ->
+                  reject t
+                    (Import_conflict
+                       (Printf.sprintf
+                          "session %d state (%d pages) exceeds this node's \
+                           %d-page stride"
+                          sx.x_session sx.x_pages t.config.state_stride_pages))
+              | None -> (
+                  (* Install one session at a time; any state failure rolls
+                     back what was installed so a botched import never
+                     leaves half a tenant behind. *)
+                  let installed = ref [] in
+                  let rollback () =
+                    List.iter
+                      (fun (id, slot) ->
+                        Hashtbl.remove t.sessions id;
+                        tn.free_slots <- slot :: tn.free_slots)
+                      !installed
+                  in
+                  let recommit slot pages =
+                    if pages = 0 then Ok ()
+                    else begin
+                      let data = Bytes.create 16 in
+                      Bytes.set_int64_le data 0
+                        (Int64.of_int
+                           (slot * t.config.state_stride_pages * Addr.page_size));
+                      Bytes.set_int64_le data 8 (Int64.of_int pages);
+                      match
+                        Backend.protected_call tn.backend ~id:state_ecall ~data
+                          ~direction:Edge.In_out ()
+                      with
+                      | Backend.Success _ -> Ok ()
+                      | Backend.Typed_error m | Backend.Violation m ->
+                          Error (Session_fault m)
+                    end
+                  in
+                  let rec go = function
+                    | [] -> Ok ()
+                    | (sx : session_export) :: rest -> (
+                        let slot = alloc_slot tn in
+                        let outcome =
+                          match recommit slot sx.x_pages with
+                          | Error _ as e -> e
+                          | Ok () -> write_state t tn ~slot sx
+                        in
+                        match outcome with
+                        | Error e ->
+                            tn.free_slots <- slot :: tn.free_slots;
+                            Error e
+                        | Ok () ->
+                            let key = Bytes.copy sx.x_key in
+                            charge_aead_setup t;
+                            Hashtbl.replace t.sessions sx.x_session
+                              {
+                                s_id = sx.x_session;
+                                tenant = tn;
+                                key;
+                                keys = Authenc.prepare key;
+                                state_slot = slot;
+                                recv_seq = sx.x_recv_seq;
+                                s_pages = sx.x_pages;
+                                pending = [];
+                              };
+                            installed := (sx.x_session, slot) :: !installed;
+                            go rest)
+                  in
+                  match go x.x_sessions with
+                  | Error rej ->
+                      rollback ();
+                      reject t rej
+                  | Ok () ->
+                      List.iter
+                        (fun (sx : session_export) ->
+                          Hashtbl.remove t.migrated sx.x_session;
+                          if sx.x_session >= t.next_session then
+                            t.next_session <- sx.x_session + 1)
+                        x.x_sessions;
+                      List.iter
+                        (fun n -> ignore (nonce_replayed t (Bytes.of_string n)))
+                        x.x_nonces;
+                      tn.t_migrated_to <- None;
+                      Telemetry.incr t.telemetry "serve.migrate.import";
+                      Ok (List.length x.x_sessions)))))
+
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
@@ -1266,6 +1675,7 @@ let destroy t =
       (List.rev t.tenant_order);
     Hashtbl.reset t.tenants;
     Hashtbl.reset t.sessions;
+    Hashtbl.reset t.migrated;
     Hashtbl.reset t.seen_nonces;
     Queue.clear t.nonce_order;
     t.tenant_order <- []
@@ -1303,7 +1713,7 @@ let decode_ticket payload =
 
 let issue_ticket t ~session =
   match Hashtbl.find_opt t.sessions session with
-  | None -> reject t (Unknown_session session)
+  | None -> reject t (session_reject t session)
   | Some s ->
       let expires =
         Cycles.now t.platform.Platform.clock + t.config.ticket_ttl
@@ -1353,6 +1763,8 @@ let resume t (r : resume) =
                   else
                     match Hashtbl.find_opt t.tenants tenant with
                     | None -> reject t (Unknown_tenant tenant)
+                    | Some { t_migrated_to = Some to_node; _ } ->
+                        reject t (Tenant_migrated { tenant; to_node })
                     | Some tn ->
                         let key = resumed_key ~key ~nonce:r.r_nonce in
                         let session_id = t.next_session in
@@ -1367,6 +1779,7 @@ let resume t (r : resume) =
                             keys = Authenc.prepare key;
                             state_slot;
                             recv_seq = 0;
+                            s_pages = 0;
                             pending = [];
                           };
                         Telemetry.incr t.telemetry "serve.resume";
@@ -1385,6 +1798,9 @@ module Client = struct
     golden : Verifier.golden;
     policy : Verifier.policy;
     expected_tenant : bytes option;
+    expected_hapk : Signature.public_key option;
+        (* pin to one node's monitor: in a fleet, golden measurements
+           alone admit every honestly-booted sibling *)
     mutable hs : hs option;
     mutable session : (int * bytes) option;  (* id, key *)
     mutable send_seq : int;
@@ -1392,12 +1808,13 @@ module Client = struct
         (* (resumption nonce, ticketed key) while a resume is in flight *)
   }
 
-  let create ~rng ~golden ~policy ?expected_tenant () =
+  let create ~rng ~golden ~policy ?expected_tenant ?expected_hapk () =
     {
       rng;
       golden;
       policy;
       expected_tenant;
+      expected_hapk;
       hs = None;
       session = None;
       send_seq = 0;
@@ -1441,7 +1858,7 @@ module Client = struct
         | Ok quote -> (
             match
               Verifier.verify ~golden:t.golden ~policy:t.policy
-                ~nonce:hs.hs_nonce quote
+                ?expected_hapk:t.expected_hapk ~nonce:hs.hs_nonce quote
             with
             | Verifier.Error f -> Error (Handshake_failed f)
             | Verifier.Ok report -> (

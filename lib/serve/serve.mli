@@ -41,13 +41,31 @@
     Session work crosses the ["serve.session"] fault-injection site:
     transient faults are absorbed by the SDK's bounded retry/backoff,
     permanent ones surface as typed {!Session_fault} errors — never as
-    an escaped exception, and always with the monitor invariants green. *)
+    an escaped exception, and always with the monitor invariants green.
+
+    {2 Fleet}
+
+    A plane is one {e node} of a fleet: it is created with an explicit
+    {!identity} (node id, monitor hapk, measured-boot PCR digest) and
+    every session it opens is stamped with that identity.  Tenants and
+    their live sessions can move between nodes — {!export_tenant}
+    packages sessions (keys, sequence state, committed EDMM pages) and
+    the burnt-nonce replay cache, {!import_tenant} rebuilds them on a
+    destination whose tenant enclave measures identically, and
+    {!retire_tenant} cuts the source over so stragglers get typed
+    forwards ({!Session_migrated} / {!Tenant_migrated}) instead of bare
+    unknown-id errors.  The cluster layer
+    ({!Hyperenclave_cluster.Cluster}) drives these through an attested
+    transfer protocol; the plane itself only enforces the local
+    invariants. *)
 
 open Hyperenclave_hw
 open Hyperenclave_tee
 module Verifier := Hyperenclave_attestation.Verifier
 module Kx := Hyperenclave_crypto.Kx
 module Authenc := Hyperenclave_crypto.Authenc
+module Signature := Hyperenclave_crypto.Signature
+module Monitor := Hyperenclave_monitor.Monitor
 
 (** {1 Typed rejections} *)
 
@@ -75,6 +93,18 @@ type reject =
           wrong AAD domain, failed authentication, or had a malformed
           payload *)
   | Ticket_expired  (** a well-formed ticket past its TTL *)
+  | Session_migrated of { to_node : int }
+      (** the session moved to another node after cutover — re-resolve
+          and resubmit there *)
+  | Tenant_migrated of { tenant : string; to_node : int }
+      (** the tenant no longer lives here; handshakes and resumes must
+          go to [to_node] *)
+  | Tenant_busy of { tenant : string; staged : int }
+      (** export/retire refused: admitted requests are still staged —
+          flush first *)
+  | Import_conflict of string
+      (** a migration blob that cannot install: identity mismatch, live
+          session-id collision, or state exceeding this node's stride *)
 
 val reject_name : reject -> string
 (** Short stable label, also the telemetry suffix ([serve.reject.<name>]). *)
@@ -128,20 +158,67 @@ val default_config : config
     replay cache, 1e9-cycle ticket TTL, arena path on with 8-request
     shard blocks and 256-byte slots. *)
 
+(** {1 Node identity}
+
+    Every plane speaks as one addressable node of a fleet.  The identity
+    is explicit — callers thread it rather than the plane silently
+    reading it off the platform — so each quote-verification decision in
+    the system names its trust anchor. *)
+
+type identity = {
+  node_id : int;  (** fleet-unique address; 0 for the single-node case *)
+  hapk : Signature.public_key;
+      (** the monitor attestation key that signs this node's quotes *)
+  pcr_digest : bytes;
+      (** the node's measured-boot digest over the standard PCR
+          selection — what its TPM quotes attest *)
+}
+
+val identity_of_platform : ?node_id:int -> Platform.t -> identity
+(** Read the platform's monitor hapk and current PCR digest; [node_id]
+    defaults to [0]. *)
+
+module Node_config : sig
+  type serve_config := config
+
+  type t = { identity : identity; serve : serve_config }
+
+  val v : ?node_id:int -> platform:Platform.t -> serve_config -> t
+  (** Convenience: derive the identity from the platform. *)
+end
+
 type t
 
-val create : platform:Platform.t -> config -> t
+val create_node : platform:Platform.t -> Node_config.t -> t
+(** Build a serving plane that answers as [identity.node_id].  Session
+    ids are node-prefixed so they stay distinct across a fleet and a
+    migrated session keeps its id on the destination.
+    @raise Invalid_argument on invalid configuration, or when the
+    identity's hapk is not this platform's monitor key — a plane must
+    not advertise an identity its own monitor cannot back. *)
+
+val identity : t -> identity
+
+val node_quote :
+  t -> report_data:bytes -> nonce:bytes -> Monitor.quote
+(** A quote from the plane's quoting enclave, signed by this node's
+    monitor — the node's own attestation voice, used by the migration
+    protocol to prove a destination before sealed state is shipped. *)
 
 val add_tenant : t -> name:string -> Backend.config -> Backend.t
 (** Build the tenant's backend on the plane's platform ({!Backend.create}
-    with the plane's reserved session-state ECALL appended) and register
+    with the plane's reserved session-state ECALLs appended) and register
     it.  The returned backend is the tenant's own handle — for loading
     data, direct calls, and teardown.
     @raise Invalid_argument on a duplicate name or a handler colliding
-    with {!state_ecall}. *)
+    with a reserved ECALL id. *)
 
 val state_ecall : int
 (** The reserved ECALL id behind {!resize_session}. *)
+
+val reserved_ecalls : int list
+(** All ECALL ids the plane reserves: session-state commit
+    ({!state_ecall}), and the migration-time state read / write movers. *)
 
 val quoting_identity : t -> bytes
 (** MRENCLAVE of the plane's quoting enclave — what a client should pin
@@ -154,6 +231,8 @@ type hello = { nonce : bytes; client_kx : Kx.public }
 
 type accept = {
   session_id : int;
+  node_id : int;
+      (** which fleet node accepted — clients route follow-ups there *)
   server_kx : Kx.public;
   quote_wire : bytes;  (** untrusted bytes until the client verifies *)
   tenant_identity : bytes;
@@ -227,6 +306,58 @@ val destroy : t -> unit
     handle's [destroy]).  All session / tenant / replay state is
     cleared.  Idempotent. *)
 
+(** {1 Live migration}
+
+    The plane-local half of moving a tenant between nodes.  These
+    functions deal in {e plaintext} session state — the cluster layer
+    seals the export under a transport key derived from an attested
+    exchange with the destination before it crosses the simulated
+    network; nothing here should touch a wire unsealed. *)
+
+type session_export = {
+  x_session : int;  (** the session keeps its (node-prefixed) id *)
+  x_key : bytes;  (** channel key — the client notices nothing *)
+  x_recv_seq : int;  (** strict-sequence cursor *)
+  x_pages : int;  (** committed EDMM pages *)
+  x_state : bytes;  (** their bytes, read out through the enclave *)
+}
+
+type tenant_export = {
+  x_tenant : string;
+  x_identity : bytes;
+      (** the source enclave's MRENCLAVE; the destination must measure
+          identically or the import is refused *)
+  x_sessions : session_export list;  (** ascending session id *)
+  x_nonces : string list;
+      (** the burnt-nonce replay cache in FIFO order — a nonce burnt
+          before the move stays burnt after it *)
+}
+
+val export_tenant : t -> tenant:string -> (tenant_export, reject) result
+(** Package a tenant's live sessions for migration.  Refuses with
+    {!Tenant_busy} while admitted requests are still staged (flush
+    first), {!Tenant_migrated} after cutover, and {!Unsupported} for
+    native tenants (nothing measured to re-attest).  Does not mutate
+    the plane — cutover is {!retire_tenant}. *)
+
+val import_tenant : t -> tenant_export -> (int, reject) result
+(** Install an exported tenant on this node: the tenant must already be
+    registered ({!add_tenant} with the same backend config), measure
+    identically to [x_identity], and have no live session-id collisions
+    ({!Import_conflict} otherwise).  Sessions are rebuilt with their
+    original ids, keys and sequence cursors; EDMM pages are re-committed
+    and replayed through the enclave; the replay cache is merged.  A
+    mid-install failure rolls back cleanly.  Returns the number of
+    sessions installed. *)
+
+val retire_tenant : t -> tenant:string -> to_node:int -> (int, reject) result
+(** Cutover: stop answering for the tenant and forward stragglers.
+    Live sessions become {!Session_migrated} forwards to [to_node]; new
+    handshakes and resumes get {!Tenant_migrated}.  Refuses with
+    {!Tenant_busy} while requests are staged.  Returns the number of
+    sessions retired.  An {!import_tenant} of the same tenant back onto
+    this node (migrate-back) clears the forwards. *)
+
 (** {1 Session resumption}
 
     A live session can be converted into a {e ticket}: the channel key
@@ -264,12 +395,17 @@ module Client : sig
     golden:Verifier.golden ->
     policy:Verifier.policy ->
     ?expected_tenant:bytes ->
+    ?expected_hapk:Signature.public_key ->
     unit ->
     t
   (** A relying party: golden boot measurements, enclave policy, and —
       for quoting-enclave-fronted tenants — the tenant identity to pin
       ([expected_tenant]); without it the transcript's claimed identity
-      is accepted as-is. *)
+      is accepted as-is.  [expected_hapk] pins the {e node}: in a fleet
+      every monitor boots the same golden measurements, so a client that
+      knows which node it addressed pins that node's monitor key and
+      gets {!Handshake_failed} ({!Verifier.Hapk_mismatch}) from any
+      sibling. *)
 
   val hello : t -> hello
   (** Fresh nonce + ephemeral share.  One client drives one session;

@@ -226,7 +226,7 @@ let client_for p ~identity ~seed =
 
 let two_tenant_plane () =
   let p = Platform.create ~seed:9100L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
   let b2 = Serve.add_tenant plane ~name:"globex" (tenant_config ()) in
   let id b =

@@ -19,6 +19,7 @@ let () =
       ("backend_api", Test_backend_api.suite);
       ("serve", Test_serve.suite);
       ("services", Test_services.suite);
+      ("cluster", Test_cluster.suite);
       ("workloads", Test_workloads.suite);
       ("golden", Test_golden.suite);
       ("fuzz", Test_fuzz.suite);

@@ -29,7 +29,7 @@ let tenant_config ?(kind = Backend.Hyperenclave Sgx_types.GU) () =
 let build ?(seed = 7000L) ?(config = Serve.default_config)
     ?(kind = Backend.Hyperenclave Sgx_types.GU) () =
   let p = Platform.create ~seed () in
-  let plane = Serve.create ~platform:p config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p config in
   let backend = Serve.add_tenant plane ~name:"acme" (tenant_config ~kind ()) in
   let identity =
     match backend.Backend.identity with
@@ -103,7 +103,7 @@ let test_sgx_tenant_via_quoting_enclave () =
 
 let test_sgx_wrong_tenant_pin_rejected () =
   let p = Platform.create ~seed:7003L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let backend = Serve.add_tenant plane ~name:"acme" (tenant_config ~kind:Backend.Sgx ()) in
   ignore (backend : Backend.t);
   let client =
@@ -119,7 +119,7 @@ let test_sgx_wrong_tenant_pin_rejected () =
 
 let test_native_tenant_refused () =
   let p = Platform.create ~seed:7004L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   ignore (Serve.add_tenant plane ~name:"bare" (tenant_config ~kind:Backend.Native ()));
   let client =
     Serve.Client.create ~rng:(Rng.create ~seed:2L) ~golden:(golden_of p)
@@ -263,7 +263,7 @@ let test_tenant_isolation () =
      key, and per-tenant accounting stays separate. *)
   let p = Platform.create ~seed:7016L () in
   let plane =
-    Serve.create ~platform:p
+    Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
       { Serve.default_config with Serve.cycle_quota = Some 100_000_000 }
   in
   let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
@@ -362,7 +362,7 @@ let test_resize_session_sgx_unsupported () =
 
 let test_state_ecall_reserved () =
   let p = Platform.create ~seed:7022L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   (try
      ignore
        (Serve.add_tenant plane ~name:"clash"
@@ -425,7 +425,7 @@ let test_chaos_two_tenants_two_cores () =
     (fun seed ->
       let p = Platform.create ~seed:(Int64.of_int (0x5E12E000 + seed)) () in
       let plane =
-        Serve.create ~platform:p
+        Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p
           { Serve.default_config with
             Serve.sched = { Sched.default_config with Sched.cores = 2; drop_on_error = true } }
       in
@@ -636,7 +636,7 @@ let test_reply_splice_rejected () =
      request must trip the direction binding — all typed, with monitor
      invariants green throughout. *)
   let p = Platform.create ~seed:7055L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let b1 = Serve.add_tenant plane ~name:"acme" (tenant_config ()) in
   let b2 = Serve.add_tenant plane ~name:"globex" (tenant_config ()) in
   let mk backend seed =

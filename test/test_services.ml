@@ -31,7 +31,7 @@ let client_for p ~seed backend =
 (* One plane, one service tenant, one established session. *)
 let build kind ~seed =
   let p = Platform.create ~seed () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let name = Services.kind_name kind in
   let backend = Serve.add_tenant plane ~name (Services.backend_config kind) in
   let client = client_for p ~seed:(Int64.add seed 1L) backend in
@@ -192,7 +192,7 @@ let test_httpd_end_to_end () =
 let test_negative_paths () =
   (* One plane, two service tenants, independent sessions. *)
   let p = Platform.create ~seed:9400L () in
-  let plane = Serve.create ~platform:p Serve.default_config in
+  let plane = Serve.create_node ~platform:p @@ Serve.Node_config.v ~platform:p Serve.default_config in
   let resp_backend =
     Serve.add_tenant plane ~name:"resp_kv" (Services.backend_config Services.Resp_kv)
   in
